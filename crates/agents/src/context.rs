@@ -1,0 +1,164 @@
+//! Execution context handed to a processor.
+//!
+//! The context gives a processor controlled access to its surroundings: the
+//! stream store (to emit intermediate streams, e.g. token-by-token LLM
+//! output), the session scope it runs under, the shared simulated clock (to
+//! charge latency), and an accumulator for actual costs that the host folds
+//! into the post-run [`AgentReport`](crate::protocol::AgentReport).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blueprint_streams::{Message, SimClock, StreamId, StreamStore};
+
+use crate::Result;
+
+/// Context for one processor invocation.
+#[derive(Clone)]
+pub struct AgentContext {
+    store: StreamStore,
+    scope: String,
+    agent: String,
+    /// Cost units accumulated during this invocation, scaled ×1e6 so the
+    /// counter can be a lock-free integer.
+    cost_micros: Arc<AtomicU64>,
+    started_at_micros: u64,
+}
+
+impl AgentContext {
+    /// Creates a context scoped under `scope` (typically `session:<id>`).
+    pub fn new(store: StreamStore, scope: impl Into<String>, agent: impl Into<String>) -> Self {
+        let started_at_micros = store.clock().now_micros();
+        AgentContext {
+            store,
+            scope: scope.into(),
+            agent: agent.into(),
+            cost_micros: Arc::new(AtomicU64::new(0)),
+            started_at_micros,
+        }
+    }
+
+    /// The stream store.
+    pub fn store(&self) -> &StreamStore {
+        &self.store
+    }
+
+    /// The session scope prefix, e.g. `session:42`.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// Name of the agent being executed.
+    pub fn agent(&self) -> &str {
+        &self.agent
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        self.store.clock()
+    }
+
+    /// Charges simulated latency: advances the shared clock.
+    pub fn charge_latency_micros(&self, micros: u64) {
+        self.clock().advance_micros(micros);
+    }
+
+    /// Charges monetary cost (cost units, may be fractional).
+    pub fn charge_cost(&self, cost_units: f64) {
+        if cost_units <= 0.0 {
+            return;
+        }
+        let micros = (cost_units * 1e6).round() as u64;
+        self.cost_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total cost charged so far during this invocation.
+    pub fn cost_charged(&self) -> f64 {
+        self.cost_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Simulated latency elapsed since the invocation started.
+    pub fn latency_micros(&self) -> u64 {
+        self.clock().elapsed_since(self.started_at_micros)
+    }
+
+    /// Derives a stream id under this context's scope.
+    pub fn scoped_stream(&self, segment: &str) -> StreamId {
+        StreamId::new(format!("{}:{}", self.scope, segment))
+    }
+
+    /// Publishes a message (stamped with this agent as producer) onto a
+    /// scoped stream, creating the stream if needed.
+    pub fn emit(&self, segment: &str, msg: Message) -> Result<()> {
+        let id = self
+            .store
+            .ensure_stream(self.scoped_stream(segment), Vec::<blueprint_streams::Tag>::new())?;
+        self.store
+            .publish(&id, msg.from_producer(self.agent.clone()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> AgentContext {
+        AgentContext::new(StreamStore::new(), "session:1", "profiler")
+    }
+
+    #[test]
+    fn accessors() {
+        let c = ctx();
+        assert_eq!(c.scope(), "session:1");
+        assert_eq!(c.agent(), "profiler");
+    }
+
+    #[test]
+    fn latency_charging_advances_shared_clock() {
+        let c = ctx();
+        c.charge_latency_micros(250);
+        assert_eq!(c.latency_micros(), 250);
+        assert_eq!(c.store().clock().now_micros(), 250);
+    }
+
+    #[test]
+    fn cost_accumulates_fractionally() {
+        let c = ctx();
+        c.charge_cost(0.5);
+        c.charge_cost(0.25);
+        assert!((c.cost_charged() - 0.75).abs() < 1e-9);
+        // Non-positive charges are ignored.
+        c.charge_cost(-1.0);
+        c.charge_cost(0.0);
+        assert!((c.cost_charged() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scoped_stream_builds_hierarchy() {
+        let c = ctx();
+        assert_eq!(c.scoped_stream("summary").as_str(), "session:1:summary");
+    }
+
+    #[test]
+    fn emit_creates_stream_and_stamps_producer() {
+        let c = ctx();
+        c.emit("out", Message::data("result")).unwrap();
+        let history = c
+            .store()
+            .read(&StreamId::new("session:1:out"), 0)
+            .unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].producer, "profiler");
+    }
+
+    #[test]
+    fn latency_starts_from_context_creation() {
+        let store = StreamStore::new();
+        store.clock().advance_micros(1_000);
+        let c = AgentContext::new(store.clone(), "s", "a");
+        assert_eq!(c.latency_micros(), 0);
+        store.clock().advance_micros(10);
+        assert_eq!(c.latency_micros(), 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the agents subsystem.
+
+use std::fmt;
+
+use blueprint_streams::StreamError;
+
+/// Errors raised while defining, triggering, or executing agents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// A required input parameter was missing when the processor fired.
+    MissingInput(String),
+    /// An input value did not match the declared parameter type.
+    TypeMismatch {
+        /// Parameter name.
+        param: String,
+        /// Declared type name.
+        expected: String,
+        /// Brief description of the offending value.
+        got: String,
+    },
+    /// The processor reported a task-level failure.
+    ProcessorFailed(String),
+    /// The processor panicked; the worker was restarted.
+    ProcessorPanicked(String),
+    /// The referenced agent is not known to the factory.
+    UnknownAgent(String),
+    /// Underlying stream operation failed.
+    Stream(StreamError),
+    /// Malformed specification (duplicate params, no outputs, ...).
+    InvalidSpec(String),
+    /// The instance or factory has already been shut down.
+    Stopped,
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::MissingInput(p) => write!(f, "missing input parameter: {p}"),
+            AgentError::TypeMismatch {
+                param,
+                expected,
+                got,
+            } => write!(f, "parameter {param}: expected {expected}, got {got}"),
+            AgentError::ProcessorFailed(msg) => write!(f, "processor failed: {msg}"),
+            AgentError::ProcessorPanicked(msg) => write!(f, "processor panicked: {msg}"),
+            AgentError::UnknownAgent(name) => write!(f, "unknown agent: {name}"),
+            AgentError::Stream(e) => write!(f, "stream error: {e}"),
+            AgentError::InvalidSpec(msg) => write!(f, "invalid agent spec: {msg}"),
+            AgentError::Stopped => write!(f, "agent runtime stopped"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AgentError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for AgentError {
+    fn from(e: StreamError) -> Self {
+        AgentError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert_eq!(
+            AgentError::MissingInput("jobs".into()).to_string(),
+            "missing input parameter: jobs"
+        );
+        let tm = AgentError::TypeMismatch {
+            param: "criteria".into(),
+            expected: "text".into(),
+            got: "number".into(),
+        };
+        assert_eq!(tm.to_string(), "parameter criteria: expected text, got number");
+        assert!(AgentError::Stopped.to_string().contains("stopped"));
+    }
+
+    #[test]
+    fn stream_error_converts_and_sources() {
+        use std::error::Error;
+        let e: AgentError = StreamError::Disconnected.into();
+        assert!(matches!(e, AgentError::Stream(_)));
+        assert!(e.source().is_some());
+        assert!(AgentError::Stopped.source().is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! # blueprint-agents
+//!
+//! Agents are the blueprint's unit of *compute* (§V-B): any computational
+//! entity that processes input data and produces output — an LLM head, a
+//! task-specific CRF model, a search interface, or an arbitrary API. An agent
+//! is structured as:
+//!
+//! * an [`AgentSpec`] — name, description, typed input/output parameters,
+//!   stream bindings with inclusion/exclusion rules, a cost/latency/accuracy
+//!   profile, and deployment configuration;
+//! * a [`Processor`] — the `processor()` function invoked when the agent is
+//!   triggered;
+//! * a [`TriggerNet`] — a PetriNet-inspired join (§V-B, Fig 4) that gathers a
+//!   token from each input place before the processor fires;
+//! * an [`AgentHost`] — the runtime harness subscribing the agent to streams
+//!   and dispatching fires onto a worker pool;
+//! * an [`AgentFactory`] — the per-container server that spawns agent
+//!   instances, scales them, and restarts them on failure (Fig 2).
+//!
+//! Activation is either **centralized** (an `execute-agent` control message
+//! addressed to the agent, as emitted by the task coordinator) or
+//! **decentralized** (the agent autonomously monitors stream/message tags).
+
+pub mod context;
+pub mod error;
+pub mod factory;
+pub mod host;
+pub mod param;
+pub mod processor;
+pub mod profile;
+pub mod protocol;
+pub mod spec;
+pub mod trigger;
+pub mod ui;
+pub mod worker;
+
+pub use context::AgentContext;
+pub use error::AgentError;
+pub use factory::{AgentFactory, ContainerStats, InstanceHandle};
+pub use host::AgentHost;
+pub use param::{DataType, Inputs, Outputs, ParamSpec};
+pub use processor::{FnProcessor, Processor};
+pub use profile::{CostProfile, Deployment, DeploymentKind};
+pub use protocol::{ops, AgentReport, ExecuteAgent};
+pub use spec::{ActivationMode, AgentSpec, StreamBinding};
+pub use trigger::{PairingPolicy, TriggerNet};
+pub use ui::{UiField, UiFieldKind, UiForm};
+
+/// Result alias for agent operations.
+pub type Result<T> = std::result::Result<T, AgentError>;

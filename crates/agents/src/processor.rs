@@ -1,0 +1,78 @@
+//! The `processor()` function: the imperative half of an agent.
+
+use crate::context::AgentContext;
+use crate::param::{Inputs, Outputs};
+use crate::Result;
+
+/// The computation an agent performs when triggered (§V-B, Fig 3).
+///
+/// Implementations must be `Send + Sync` because the host dispatches fires
+/// onto a pool of worker threads. A processor receives the validated input
+/// tuple assembled by the trigger net and returns named outputs; it may also
+/// emit intermediate messages through the [`AgentContext`] (e.g. streaming
+/// tokens) and must charge its simulated latency and cost there.
+pub trait Processor: Send + Sync {
+    /// Processes one input tuple into outputs.
+    fn process(&self, inputs: &Inputs, ctx: &AgentContext) -> Result<Outputs>;
+}
+
+/// Adapts a plain closure into a [`Processor`].
+pub struct FnProcessor<F>(F);
+
+impl<F> FnProcessor<F>
+where
+    F: Fn(&Inputs, &AgentContext) -> Result<Outputs> + Send + Sync,
+{
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        FnProcessor(f)
+    }
+}
+
+impl<F> Processor for FnProcessor<F>
+where
+    F: Fn(&Inputs, &AgentContext) -> Result<Outputs> + Send + Sync,
+{
+    fn process(&self, inputs: &Inputs, ctx: &AgentContext) -> Result<Outputs> {
+        (self.0)(inputs, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_streams::StreamStore;
+    use serde_json::json;
+
+    #[test]
+    fn fn_processor_delegates() {
+        let p = FnProcessor::new(|inputs: &Inputs, _ctx: &AgentContext| {
+            let text = inputs.require_str("text")?;
+            Ok(Outputs::new().with("upper", json!(text.to_uppercase())))
+        });
+        let ctx = AgentContext::new(StreamStore::new(), "s", "a");
+        let out = p
+            .process(&Inputs::new().with("text", json!("hi")), &ctx)
+            .unwrap();
+        assert_eq!(out.get("upper"), Some(&json!("HI")));
+    }
+
+    #[test]
+    fn fn_processor_propagates_errors() {
+        let p = FnProcessor::new(|inputs: &Inputs, _ctx: &AgentContext| {
+            inputs.require_str("missing")?;
+            Ok(Outputs::new())
+        });
+        let ctx = AgentContext::new(StreamStore::new(), "s", "a");
+        assert!(p.process(&Inputs::new(), &ctx).is_err());
+    }
+
+    #[test]
+    fn boxed_processors_are_object_safe() {
+        let p: Box<dyn Processor> = Box::new(FnProcessor::new(|_: &Inputs, _: &AgentContext| {
+            Ok(Outputs::new())
+        }));
+        let ctx = AgentContext::new(StreamStore::new(), "s", "a");
+        assert!(p.process(&Inputs::new(), &ctx).is_ok());
+    }
+}

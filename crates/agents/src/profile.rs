@@ -1,0 +1,171 @@
+//! Cost/latency/accuracy profiles and deployment configuration.
+//!
+//! Every agent carries a [`CostProfile`] — the per-call quality-of-service
+//! statistics the optimizer (§V-G) and the budget (§V-H) consume — and a
+//! [`Deployment`] describing how its container should be provisioned
+//! (Fig 2: agents are deployed to CPU or GPU clusters according to their
+//! requirements, configured to scale and restart on failure).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-call quality-of-service statistics for an agent or operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Monetary cost per invocation, in abstract cost units
+    /// (e.g. thousandths of a cent).
+    pub cost_per_call: f64,
+    /// Expected latency per invocation in microseconds (simulated time).
+    pub latency_micros: u64,
+    /// Expected task accuracy/quality in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+impl CostProfile {
+    /// A free, instant, perfect profile — the identity for composition.
+    pub const FREE: CostProfile = CostProfile {
+        cost_per_call: 0.0,
+        latency_micros: 0,
+        accuracy: 1.0,
+    };
+
+    /// Creates a profile, clamping accuracy into `[0, 1]`.
+    pub fn new(cost_per_call: f64, latency_micros: u64, accuracy: f64) -> Self {
+        CostProfile {
+            cost_per_call: cost_per_call.max(0.0),
+            latency_micros,
+            accuracy: accuracy.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Sequential composition: costs and latencies add, accuracies multiply
+    /// (errors compound along a pipeline).
+    pub fn then(&self, next: &CostProfile) -> CostProfile {
+        CostProfile {
+            cost_per_call: self.cost_per_call + next.cost_per_call,
+            latency_micros: self.latency_micros + next.latency_micros,
+            accuracy: self.accuracy * next.accuracy,
+        }
+    }
+
+    /// Parallel composition: costs add, latency is the max, accuracies
+    /// multiply (all branches must be right).
+    pub fn join(&self, other: &CostProfile) -> CostProfile {
+        CostProfile {
+            cost_per_call: self.cost_per_call + other.cost_per_call,
+            latency_micros: self.latency_micros.max(other.latency_micros),
+            accuracy: self.accuracy * other.accuracy,
+        }
+    }
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        CostProfile::FREE
+    }
+}
+
+/// The compute class an agent's container needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DeploymentKind {
+    /// General-purpose CPU container.
+    #[default]
+    Cpu,
+    /// GPU-backed container (LLMs, embedding models).
+    Gpu,
+    /// Co-located with a data service (SQL executors, retrievers).
+    DataProximate,
+}
+
+/// Container/deployment configuration for an agent (Fig 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Compute class.
+    pub kind: DeploymentKind,
+    /// Docker image the enterprise registry maps the agent to.
+    pub image: String,
+    /// Number of worker threads in the instance's pool.
+    pub workers: usize,
+    /// Maximum automatic restarts after a processor panic before the
+    /// instance is marked failed.
+    pub max_restarts: u32,
+}
+
+impl Default for Deployment {
+    fn default() -> Self {
+        Deployment {
+            kind: DeploymentKind::Cpu,
+            image: "blueprint/agent:latest".to_string(),
+            workers: 2,
+            max_restarts: 3,
+        }
+    }
+}
+
+impl Deployment {
+    /// GPU deployment with the given worker count.
+    pub fn gpu(workers: usize) -> Self {
+        Deployment {
+            kind: DeploymentKind::Gpu,
+            workers: workers.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// CPU deployment with the given worker count.
+    pub fn cpu(workers: usize) -> Self {
+        Deployment {
+            kind: DeploymentKind::Cpu,
+            workers: workers.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps() {
+        let p = CostProfile::new(-1.0, 5, 1.5);
+        assert_eq!(p.cost_per_call, 0.0);
+        assert_eq!(p.accuracy, 1.0);
+    }
+
+    #[test]
+    fn sequential_composition() {
+        let a = CostProfile::new(1.0, 10, 0.9);
+        let b = CostProfile::new(2.0, 20, 0.8);
+        let c = a.then(&b);
+        assert_eq!(c.cost_per_call, 3.0);
+        assert_eq!(c.latency_micros, 30);
+        assert!((c.accuracy - 0.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_composition_takes_max_latency() {
+        let a = CostProfile::new(1.0, 10, 0.9);
+        let b = CostProfile::new(2.0, 50, 1.0);
+        let c = a.join(&b);
+        assert_eq!(c.cost_per_call, 3.0);
+        assert_eq!(c.latency_micros, 50);
+        assert!((c.accuracy - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_is_identity_for_then() {
+        let a = CostProfile::new(1.5, 42, 0.7);
+        let composed = CostProfile::FREE.then(&a);
+        assert_eq!(composed, a);
+    }
+
+    #[test]
+    fn deployment_defaults_and_builders() {
+        let d = Deployment::default();
+        assert_eq!(d.kind, DeploymentKind::Cpu);
+        assert!(d.workers >= 1);
+        assert_eq!(Deployment::gpu(4).kind, DeploymentKind::Gpu);
+        assert_eq!(Deployment::gpu(0).workers, 1);
+        assert_eq!(Deployment::cpu(3).workers, 3);
+    }
+}

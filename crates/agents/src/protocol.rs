@@ -1,0 +1,156 @@
+//! The control-message protocol spoken over streams.
+//!
+//! Centralized orchestration (§V-H) works entirely through control messages:
+//! the task coordinator publishes [`ExecuteAgent`] instructions, agent hosts
+//! pick up the ones addressed to them, and publish an [`AgentReport`] with
+//! actual QoS costs when done. Keeping the protocol on streams (rather than
+//! direct calls) is what makes execution observable and replayable.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use blueprint_streams::Message;
+
+use crate::param::Inputs;
+
+/// Well-known control operation names.
+pub mod ops {
+    /// Instruction to execute an agent with given inputs.
+    pub const EXECUTE_AGENT: &str = "execute-agent";
+    /// Report of a completed (or failed) agent execution.
+    pub const AGENT_REPORT: &str = "agent-report";
+    /// A task plan emitted by the task planner.
+    pub const TASK_PLAN: &str = "task-plan";
+    /// A data plan emitted by the data planner.
+    pub const DATA_PLAN: &str = "data-plan";
+    /// Agent announces joining a session.
+    pub const AGENT_ENTER: &str = "agent-enter";
+    /// Agent announces leaving a session.
+    pub const AGENT_EXIT: &str = "agent-exit";
+}
+
+/// Instruction addressed to a specific agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecuteAgent {
+    /// Target agent name.
+    pub agent: String,
+    /// Input values for the processor.
+    pub inputs: Inputs,
+    /// Stream the outputs should be published to.
+    pub output_stream: String,
+    /// Task (plan execution) this instruction belongs to.
+    pub task_id: String,
+    /// Plan node this instruction executes.
+    pub node_id: String,
+}
+
+impl ExecuteAgent {
+    /// Wraps the instruction in a control message tagged `execute-agent`
+    /// and with the target agent name as an additional tag, so hosts can
+    /// subscribe selectively.
+    pub fn into_message(self) -> Message {
+        let value = serde_json::to_value(&self).expect("ExecuteAgent serializes");
+        Message::control(ops::EXECUTE_AGENT, value).with_tag(format!("agent:{}", self.agent))
+    }
+
+    /// Parses an instruction out of a control message; `None` when the
+    /// message is not an `execute-agent` op.
+    pub fn from_message(msg: &Message) -> Option<Self> {
+        if msg.control_op() != Some(ops::EXECUTE_AGENT) {
+            return None;
+        }
+        serde_json::from_value(msg.control_args()?.clone()).ok()
+    }
+}
+
+/// Execution report published by an agent host after a processor run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentReport {
+    /// Reporting agent.
+    pub agent: String,
+    /// Task this execution belonged to (empty for autonomous fires).
+    pub task_id: String,
+    /// Plan node (empty for autonomous fires).
+    pub node_id: String,
+    /// Whether the processor succeeded.
+    pub ok: bool,
+    /// Error description when `ok` is false.
+    pub error: Option<String>,
+    /// Actual monetary cost incurred (cost units).
+    pub cost: f64,
+    /// Actual latency in simulated microseconds.
+    pub latency_micros: u64,
+    /// Outputs produced (echoed for budget/quality audit), as JSON object.
+    pub outputs: Value,
+}
+
+impl AgentReport {
+    /// Wraps the report in a control message tagged `agent-report`.
+    pub fn into_message(self) -> Message {
+        let value = serde_json::to_value(&self).expect("AgentReport serializes");
+        Message::control(ops::AGENT_REPORT, value).with_tag(format!("task:{}", self.task_id))
+    }
+
+    /// Parses a report out of a control message.
+    pub fn from_message(msg: &Message) -> Option<Self> {
+        if msg.control_op() != Some(ops::AGENT_REPORT) {
+            return None;
+        }
+        serde_json::from_value(msg.control_args()?.clone()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_streams::Tag;
+    use serde_json::json;
+
+    #[test]
+    fn execute_agent_round_trip() {
+        let exec = ExecuteAgent {
+            agent: "summarizer".into(),
+            inputs: Inputs::new().with("text", json!("hello")),
+            output_stream: "session:1:summary".into(),
+            task_id: "t1".into(),
+            node_id: "n1".into(),
+        };
+        let msg = exec.clone().into_message();
+        assert!(msg.has_tag(&Tag::new("execute-agent")));
+        assert!(msg.has_tag(&Tag::new("agent:summarizer")));
+        let back = ExecuteAgent::from_message(&msg).unwrap();
+        assert_eq!(back, exec);
+    }
+
+    #[test]
+    fn execute_agent_ignores_other_ops() {
+        let msg = Message::control("other-op", json!({}));
+        assert!(ExecuteAgent::from_message(&msg).is_none());
+        assert!(ExecuteAgent::from_message(&Message::data("x")).is_none());
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let report = AgentReport {
+            agent: "nl2q".into(),
+            task_id: "t9".into(),
+            node_id: "n2".into(),
+            ok: false,
+            error: Some("no matching table".into()),
+            cost: 0.25,
+            latency_micros: 1500,
+            outputs: json!({}),
+        };
+        let msg = report.clone().into_message();
+        assert!(msg.has_tag(&Tag::new("agent-report")));
+        assert!(msg.has_tag(&Tag::new("task:t9")));
+        let back = AgentReport::from_message(&msg).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn malformed_args_yield_none() {
+        let msg = Message::control(ops::EXECUTE_AGENT, json!({"agent": 42}));
+        assert!(ExecuteAgent::from_message(&msg).is_none());
+    }
+}

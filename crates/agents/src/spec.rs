@@ -1,0 +1,303 @@
+//! Agent specifications: the declarative half of an agent.
+//!
+//! The spec is what the agent registry stores (§V-C): name, description,
+//! typed parameters, stream inclusion/exclusion rules, cost profile, and
+//! deployment configuration. The host uses it to wire subscriptions and to
+//! validate inputs; planners use it to match outputs to inputs.
+
+use serde::{Deserialize, Serialize};
+
+use blueprint_streams::{Selector, TagFilter};
+
+use crate::error::AgentError;
+use crate::param::ParamSpec;
+use crate::profile::{CostProfile, Deployment};
+use crate::trigger::PairingPolicy;
+use crate::Result;
+
+/// How the agent is activated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ActivationMode {
+    /// Only by explicit `execute-agent` control messages (centralized).
+    #[default]
+    Centralized,
+    /// Only by monitoring stream/message tags (decentralized, autonomous).
+    Decentralized,
+    /// Both: responds to instructions *and* monitors tags.
+    Hybrid,
+}
+
+impl ActivationMode {
+    /// True if the agent listens for explicit instructions.
+    pub fn accepts_instructions(self) -> bool {
+        matches!(self, ActivationMode::Centralized | ActivationMode::Hybrid)
+    }
+
+    /// True if the agent autonomously monitors tagged streams.
+    pub fn monitors_tags(self) -> bool {
+        matches!(self, ActivationMode::Decentralized | ActivationMode::Hybrid)
+    }
+}
+
+/// Binds one input parameter to a stream subscription.
+///
+/// Each binding is a "place" in the agent's trigger net (Fig 4): messages
+/// matching `selector` + `filter` become tokens for parameter `param`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamBinding {
+    /// Input parameter this binding feeds.
+    pub param: String,
+    /// Which streams to watch.
+    pub selector: Selector,
+    /// Which messages on those streams count (inclusion/exclusion rules).
+    pub filter: TagFilter,
+}
+
+impl StreamBinding {
+    /// Binds `param` to all messages carrying any of the given tags.
+    pub fn tagged<I, T>(param: impl Into<String>, tags: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<blueprint_streams::Tag>,
+    {
+        StreamBinding {
+            param: param.into(),
+            selector: Selector::AllStreams,
+            filter: TagFilter::any_of(tags),
+        }
+    }
+
+    /// Binds `param` to every message of a specific stream.
+    pub fn stream(param: impl Into<String>, stream: impl Into<blueprint_streams::StreamId>) -> Self {
+        StreamBinding {
+            param: param.into(),
+            selector: Selector::Stream(stream.into()),
+            filter: TagFilter::all(),
+        }
+    }
+}
+
+/// The full declarative description of an agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentSpec {
+    /// Unique agent name (kebab-case by convention, e.g. `job-matcher`).
+    pub name: String,
+    /// Natural-language description used for registry search and planning.
+    pub description: String,
+    /// Input parameter declarations.
+    pub inputs: Vec<ParamSpec>,
+    /// Output parameter declarations.
+    pub outputs: Vec<ParamSpec>,
+    /// Stream bindings for decentralized activation (one per bound input).
+    pub bindings: Vec<StreamBinding>,
+    /// How tokens from multiple bindings are paired when firing.
+    pub pairing: PairingPolicy,
+    /// Activation mode.
+    pub activation: ActivationMode,
+    /// Tags this agent attaches to its outputs (drives downstream
+    /// tag-chained workflows, e.g. NL2Q tagging its output `sql`).
+    pub output_tags: Vec<String>,
+    /// QoS statistics for planning and budgeting.
+    pub profile: CostProfile,
+    /// Container/deployment configuration.
+    pub deployment: Deployment,
+}
+
+impl AgentSpec {
+    /// Creates a minimal centralized agent spec.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        AgentSpec {
+            name: name.into(),
+            description: description.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            bindings: Vec::new(),
+            pairing: PairingPolicy::Zip,
+            activation: ActivationMode::Centralized,
+            output_tags: Vec::new(),
+            profile: CostProfile::FREE,
+            deployment: Deployment::default(),
+        }
+    }
+
+    /// Builder-style: adds an input parameter.
+    pub fn with_input(mut self, p: ParamSpec) -> Self {
+        self.inputs.push(p);
+        self
+    }
+
+    /// Builder-style: adds an output parameter.
+    pub fn with_output(mut self, p: ParamSpec) -> Self {
+        self.outputs.push(p);
+        self
+    }
+
+    /// Builder-style: adds a stream binding and switches on tag monitoring.
+    pub fn with_binding(mut self, b: StreamBinding) -> Self {
+        self.bindings.push(b);
+        if self.activation == ActivationMode::Centralized {
+            self.activation = ActivationMode::Hybrid;
+        }
+        self
+    }
+
+    /// Builder-style: sets the activation mode.
+    pub fn with_activation(mut self, mode: ActivationMode) -> Self {
+        self.activation = mode;
+        self
+    }
+
+    /// Builder-style: sets the pairing policy.
+    pub fn with_pairing(mut self, pairing: PairingPolicy) -> Self {
+        self.pairing = pairing;
+        self
+    }
+
+    /// Builder-style: sets the cost profile.
+    pub fn with_profile(mut self, profile: CostProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Builder-style: sets the deployment.
+    pub fn with_deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Builder-style: adds an output tag.
+    pub fn with_output_tag(mut self, tag: impl Into<String>) -> Self {
+        self.output_tags.push(tag.into());
+        self
+    }
+
+    /// Finds an input parameter spec by name.
+    pub fn input(&self, name: &str) -> Option<&ParamSpec> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Finds an output parameter spec by name.
+    pub fn output(&self, name: &str) -> Option<&ParamSpec> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+
+    /// Validates internal consistency of the spec.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.trim().is_empty() {
+            return Err(AgentError::InvalidSpec("empty agent name".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.inputs {
+            if !seen.insert(&p.name) {
+                return Err(AgentError::InvalidSpec(format!(
+                    "duplicate input parameter: {}",
+                    p.name
+                )));
+            }
+        }
+        let mut seen_out = std::collections::HashSet::new();
+        for p in &self.outputs {
+            if !seen_out.insert(&p.name) {
+                return Err(AgentError::InvalidSpec(format!(
+                    "duplicate output parameter: {}",
+                    p.name
+                )));
+            }
+        }
+        for b in &self.bindings {
+            if self.input(&b.param).is_none() {
+                return Err(AgentError::InvalidSpec(format!(
+                    "binding references unknown input parameter: {}",
+                    b.param
+                )));
+            }
+        }
+        if self.activation.monitors_tags() && self.bindings.is_empty() {
+            return Err(AgentError::InvalidSpec(
+                "tag-monitoring agent has no stream bindings".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::DataType;
+
+    fn spec() -> AgentSpec {
+        AgentSpec::new("job-matcher", "match seekers to jobs")
+            .with_input(ParamSpec::required("job_seeker_data", "profile", DataType::Json))
+            .with_input(ParamSpec::required("jobs", "job rows", DataType::Table))
+            .with_input(ParamSpec::optional("criteria", "conditions", DataType::Text))
+            .with_output(ParamSpec::required("matches", "ranked matches", DataType::Table))
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        let s = spec().with_input(ParamSpec::required("jobs", "again", DataType::Table));
+        assert!(matches!(s.validate(), Err(AgentError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        let s = spec().with_output(ParamSpec::required("matches", "again", DataType::Table));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn binding_to_unknown_param_rejected() {
+        let s = spec().with_binding(StreamBinding::tagged("nope", ["x"]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        assert!(AgentSpec::new("  ", "d").validate().is_err());
+    }
+
+    #[test]
+    fn monitoring_without_bindings_rejected() {
+        let s = spec().with_activation(ActivationMode::Decentralized);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn adding_binding_upgrades_activation() {
+        let s = spec().with_binding(StreamBinding::tagged("criteria", ["criteria"]));
+        assert_eq!(s.activation, ActivationMode::Hybrid);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn activation_mode_predicates() {
+        assert!(ActivationMode::Centralized.accepts_instructions());
+        assert!(!ActivationMode::Centralized.monitors_tags());
+        assert!(ActivationMode::Decentralized.monitors_tags());
+        assert!(!ActivationMode::Decentralized.accepts_instructions());
+        assert!(ActivationMode::Hybrid.accepts_instructions());
+        assert!(ActivationMode::Hybrid.monitors_tags());
+    }
+
+    #[test]
+    fn lookup_params() {
+        let s = spec();
+        assert!(s.input("jobs").is_some());
+        assert!(s.input("nope").is_none());
+        assert!(s.output("matches").is_some());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = spec().with_binding(StreamBinding::stream("criteria", "session:1:criteria"));
+        let j = serde_json::to_string(&s).unwrap();
+        let back: AgentSpec = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,238 @@
+//! PetriNet-inspired multi-stream triggering (§V-B, Fig 4).
+//!
+//! Each bound input parameter is a *place* holding tokens (messages that
+//! matched the binding). A *transition* — invoking the processor — fires when
+//! every place holds at least one token, consuming one token per place to
+//! form the input tuple. The [`PairingPolicy`] controls how tokens are
+//! matched across places.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::param::Inputs;
+
+/// How tokens from multiple places are combined when the transition fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PairingPolicy {
+    /// FIFO join: consume the oldest token from every place. Each token is
+    /// used exactly once (classic PetriNet semantics).
+    #[default]
+    Zip,
+    /// Consume the newest token from every place, discarding older queued
+    /// tokens — appropriate when only the latest value matters (e.g. the
+    /// latest user profile).
+    Latest,
+    /// Like `Zip` for the *driving* place (the first declared binding), but
+    /// other places retain their token as sticky context: once filled, every
+    /// subsequent arrival on the driving place fires with the retained
+    /// values.
+    Sticky,
+}
+
+/// Runtime state of the agent's trigger net.
+#[derive(Debug, Clone)]
+pub struct TriggerNet {
+    policy: PairingPolicy,
+    /// Place order matters for `Sticky` (first place drives).
+    order: Vec<String>,
+    places: BTreeMap<String, VecDeque<Value>>,
+    fires: u64,
+}
+
+impl TriggerNet {
+    /// Creates a net with one place per parameter name, in declaration order.
+    pub fn new<I, S>(params: I, policy: PairingPolicy) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let order: Vec<String> = params.into_iter().map(Into::into).collect();
+        let places = order
+            .iter()
+            .map(|p| (p.clone(), VecDeque::new()))
+            .collect();
+        TriggerNet {
+            policy,
+            order,
+            places,
+            fires: 0,
+        }
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of times the transition has fired.
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+
+    /// Tokens currently queued at a place (0 for unknown places).
+    pub fn queued(&self, param: &str) -> usize {
+        self.places.get(param).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Offers a token to a place. Returns the fired input tuple when the
+    /// transition becomes enabled, otherwise `None`. Tokens offered to
+    /// unknown places are ignored.
+    pub fn offer(&mut self, param: &str, token: Value) -> Option<Inputs> {
+        match self.places.get_mut(param) {
+            Some(queue) => queue.push_back(token),
+            None => return None,
+        }
+        self.try_fire()
+    }
+
+    /// Attempts to fire: succeeds when every place holds at least one token.
+    pub fn try_fire(&mut self) -> Option<Inputs> {
+        if self.order.is_empty() || !self.enabled() {
+            return None;
+        }
+        let mut inputs = Inputs::new();
+        match self.policy {
+            PairingPolicy::Zip => {
+                for name in &self.order {
+                    let queue = self.places.get_mut(name).expect("place exists");
+                    inputs.insert(name.clone(), queue.pop_front().expect("non-empty"));
+                }
+            }
+            PairingPolicy::Latest => {
+                for name in &self.order {
+                    let queue = self.places.get_mut(name).expect("place exists");
+                    let newest = queue.pop_back().expect("non-empty");
+                    queue.clear();
+                    inputs.insert(name.clone(), newest);
+                }
+            }
+            PairingPolicy::Sticky => {
+                for (i, name) in self.order.iter().enumerate() {
+                    let queue = self.places.get_mut(name).expect("place exists");
+                    if i == 0 {
+                        inputs.insert(name.clone(), queue.pop_front().expect("non-empty"));
+                    } else {
+                        // Retain as sticky context: peek the newest, keep it.
+                        let kept = queue.back().expect("non-empty").clone();
+                        if queue.len() > 1 {
+                            // Old context values are superseded.
+                            let newest = queue.pop_back().expect("non-empty");
+                            queue.clear();
+                            queue.push_back(newest);
+                        }
+                        inputs.insert(name.clone(), kept);
+                    }
+                }
+            }
+        }
+        self.fires += 1;
+        Some(inputs)
+    }
+
+    /// True when every place holds at least one token.
+    pub fn enabled(&self) -> bool {
+        !self.order.is_empty() && self.places.values().all(|q| !q.is_empty())
+    }
+
+    /// Discards all queued tokens.
+    pub fn clear(&mut self) {
+        for q in self.places.values_mut() {
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn single_place_fires_immediately() {
+        let mut net = TriggerNet::new(["text"], PairingPolicy::Zip);
+        let fired = net.offer("text", json!("hello")).unwrap();
+        assert_eq!(fired.get("text"), Some(&json!("hello")));
+        assert_eq!(net.fires(), 1);
+    }
+
+    #[test]
+    fn join_waits_for_all_places() {
+        let mut net = TriggerNet::new(["profile", "jobs"], PairingPolicy::Zip);
+        assert!(net.offer("profile", json!({"name": "ada"})).is_none());
+        assert!(!net.enabled());
+        let fired = net.offer("jobs", json!([{"title": "ds"}])).unwrap();
+        assert_eq!(fired.len(), 2);
+        assert_eq!(net.queued("profile"), 0);
+        assert_eq!(net.queued("jobs"), 0);
+    }
+
+    #[test]
+    fn zip_pairs_fifo() {
+        let mut net = TriggerNet::new(["a", "b"], PairingPolicy::Zip);
+        net.offer("a", json!(1));
+        net.offer("a", json!(2));
+        let first = net.offer("b", json!("x")).unwrap();
+        assert_eq!(first.get("a"), Some(&json!(1)));
+        let second = net.offer("b", json!("y")).unwrap();
+        assert_eq!(second.get("a"), Some(&json!(2)));
+        assert_eq!(second.get("b"), Some(&json!("y")));
+    }
+
+    #[test]
+    fn latest_discards_stale_tokens() {
+        let mut net = TriggerNet::new(["a", "b"], PairingPolicy::Latest);
+        net.offer("a", json!(1));
+        net.offer("a", json!(2));
+        net.offer("a", json!(3));
+        let fired = net.offer("b", json!("x")).unwrap();
+        assert_eq!(fired.get("a"), Some(&json!(3)));
+        assert_eq!(net.queued("a"), 0);
+    }
+
+    #[test]
+    fn sticky_context_is_reused() {
+        let mut net = TriggerNet::new(["query", "profile"], PairingPolicy::Sticky);
+        net.offer("query", json!("q1"));
+        let f1 = net.offer("profile", json!({"v": 1})).unwrap();
+        assert_eq!(f1.get("query"), Some(&json!("q1")));
+        // Profile is retained: next query fires without a new profile token.
+        let f2 = net.offer("query", json!("q2")).unwrap();
+        assert_eq!(f2.get("profile"), Some(&json!({"v": 1})));
+        assert_eq!(f2.get("query"), Some(&json!("q2")));
+        assert_eq!(net.fires(), 2);
+    }
+
+    #[test]
+    fn sticky_context_updates_to_newest() {
+        let mut net = TriggerNet::new(["query", "profile"], PairingPolicy::Sticky);
+        net.offer("profile", json!({"v": 1}));
+        net.offer("profile", json!({"v": 2}));
+        let f = net.offer("query", json!("q")).unwrap();
+        assert_eq!(f.get("profile"), Some(&json!({"v": 2})));
+        assert_eq!(net.queued("profile"), 1);
+    }
+
+    #[test]
+    fn unknown_place_is_ignored() {
+        let mut net = TriggerNet::new(["a"], PairingPolicy::Zip);
+        assert!(net.offer("zzz", json!(1)).is_none());
+        assert_eq!(net.queued("zzz"), 0);
+    }
+
+    #[test]
+    fn empty_net_never_fires() {
+        let mut net = TriggerNet::new(Vec::<String>::new(), PairingPolicy::Zip);
+        assert!(!net.enabled());
+        assert!(net.try_fire().is_none());
+    }
+
+    #[test]
+    fn clear_discards_tokens() {
+        let mut net = TriggerNet::new(["a", "b"], PairingPolicy::Zip);
+        net.offer("a", json!(1));
+        net.clear();
+        assert!(net.offer("b", json!(2)).is_none());
+    }
+}

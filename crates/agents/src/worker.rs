@@ -1,0 +1,187 @@
+//! Worker pools: per-agent concurrency and fault isolation.
+//!
+//! When an agent is triggered it "can further spawn a worker, running on its
+//! own thread, while the agent continues to listen to other potential
+//! streams" (§V-B). Each [`WorkerPool`] owns a fixed set of threads fed from
+//! a job queue; a panicking job is caught and counted — the worker survives
+//! (restart-on-failure, Fig 2) and the panic is surfaced to the host as an
+//! [`AgentError::ProcessorPanicked`](crate::error::AgentError).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+/// A job executed on the pool. The job itself reports its outcome through
+/// whatever channel it closes over; the pool only tracks panics.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing pool activity.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Jobs that ran to completion (including ones whose closure reported a
+    /// task-level error).
+    pub completed: u64,
+    /// Jobs that panicked and were contained.
+    pub panics: u64,
+}
+
+/// Fixed-size pool of worker threads with panic containment.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    completed: Arc<AtomicU64>,
+    panics: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `size` threads (minimum 1), named for the agent.
+    pub fn new(agent: &str, size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let completed = Arc::new(AtomicU64::new(0));
+        let panics = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = rx.clone();
+            let completed = Arc::clone(&completed);
+            let panics = Arc::clone(&panics);
+            let name = format!("agent-{agent}-worker-{i}");
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        match catch_unwind(AssertUnwindSafe(job)) {
+                            Ok(()) => {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            completed,
+            panics,
+        }
+    }
+
+    /// Enqueues a job. Returns `false` if the pool was shut down.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Snapshot of pool counters.
+    pub fn stats(&self) -> WorkerStats {
+        WorkerStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Drains the queue and joins all workers.
+    pub fn shutdown(&mut self) {
+        self.tx = None; // closing the channel ends the worker loops
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_count() {
+        let pool = WorkerPool::new("echo", 2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            assert!(pool.submit(move || tx.send(i).unwrap()));
+        }
+        let mut got: Vec<i32> = (0..10)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        // Counters are updated after the job returns; wait briefly.
+        for _ in 0..100 {
+            if pool.stats().completed == 10 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.stats().completed, 10);
+        assert_eq!(pool.stats().panics, 0);
+    }
+
+    #[test]
+    fn panicking_job_is_contained() {
+        let pool = WorkerPool::new("flaky", 1);
+        pool.submit(|| panic!("boom"));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(42).unwrap());
+        // The worker survived the panic and processed the next job.
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), 42);
+        for _ in 0..100 {
+            if pool.stats().panics == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.stats().panics, 1);
+    }
+
+    #[test]
+    fn minimum_one_worker() {
+        let pool = WorkerPool::new("tiny", 0);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs() {
+        let mut pool = WorkerPool::new("done", 1);
+        pool.shutdown();
+        assert!(!pool.submit(|| {}));
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = WorkerPool::new("drop", 4);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(()).unwrap();
+            });
+        }
+        drop(pool); // must join without deadlock
+        assert_eq!(rx.try_iter().count(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for PetriNet triggering invariants (Fig 4).
+
+use blueprint_agents::{PairingPolicy, TriggerNet};
+use proptest::prelude::*;
+use serde_json::json;
+
+/// A random interleaving of token arrivals on two places.
+fn arrivals() -> impl Strategy<Value = Vec<(bool, u32)>> {
+    prop::collection::vec((any::<bool>(), 0u32..1000), 0..80)
+}
+
+proptest! {
+    /// Zip: the number of fires equals min(tokens_a, tokens_b) regardless of
+    /// the interleaving.
+    #[test]
+    fn zip_fire_count_is_min(seq in arrivals()) {
+        let mut net = TriggerNet::new(["a", "b"], PairingPolicy::Zip);
+        let (mut count_a, mut count_b) = (0u64, 0u64);
+        for (is_a, v) in &seq {
+            let place = if *is_a { count_a += 1; "a" } else { count_b += 1; "b" };
+            net.offer(place, json!(v));
+        }
+        prop_assert_eq!(net.fires(), count_a.min(count_b));
+        // Leftover tokens are exactly the surplus.
+        prop_assert_eq!(net.queued("a") as u64, count_a - net.fires());
+        prop_assert_eq!(net.queued("b") as u64, count_b - net.fires());
+    }
+
+    /// Zip preserves FIFO pairing: the k-th fire carries the k-th token of
+    /// each place.
+    #[test]
+    fn zip_pairs_in_fifo_order(values_a in prop::collection::vec(0u32..1000, 1..20)) {
+        let mut net = TriggerNet::new(["a", "b"], PairingPolicy::Zip);
+        for v in &values_a {
+            net.offer("a", json!(v));
+        }
+        for (k, expected) in values_a.iter().enumerate() {
+            let fired = net.offer("b", json!(k)).expect("fires");
+            prop_assert_eq!(fired.get("a"), Some(&json!(expected)));
+            prop_assert_eq!(fired.get("b"), Some(&json!(k)));
+        }
+    }
+
+    /// Latest: each fire carries the newest token of every place, and the
+    /// places are drained afterwards.
+    #[test]
+    fn latest_takes_newest_and_drains(backlog in prop::collection::vec(0u32..1000, 1..20)) {
+        let mut net = TriggerNet::new(["a", "b"], PairingPolicy::Latest);
+        for v in &backlog {
+            net.offer("a", json!(v));
+        }
+        let fired = net.offer("b", json!("go")).expect("fires");
+        prop_assert_eq!(fired.get("a"), Some(&json!(backlog.last().unwrap())));
+        prop_assert_eq!(net.queued("a"), 0);
+        prop_assert_eq!(net.queued("b"), 0);
+    }
+
+    /// Sticky: once context is set, every driver token fires exactly once
+    /// with the retained context value.
+    #[test]
+    fn sticky_fires_once_per_driver(drivers in prop::collection::vec(0u32..1000, 1..20)) {
+        let mut net = TriggerNet::new(["driver", "ctx"], PairingPolicy::Sticky);
+        net.offer("ctx", json!("context-value"));
+        // Context alone never fires.
+        prop_assert_eq!(net.fires(), 0);
+        for (i, d) in drivers.iter().enumerate() {
+            let fired = net.offer("driver", json!(d)).expect("fires per driver token");
+            prop_assert_eq!(fired.get("ctx"), Some(&json!("context-value")));
+            prop_assert_eq!(net.fires(), (i + 1) as u64);
+        }
+    }
+
+    /// A net never fires while any place is empty, for every policy.
+    #[test]
+    fn no_policy_fires_with_empty_place(
+        policy_idx in 0usize..3,
+        tokens in prop::collection::vec(0u32..100, 0..30),
+    ) {
+        let policy = [PairingPolicy::Zip, PairingPolicy::Latest, PairingPolicy::Sticky][policy_idx];
+        let mut net = TriggerNet::new(["a", "b", "never-filled"], policy);
+        for (i, v) in tokens.iter().enumerate() {
+            let place = if i % 2 == 0 { "a" } else { "b" };
+            prop_assert!(net.offer(place, json!(v)).is_none());
+        }
+        prop_assert_eq!(net.fires(), 0);
+        prop_assert!(!net.enabled());
+    }
+}

@@ -1,0 +1,114 @@
+//! B7 — the relational substrate: scan vs index probe, joins, and
+//! aggregation at increasing table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blueprint_core::datastore::{Datum, RelationalDb};
+
+fn seeded_db(rows: usize, with_index: bool) -> RelationalDb {
+    let db = RelationalDb::new();
+    db.execute("CREATE TABLE jobs (id INT, title TEXT, city TEXT, salary FLOAT, company_id INT)")
+        .unwrap();
+    db.execute("CREATE TABLE companies (id INT, name TEXT, size INT)")
+        .unwrap();
+    const CITIES: [&str; 8] = [
+        "san francisco",
+        "oakland",
+        "san jose",
+        "berkeley",
+        "new york",
+        "seattle",
+        "austin",
+        "boston",
+    ];
+    const TITLES: [&str; 4] = ["data scientist", "ml engineer", "data analyst", "recruiter"];
+    for i in 0..rows {
+        db.insert_row(
+            "jobs",
+            vec![
+                Datum::Int(i as i64),
+                Datum::Text(TITLES[i % TITLES.len()].into()),
+                Datum::Text(CITIES[i % CITIES.len()].into()),
+                Datum::Float(100_000.0 + (i % 90) as f64 * 1_000.0),
+                Datum::Int((i % 50) as i64),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 0..50 {
+        db.insert_row(
+            "companies",
+            vec![
+                Datum::Int(i),
+                Datum::Text(format!("company-{i}")),
+                Datum::Int(i * 100),
+            ],
+        )
+        .unwrap();
+    }
+    if with_index {
+        db.create_index("jobs", "city").unwrap();
+    }
+    db
+}
+
+fn bench_scan_vs_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datastore/point_lookup");
+    group.sample_size(20);
+    for rows in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("scan", rows), &rows, |b, &rows| {
+            let db = seeded_db(rows, false);
+            b.iter(|| {
+                db.execute("SELECT COUNT(*) FROM jobs WHERE city = 'oakland'")
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("index", rows), &rows, |b, &rows| {
+            let db = seeded_db(rows, true);
+            b.iter(|| {
+                db.execute("SELECT COUNT(*) FROM jobs WHERE city = 'oakland'")
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datastore/join");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("hash_join", rows), &rows, |b, &rows| {
+            let db = seeded_db(rows, false);
+            b.iter(|| {
+                db.execute(
+                    "SELECT COUNT(*) FROM jobs j JOIN companies c ON j.company_id = c.id \
+                     WHERE c.size > 1000",
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datastore/aggregate");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("group_by", rows), &rows, |b, &rows| {
+            let db = seeded_db(rows, false);
+            b.iter(|| {
+                db.execute(
+                    "SELECT city, COUNT(*) AS n, AVG(salary) AS s FROM jobs \
+                     GROUP BY city ORDER BY n DESC",
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_vs_index, bench_join, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! B5 — optimizer (§V-G): Pareto frontier extraction, constrained
+//! selection, and plan-level tier assignment (exhaustive vs greedy), plus
+//! the A2 ablation (optimized vs naive source selection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blueprint_core::optimizer::{
+    optimize_choices, pareto_frontier, select, Candidate, CostProfile, Objective, QosConstraints,
+};
+
+fn tiers() -> Vec<CostProfile> {
+    vec![
+        CostProfile::new(10.0, 300_000, 0.98),
+        CostProfile::new(1.0, 80_000, 0.90),
+        CostProfile::new(0.1, 20_000, 0.75),
+    ]
+}
+
+fn candidates(n: usize) -> Vec<Candidate<usize>> {
+    // A deterministic spread of profiles across the trade-off space.
+    (0..n)
+        .map(|i| {
+            let cost = 0.1 + (i % 17) as f64 * 0.37;
+            let latency = 10_000 + (i % 13) as u64 * 17_000;
+            let accuracy = 0.6 + (i % 11) as f64 * 0.035;
+            Candidate::new(i, CostProfile::new(cost, latency, accuracy))
+        })
+        .collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/pareto");
+    group.sample_size(20);
+    for n in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::new("candidates", n), &n, |b, &n| {
+            let cands = candidates(n);
+            b.iter(|| pareto_frontier(&cands).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/select");
+    group.sample_size(20);
+    let cands = candidates(1_000);
+    let constraints = QosConstraints::none()
+        .with_max_cost(3.0)
+        .with_min_accuracy(0.8);
+    group.bench_function("constrained_1000", |b| {
+        b.iter(|| select(&cands, Objective::balanced(), &constraints));
+    });
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/assignment");
+    group.sample_size(10);
+    // Exhaustive region: 3^7 = 2187 ≤ 4096.
+    group.bench_function("exhaustive_7_nodes", |b| {
+        let nodes: Vec<Vec<CostProfile>> = (0..7).map(|_| tiers()).collect();
+        let constraints = QosConstraints::none().with_min_accuracy(0.4);
+        b.iter(|| optimize_choices(&nodes, Objective::MinCost, &constraints).unwrap());
+    });
+    // Greedy region: 3^20.
+    group.bench_function("greedy_20_nodes", |b| {
+        let nodes: Vec<Vec<CostProfile>> = (0..20).map(|_| tiers()).collect();
+        let constraints = QosConstraints::none().with_min_accuracy(0.05);
+        b.iter(|| optimize_choices(&nodes, Objective::MinCost, &constraints).unwrap());
+    });
+    group.finish();
+}
+
+/// A2 ablation — optimized vs naive source selection quality (reported as a
+/// bench so the numbers land in bench output; the assertion is the point).
+fn bench_ablation_optimizer_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/ablation_a2");
+    group.sample_size(10);
+    let nodes: Vec<Vec<CostProfile>> = (0..5).map(|_| tiers()).collect();
+    let constraints = QosConstraints::none().with_min_accuracy(0.5);
+
+    // Naive: always the most accurate tier.
+    let naive_cost: f64 = nodes.iter().map(|opts| opts[0].cost_per_call).sum();
+    // Optimized under the same floor.
+    let choice = optimize_choices(&nodes, Objective::MinCost, &constraints).unwrap();
+    let optimized_cost: f64 = choice
+        .iter()
+        .enumerate()
+        .map(|(n, &i)| nodes[n][i].cost_per_call)
+        .sum();
+    assert!(
+        optimized_cost < naive_cost,
+        "optimizer must beat always-premium: {optimized_cost} vs {naive_cost}"
+    );
+    group.bench_function("optimize_5_nodes_floor_0.5", |b| {
+        b.iter(|| optimize_choices(&nodes, Objective::MinCost, &constraints).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pareto,
+    bench_select,
+    bench_assignment,
+    bench_ablation_optimizer_quality
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! B4 — planning latency (§V-F, §V-G): task planning vs registry size and
+//! data-plan construction for the running example.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blueprint_bench::{bench_blueprint, RUNNING_EXAMPLE};
+use blueprint_core::agents::{AgentSpec, CostProfile, DataType, ParamSpec};
+use blueprint_core::llmsim::{ModelProfile, SimLlm};
+use blueprint_core::planner::TaskPlanner;
+use blueprint_core::registry::AgentRegistry;
+
+/// The Fig 6 agent suite plus `extra` distractor agents.
+fn registry_with(extra: usize) -> Arc<AgentRegistry> {
+    let r = AgentRegistry::new();
+    for (name, desc) in [
+        ("profiler", "collect job seeker profile information from the user"),
+        ("job-matcher", "match the job seeker profile with available job listings"),
+        ("presenter", "present the matched results to the end user"),
+    ] {
+        r.register(
+            AgentSpec::new(name, desc)
+                .with_input(ParamSpec::required("input", "the input", DataType::Text))
+                .with_output(ParamSpec::required("output", "the output", DataType::Json))
+                .with_profile(CostProfile::new(1.0, 10_000, 0.9)),
+        )
+        .unwrap();
+    }
+    for i in 0..extra {
+        r.register(
+            AgentSpec::new(
+                format!("distractor-{i}"),
+                format!("unrelated service number {i} handling billing and invoices"),
+            )
+            .with_input(ParamSpec::required("input", "x", DataType::Any)),
+        )
+        .unwrap();
+    }
+    Arc::new(r)
+}
+
+fn bench_task_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/task_plan");
+    group.sample_size(20);
+    for extra in [0usize, 100, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("registry_size", extra + 3),
+            &extra,
+            |b, &extra| {
+                let planner = TaskPlanner::new(
+                    registry_with(extra),
+                    Arc::new(SimLlm::new(ModelProfile::large())),
+                );
+                b.iter(|| planner.plan(RUNNING_EXAMPLE).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_data_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/data_plan");
+    group.sample_size(10);
+    let bp = bench_blueprint();
+    group.bench_function("fig7_decomposition", |b| {
+        b.iter(|| bp.data_planner().plan_job_query(RUNNING_EXAMPLE).unwrap());
+    });
+    group.bench_function("fig7_execution", |b| {
+        let plan = bp.data_planner().plan_job_query(RUNNING_EXAMPLE).unwrap();
+        b.iter(|| bp.data_planner().execute(&plan).unwrap());
+    });
+    let dataset = bp.dataset().unwrap();
+    group.bench_function("direct_nl2q", |b| {
+        b.iter(|| {
+            bp.data_planner()
+                .plan_nl2q_direct(RUNNING_EXAMPLE, &dataset.db, "hr-db")
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_task_planning, bench_data_planning);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! B3 — registry search (§V-C): keyword+vector search latency vs registry
+//! size, and usage-boosted re-ranking cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blueprint_core::agents::{AgentSpec, DataType, ParamSpec};
+use blueprint_core::registry::AgentRegistry;
+
+const VERBS: [&str; 8] = [
+    "match", "rank", "summarize", "classify", "extract", "translate", "present", "verify",
+];
+const OBJECTS: [&str; 8] = [
+    "job postings",
+    "candidate profiles",
+    "query results",
+    "user intents",
+    "skills from resumes",
+    "natural language questions",
+    "search results",
+    "generated content",
+];
+
+fn seeded_registry(n: usize) -> AgentRegistry {
+    let registry = AgentRegistry::new();
+    for i in 0..n {
+        let verb = VERBS[i % VERBS.len()];
+        let object = OBJECTS[(i / VERBS.len()) % OBJECTS.len()];
+        let spec = AgentSpec::new(
+            format!("agent-{i}"),
+            format!("{verb} {object} for enterprise workflow number {i}"),
+        )
+        .with_input(ParamSpec::required("input", "the input", DataType::Any))
+        .with_output(ParamSpec::required("output", "the output", DataType::Any));
+        registry.register(spec).unwrap();
+    }
+    registry
+}
+
+fn bench_search_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry/search");
+    group.sample_size(20);
+    for n in [10usize, 100, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("agents", n), &n, |b, &n| {
+            let registry = seeded_registry(n);
+            b.iter(|| registry.search("match candidate profiles against job postings", 5));
+        });
+    }
+    group.finish();
+}
+
+fn bench_usage_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry/record_usage");
+    group.sample_size(20);
+    group.bench_function("with_embedding_refresh", |b| {
+        let registry = seeded_registry(100);
+        b.iter(|| registry.record_usage("agent-0", "match job postings please"));
+    });
+    group.finish();
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry/register");
+    group.sample_size(20);
+    group.bench_function("single_agent", |b| {
+        let mut i = 0usize;
+        let registry = AgentRegistry::new();
+        b.iter(|| {
+            i += 1;
+            registry
+                .register(
+                    AgentSpec::new(format!("new-{i}"), "a freshly mapped enterprise api")
+                        .with_input(ParamSpec::required("input", "x", DataType::Any)),
+                )
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_scaling, bench_usage_recording, bench_registration);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! B2 — triggering overhead (§V-B, Fig 4): PetriNet join cost vs a single
+//! place, across pairing policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde_json::json;
+
+use blueprint_core::agents::{PairingPolicy, TriggerNet};
+
+fn bench_offer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triggering/offer");
+    group.sample_size(20);
+
+    for places in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("zip", places),
+            &places,
+            |b, &places| {
+                let names: Vec<String> = (0..places).map(|i| format!("p{i}")).collect();
+                let mut net = TriggerNet::new(names.clone(), PairingPolicy::Zip);
+                b.iter(|| {
+                    // One full firing cycle: a token to every place.
+                    for name in &names {
+                        let _ = net.offer(name, json!(1));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triggering/policies");
+    group.sample_size(20);
+    for (label, policy) in [
+        ("zip", PairingPolicy::Zip),
+        ("latest", PairingPolicy::Latest),
+        ("sticky", PairingPolicy::Sticky),
+    ] {
+        group.bench_function(label, |b| {
+            let mut net = TriggerNet::new(["driver", "context"], policy);
+            net.offer("context", json!({"ctx": true}));
+            b.iter(|| {
+                net.offer("context", json!({"ctx": true}));
+                net.offer("driver", json!("go"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backlog(c: &mut Criterion) {
+    // Firing cost with a deep backlog queued at one place.
+    let mut group = c.benchmark_group("triggering/backlog");
+    group.sample_size(20);
+    for backlog in [0usize, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("queued", backlog),
+            &backlog,
+            |b, &backlog| {
+                b.iter_with_setup(
+                    || {
+                        let mut net = TriggerNet::new(["a", "b"], PairingPolicy::Zip);
+                        for i in 0..backlog {
+                            net.offer("a", json!(i));
+                        }
+                        net.offer("a", json!("head"));
+                        net
+                    },
+                    |mut net| net.offer("b", json!("fire")).is_some(),
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offer, bench_policies, bench_backlog);
+criterion_main!(benches);

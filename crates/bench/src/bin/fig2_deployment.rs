@@ -1,0 +1,57 @@
+//! Fig 2 — deployment: agents in containers by compute class, scaled out,
+//! and restarted on failure.
+//!
+//! Run with: `cargo run -p blueprint-bench --bin fig2_deployment`
+
+use blueprint_bench::{bench_blueprint, figure};
+use blueprint_core::agents::DeploymentKind;
+
+fn main() {
+    figure("Fig 2", "Deployment of components in an enterprise cluster setting");
+    let bp = bench_blueprint();
+
+    // Group registered agents into their target "clusters".
+    let mut clusters: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    for name in bp.agent_registry().list() {
+        let spec = bp.agent_registry().get_spec(&name).expect("registered");
+        let cluster = match spec.deployment.kind {
+            DeploymentKind::Cpu => "cpu-cluster",
+            DeploymentKind::Gpu => "gpu-cluster",
+            DeploymentKind::DataProximate => "data-cluster",
+        };
+        clusters
+            .entry(cluster.to_string())
+            .or_default()
+            .push(format!("{} (workers={})", name, spec.deployment.workers));
+    }
+    for (cluster, agents) in &clusters {
+        println!("\n{cluster}:");
+        for a in agents {
+            println!("  container: AgentFactory[{a}]");
+        }
+    }
+
+    // Scale out: multiple instances of the matcher across sessions.
+    println!("\nscale-out: spawning job-matcher into 3 session scopes");
+    let mut ids = Vec::new();
+    for s in 1..=3 {
+        let id = bp
+            .factory()
+            .spawn("job-matcher", &format!("session:{s}"))
+            .expect("spawn");
+        ids.push(id);
+    }
+    println!("  running instances: {}", bp.factory().stats().running_instances);
+
+    // Restart on failure.
+    println!("\nrestart-on-failure: restarting instance {}", ids[0]);
+    let new_id = bp.factory().restart(ids[0]).expect("restart");
+    println!(
+        "  instance {} → {} (restarts so far: {})",
+        ids[0],
+        new_id,
+        bp.factory().stats().restarts
+    );
+    bp.factory().stop_all();
+    println!("  drained: {} running", bp.factory().stats().running_instances);
+}

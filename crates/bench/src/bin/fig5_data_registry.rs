@@ -1,0 +1,63 @@
+//! Fig 5 — the data registry: multi-granularity, multi-modal enterprise
+//! assets with discovery over learned representations.
+//!
+//! Run with: `cargo run -p blueprint-bench --bin fig5_data_registry`
+
+use blueprint_bench::{bench_blueprint, figure};
+
+fn main() {
+    figure("Fig 5", "Data registry: hierarchy, modalities, and discovery");
+    let bp = bench_blueprint();
+    let registry = bp.data_registry();
+
+    println!("\nasset hierarchy:");
+    fn tree(registry: &blueprint_core::registry::DataRegistry, root: &str, indent: usize) {
+        let asset = registry.get(root).expect("asset exists");
+        println!(
+            "{}{} [{:?}/{:?}] {}",
+            "  ".repeat(indent),
+            asset.name,
+            asset.level,
+            asset.modality,
+            if asset.indices.is_empty() {
+                String::new()
+            } else {
+                format!("indices: {}", asset.indices.join(", "))
+            }
+        );
+        for child in registry.children(root) {
+            tree(registry, &child.name, indent + 1);
+        }
+    }
+    for root in registry
+        .list()
+        .iter()
+        .filter(|n| registry.get(n).map(|a| a.parent.is_none()).unwrap_or(false))
+    {
+        tree(registry, root, 1);
+    }
+
+    println!("\ndiscovery queries:");
+    for (query, modality) in [
+        ("job postings with title and city", None),
+        ("resumes and skills of job seekers", None),
+        ("relationships between job titles", Some(blueprint_core::registry::DataModality::Graph)),
+        ("cities in a region from world knowledge", Some(blueprint_core::registry::DataModality::Parametric)),
+    ] {
+        let hits = registry.discover(query, modality, 3);
+        let top: Vec<String> = hits
+            .iter()
+            .map(|h| format!("{} ({:.2})", h.name, h.score))
+            .collect();
+        println!("  \"{query}\" → {}", top.join(", "));
+    }
+
+    println!("\nschema of the top asset for the jobs query:");
+    let top = &registry.discover("job postings with title and city", None, 1)[0];
+    let asset = registry.get(&top.name).expect("asset exists");
+    for f in &asset.schema {
+        println!("  {}: {} — {}", f.name, f.type_name, f.description);
+    }
+    println!("  connection: {}", asset.connection);
+    println!("  rows: {}", asset.stats.rows);
+}

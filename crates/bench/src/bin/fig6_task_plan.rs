@@ -1,0 +1,35 @@
+//! Fig 6 — the task plan for the running example: PROFILER → JOB MATCHER →
+//! PRESENTER with input and output parameters connected.
+//!
+//! Run with: `cargo run -p blueprint-bench --bin fig6_task_plan`
+
+use blueprint_bench::{bench_blueprint, figure, RUNNING_EXAMPLE};
+
+fn main() {
+    figure("Fig 6", "A task plan: connecting agent input/output parameters");
+    let bp = bench_blueprint();
+    let planner = bp.task_planner();
+
+    let (intent, subtasks) = planner.decompose(RUNNING_EXAMPLE);
+    println!("\nutterance : \"{RUNNING_EXAMPLE}\"");
+    println!("intent    : {intent:?}");
+    println!("sub-tasks :");
+    for (i, s) in subtasks.iter().enumerate() {
+        println!("  {}. {s}", i + 1);
+    }
+
+    let plan = planner.plan(RUNNING_EXAMPLE).expect("plans");
+    println!("\n{}", plan.render_text());
+
+    let profile = plan.projected_profile();
+    println!("projected QoS (fed to the budget):");
+    println!("  cost     : {:.2} units", profile.cost_per_call);
+    println!("  latency  : {} ms", profile.latency_micros / 1_000);
+    println!("  accuracy : {:.3}", profile.accuracy);
+
+    println!("edges (derived from FromNode bindings):");
+    for e in plan.edges() {
+        println!("  {} → {}", e.from, e.to);
+    }
+    println!("topological order: {:?}", plan.topo_order().expect("acyclic"));
+}

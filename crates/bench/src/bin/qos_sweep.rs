@@ -1,0 +1,103 @@
+//! B5/B8 — the QoS sweep: which model tier the optimizer selects per
+//! objective and constraint, and the end-to-end cost/latency/accuracy of
+//! the running example under three QoS presets.
+//!
+//! Run with: `cargo run -p blueprint-bench --bin qos_sweep`
+
+use blueprint_bench::{bench_hr, figure, RUNNING_EXAMPLE};
+use blueprint_core::coordinator::Outcome;
+use blueprint_core::llmsim::ModelProfile;
+use blueprint_core::optimizer::{Objective, QosConstraints};
+use blueprint_core::Blueprint;
+
+fn blueprint_with(objective: Objective, constraints: QosConstraints) -> Blueprint {
+    Blueprint::builder()
+        .with_hr_domain(bench_hr())
+        .with_model(ModelProfile::large())
+        .with_extra_model(ModelProfile::small())
+        .with_extra_model(ModelProfile::tiny())
+        .with_objective(objective)
+        .with_constraints(constraints)
+        .build()
+        .expect("blueprint assembles")
+}
+
+fn chosen_tier(bp: &Blueprint) -> String {
+    let plan = bp
+        .data_planner()
+        .plan_job_query(RUNNING_EXAMPLE)
+        .expect("plans");
+    plan.nodes
+        .iter()
+        .find_map(|n| match &n.op {
+            blueprint_core::planner::DataOp::Knowledge { source } => Some(source.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| "-".into())
+}
+
+fn main() {
+    figure("B5", "Optimizer tier selection across objectives and constraints");
+    println!("\n{:<34} {:<12}", "objective / constraint", "chosen tier");
+    println!("{}", "-".repeat(48));
+    for (label, objective, constraints) in [
+        ("min-cost, unconstrained", Objective::MinCost, QosConstraints::none()),
+        (
+            "min-cost, accuracy ≥ 0.85",
+            Objective::MinCost,
+            QosConstraints::none().with_min_accuracy(0.85),
+        ),
+        (
+            "min-cost, accuracy ≥ 0.95",
+            Objective::MinCost,
+            QosConstraints::none().with_min_accuracy(0.95),
+        ),
+        ("min-latency, unconstrained", Objective::MinLatency, QosConstraints::none()),
+        ("max-accuracy, unconstrained", Objective::MaxAccuracy, QosConstraints::none()),
+        (
+            "max-accuracy, latency ≤ 200ms",
+            Objective::MaxAccuracy,
+            QosConstraints::none().with_max_latency_micros(200_000),
+        ),
+        ("balanced", Objective::balanced(), QosConstraints::none()),
+    ] {
+        let bp = blueprint_with(objective, constraints);
+        println!("{:<34} {:<12}", label, chosen_tier(&bp));
+    }
+
+    figure("B8", "End-to-end running example under three QoS presets");
+    println!(
+        "\n{:<14} {:>10} {:>12} {:>10}  outcome",
+        "preset", "cost", "latency(ms)", "jobs"
+    );
+    println!("{}", "-".repeat(64));
+    for (label, objective) in [
+        ("cost-min", Objective::MinCost),
+        ("latency-min", Objective::MinLatency),
+        ("accuracy-max", Objective::MaxAccuracy),
+    ] {
+        let bp = blueprint_with(objective, QosConstraints::none());
+        let session = bp.start_session().expect("session");
+        let report = session.handle(RUNNING_EXAMPLE).expect("handles");
+        let jobs = match &report.outcome {
+            Outcome::Completed { output } => output
+                .get("rendered")
+                .and_then(|v| v.as_str())
+                .and_then(|s| s.split(" item").next())
+                .unwrap_or("?")
+                .to_string(),
+            _ => "-".into(),
+        };
+        println!(
+            "{:<14} {:>10.3} {:>12} {:>10}  {}",
+            label,
+            report.budget.spent_cost,
+            report.budget.spent_latency_micros / 1_000,
+            jobs,
+            if report.outcome.succeeded() { "completed" } else { "failed" },
+        );
+    }
+    println!("\nReading: cost-min routes knowledge to the cheap tier (lower cost,");
+    println!("fewer recovered cities → possibly fewer matches); accuracy-max pays");
+    println!("the premium tier for full recall.");
+}

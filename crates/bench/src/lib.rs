@@ -1,0 +1,36 @@
+//! Shared fixtures for the figure-regeneration binaries and Criterion
+//! benches. Every exhibit in the paper maps to one binary in `src/bin/`
+//! (see DESIGN.md's per-experiment index) and, where quantitative behavior
+//! is implied, to a bench in `benches/`.
+
+use blueprint_core::hrdomain::HrConfig;
+use blueprint_core::Blueprint;
+
+/// The paper's running example (§II-A).
+pub const RUNNING_EXAMPLE: &str = "I am looking for a data scientist position in SF bay area.";
+
+/// Deterministic HR configuration shared by the exhibits.
+pub fn bench_hr() -> HrConfig {
+    HrConfig {
+        seed: 7,
+        jobs: 300,
+        applicants: 200,
+        companies: 25,
+        applications: 600,
+    }
+}
+
+/// A fully wired runtime over the bench HR domain.
+pub fn bench_blueprint() -> Blueprint {
+    Blueprint::builder()
+        .with_hr_domain(bench_hr())
+        .build()
+        .expect("blueprint assembles")
+}
+
+/// Prints a figure banner.
+pub fn figure(id: &str, caption: &str) {
+    println!("\n┌{}┐", "─".repeat(70));
+    println!("│ {id}: {caption}");
+    println!("└{}┘", "─".repeat(70));
+}

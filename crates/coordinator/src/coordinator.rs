@@ -1,0 +1,926 @@
+//! The task coordinator's execution engine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::{json, Value};
+
+use blueprint_agents::{AgentReport, DataType, ExecuteAgent, Inputs};
+use blueprint_optimizer::{Budget, BudgetStatus, QosConstraints};
+use blueprint_planner::{DataPlanner, InputBinding, TaskPlan, TaskPlanner};
+use blueprint_registry::AgentRegistry;
+use blueprint_streams::{Message, Selector, StreamStore, Tag, TagFilter};
+
+/// Hard failures of the coordination machinery itself (stream plumbing);
+/// task-level problems are reported through [`Outcome`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionError(pub String);
+
+impl std::fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "coordination failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// What to do when the projected budget exceeds the constraints (§V-H:
+/// "abort the current plan ... trigger the task planner to replan ... or
+/// prompt the user to confirm").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverrunPolicy {
+    /// Continue executing (the "user confirmed" path).
+    Continue,
+    /// Abort the plan.
+    #[default]
+    Abort,
+    /// Ask the task planner for a cheaper plan once, then continue.
+    Replan,
+}
+
+/// Per-node execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeResult {
+    /// Plan node id.
+    pub node: String,
+    /// Executing agent.
+    pub agent: String,
+    /// Whether the agent reported success.
+    pub ok: bool,
+    /// Actual cost charged.
+    pub cost: f64,
+    /// Actual latency charged (µs).
+    pub latency_micros: u64,
+    /// Error text on failure.
+    pub error: Option<String>,
+}
+
+/// Terminal state of a task execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Every node ran; `output` is the final node's outputs.
+    Completed {
+        /// The final node's outputs (JSON object keyed by output param).
+        output: Value,
+    },
+    /// The budget was exceeded (actuals or projection under `Abort`).
+    Aborted {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A node failed and no replan was possible.
+    Failed {
+        /// The failing node id.
+        node: String,
+        /// The failure.
+        error: String,
+    },
+    /// The plan was replaced mid-flight; `inner` is the replacement's report.
+    Replanned {
+        /// Why the coordinator replanned.
+        reason: String,
+        /// The replacement execution.
+        inner: Box<ExecutionReport>,
+    },
+}
+
+impl Outcome {
+    /// True for `Completed` (directly or through replans).
+    pub fn succeeded(&self) -> bool {
+        match self {
+            Outcome::Completed { .. } => true,
+            Outcome::Replanned { inner, .. } => inner.outcome.succeeded(),
+            _ => false,
+        }
+    }
+}
+
+/// Full record of one task execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// The executed plan's task id.
+    pub task_id: String,
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// The final budget ledger.
+    pub budget: Budget,
+    /// Per-node records in execution order.
+    pub node_results: Vec<NodeResult>,
+}
+
+/// Executes task plans over the streams fabric.
+pub struct TaskCoordinator {
+    store: StreamStore,
+    scope: String,
+    registry: Arc<AgentRegistry>,
+    data_planner: Option<Arc<DataPlanner>>,
+    task_planner: Option<Arc<TaskPlanner>>,
+    policy: OverrunPolicy,
+    report_timeout: Duration,
+}
+
+impl TaskCoordinator {
+    /// The session scope this coordinator serves.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// Creates a coordinator for a session scope.
+    pub fn new(store: StreamStore, scope: impl Into<String>, registry: Arc<AgentRegistry>) -> Self {
+        TaskCoordinator {
+            store,
+            scope: scope.into(),
+            registry,
+            data_planner: None,
+            task_planner: None,
+            policy: OverrunPolicy::default(),
+            report_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Attaches the data planner (enables `FromData` bindings and input
+    /// transformations).
+    pub fn with_data_planner(mut self, dp: Arc<DataPlanner>) -> Self {
+        self.data_planner = Some(dp);
+        self
+    }
+
+    /// Attaches the task planner (enables replanning).
+    pub fn with_task_planner(mut self, tp: Arc<TaskPlanner>) -> Self {
+        self.task_planner = Some(tp);
+        self
+    }
+
+    /// Sets the overrun policy.
+    pub fn with_policy(mut self, policy: OverrunPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets how long to wait for each agent report.
+    pub fn with_report_timeout(mut self, timeout: Duration) -> Self {
+        self.report_timeout = timeout;
+        self
+    }
+
+    /// Executes a plan under the given constraints.
+    pub fn execute(
+        &self,
+        plan: &TaskPlan,
+        constraints: QosConstraints,
+    ) -> Result<ExecutionReport, ExecutionError> {
+        let mut budget = Budget::new(constraints);
+        budget.set_projection(&plan.projected_profile());
+        self.execute_inner(plan, budget, 0)
+    }
+
+    fn execute_inner(
+        &self,
+        plan: &TaskPlan,
+        mut budget: Budget,
+        depth: u8,
+    ) -> Result<ExecutionReport, ExecutionError> {
+        plan.validate()
+            .map_err(|e| ExecutionError(e.to_string()))?;
+        let order = plan
+            .topo_order()
+            .map_err(|e| ExecutionError(e.to_string()))?;
+
+        // Subscribe to this task's agent reports before issuing any
+        // instruction so none can be missed.
+        let report_sub = self
+            .store
+            .subscribe(
+                Selector::AllStreams,
+                TagFilter::any_of([format!("task:{}", plan.task_id)]),
+            )
+            .map_err(|e| ExecutionError(e.to_string()))?;
+
+        let mut node_results: Vec<NodeResult> = Vec::with_capacity(order.len());
+        let mut final_output = Value::Null;
+
+        for node_id in &order {
+            let node = plan.node(node_id).expect("topo order references plan nodes");
+
+            // Resolve inputs, applying transformations.
+            let mut inputs = Inputs::new();
+            for (param, binding) in &node.inputs {
+                let value = match self.resolve_input(plan, node, param, binding, &mut budget) {
+                    Ok(v) => v,
+                    Err(reason) => {
+                        return self.finish_failed(plan, budget, node_results, node_id, reason);
+                    }
+                };
+                inputs.insert(param.clone(), value);
+            }
+
+            // Issue the instruction.
+            let output_stream = format!("{}:task:{}:{}", self.scope, plan.task_id, node_id);
+            let instruction = ExecuteAgent {
+                agent: node.agent.clone(),
+                inputs,
+                output_stream,
+                task_id: plan.task_id.clone(),
+                node_id: node_id.clone(),
+            };
+            self.store
+                .publish_to(
+                    format!("{}:instructions", self.scope),
+                    ["instructions"],
+                    instruction.into_message().from_producer("task-coordinator"),
+                )
+                .map_err(|e| ExecutionError(e.to_string()))?;
+
+            // Await this node's report.
+            let report = match self.await_report(&report_sub, &plan.task_id, node_id) {
+                Some(r) => r,
+                None => {
+                    return self.finish_failed(
+                        plan,
+                        budget,
+                        node_results,
+                        node_id,
+                        format!("timed out waiting for agent {}", node.agent),
+                    );
+                }
+            };
+
+            budget.charge(report.cost, report.latency_micros, node.profile.accuracy);
+            budget.consume_projection(&node.profile);
+            node_results.push(NodeResult {
+                node: node_id.clone(),
+                agent: node.agent.clone(),
+                ok: report.ok,
+                cost: report.cost,
+                latency_micros: report.latency_micros,
+                error: report.error.clone(),
+            });
+
+            if !report.ok {
+                let error = report.error.unwrap_or_else(|| "agent failed".into());
+                // Replan once, excluding the failed agent (§V-H).
+                if depth == 0 {
+                    if let Some(tp) = &self.task_planner {
+                        // Replan the same decomposition, excluding the
+                        // failed agent (keeps the task structure; only the
+                        // assignment changes).
+                        let subtasks: Vec<String> =
+                            plan.nodes.iter().map(|n| n.task.clone()).collect();
+                        if let Ok(new_plan) = tp.plan_subtasks(
+                            &plan.utterance,
+                            &subtasks,
+                            std::slice::from_ref(&node.agent),
+                        ) {
+                            let inner = self.execute_inner(&new_plan, budget.clone(), depth + 1)?;
+                            return Ok(ExecutionReport {
+                                task_id: plan.task_id.clone(),
+                                outcome: Outcome::Replanned {
+                                    reason: format!("agent {} failed: {error}", node.agent),
+                                    inner: Box::new(inner),
+                                },
+                                budget,
+                                node_results,
+                            });
+                        }
+                    }
+                }
+                return self.finish_failed(plan, budget, node_results, node_id, error);
+            }
+
+            // Downstream bindings read outputs back off the task's output
+            // streams (resolve_input); only the latest outputs are kept here
+            // for the final result.
+            if report.outputs.is_object() {
+                final_output = report.outputs.clone();
+            }
+
+            // Budget checkpoint.
+            match budget.status() {
+                BudgetStatus::Healthy => {}
+                BudgetStatus::Exceeded => {
+                    return self.finish_aborted(
+                        plan,
+                        budget,
+                        node_results,
+                        "budget exceeded by actual costs".into(),
+                    );
+                }
+                BudgetStatus::ProjectedOverrun => match self.policy {
+                    OverrunPolicy::Continue => {}
+                    OverrunPolicy::Abort => {
+                        return self.finish_aborted(
+                            plan,
+                            budget,
+                            node_results,
+                            "projected costs exceed the budget".into(),
+                        );
+                    }
+                    OverrunPolicy::Replan => {
+                        if depth == 0 {
+                            if let Some(tp) = &self.task_planner {
+                                let subtasks: Vec<String> =
+                                    plan.nodes.iter().map(|n| n.task.clone()).collect();
+                                if let Ok(new_plan) = tp.plan_subtasks(
+                                    &plan.utterance,
+                                    &subtasks,
+                                    &[most_expensive(plan)],
+                                ) {
+                                    let inner =
+                                        self.execute_inner(&new_plan, budget.clone(), depth + 1)?;
+                                    return Ok(ExecutionReport {
+                                        task_id: plan.task_id.clone(),
+                                        outcome: Outcome::Replanned {
+                                            reason: "projected overrun".into(),
+                                            inner: Box::new(inner),
+                                        },
+                                        budget,
+                                        node_results,
+                                    });
+                                }
+                            }
+                        }
+                        // Could not replan: keep going under protest.
+                    }
+                },
+            }
+
+        }
+
+        self.publish_status(plan, "task-completed", json!({"task": plan.task_id}));
+        Ok(ExecutionReport {
+            task_id: plan.task_id.clone(),
+            outcome: Outcome::Completed {
+                output: final_output,
+            },
+            budget,
+            node_results,
+        })
+    }
+
+    /// Resolves one input binding, charging any data-plan costs to the
+    /// budget. Errors are task-level (node failure), not machinery-level.
+    fn resolve_input(
+        &self,
+        plan: &TaskPlan,
+        node: &blueprint_planner::PlanNode,
+        param: &str,
+        binding: &InputBinding,
+        budget: &mut Budget,
+    ) -> Result<Value, String> {
+        match binding {
+            InputBinding::Literal(v) => Ok(v.clone()),
+            InputBinding::FromUser => {
+                // Transformation (§V-H): a JSON-typed input fed from raw user
+                // text goes through the data planner's extract operator
+                // (PROFILER.CRITERIA ← USER.TEXT).
+                let wants_json = self
+                    .registry
+                    .get_spec(&node.agent)
+                    .ok()
+                    .and_then(|s| s.input(param).map(|p| p.data_type == DataType::Json));
+                if wants_json == Some(true) {
+                    if let Some(dp) = &self.data_planner {
+                        let extract_plan = dp.plan_extract(&plan.utterance);
+                        let executed = dp.execute(&extract_plan).map_err(|e| e.to_string())?;
+                        budget.charge(
+                            executed.actual.cost_per_call,
+                            executed.actual.latency_micros,
+                            executed.actual.accuracy,
+                        );
+                        return Ok(executed.value);
+                    }
+                }
+                Ok(Value::String(plan.utterance.clone()))
+            }
+            InputBinding::FromNode { node: from, output } => {
+                // The producing node has already run (topological order);
+                // read its recorded output from the reports stream? We keep
+                // them in-memory via the outputs map owned by the caller —
+                // but resolve_input has no access; instead re-read from the
+                // producing node's report output stream.
+                let stream =
+                    blueprint_streams::StreamId::new(format!("{}:task:{}:{}", self.scope, plan.task_id, from));
+                let history = self
+                    .store
+                    .read(&stream, 0)
+                    .map_err(|e| format!("missing upstream output stream: {e}"))?;
+                for msg in history.iter().rev() {
+                    if msg.has_tag(&Tag::new(output.as_str())) {
+                        return Ok(msg.payload.clone());
+                    }
+                }
+                Err(format!("upstream {from}.{output} produced no value"))
+            }
+            InputBinding::FromData { query } => {
+                let dp = self
+                    .data_planner
+                    .as_ref()
+                    .ok_or_else(|| format!("no data planner to satisfy: {query}"))?;
+                let executed = dp
+                    .satisfy(query, &plan.utterance)
+                    .map_err(|e| e.to_string())?;
+                budget.charge(
+                    executed.actual.cost_per_call,
+                    executed.actual.latency_micros,
+                    executed.actual.accuracy,
+                );
+                Ok(executed.value)
+            }
+        }
+    }
+
+    fn await_report(
+        &self,
+        sub: &blueprint_streams::Subscription,
+        task_id: &str,
+        node_id: &str,
+    ) -> Option<AgentReport> {
+        let deadline = std::time::Instant::now() + self.report_timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let msg = sub.recv_timeout(remaining).ok()?;
+            if let Some(report) = AgentReport::from_message(&msg) {
+                if report.task_id == task_id && report.node_id == node_id {
+                    return Some(report);
+                }
+            }
+        }
+    }
+
+    fn publish_status(&self, plan: &TaskPlan, op: &str, args: Value) {
+        let _ = self.store.publish_to(
+            format!("{}:task:{}:status", self.scope, plan.task_id),
+            ["task-status"],
+            Message::control(op, args)
+                .with_tag("task-status")
+                .from_producer("task-coordinator"),
+        );
+    }
+
+    fn finish_aborted(
+        &self,
+        plan: &TaskPlan,
+        budget: Budget,
+        node_results: Vec<NodeResult>,
+        reason: String,
+    ) -> Result<ExecutionReport, ExecutionError> {
+        self.publish_status(plan, "task-aborted", json!({"reason": reason}));
+        Ok(ExecutionReport {
+            task_id: plan.task_id.clone(),
+            outcome: Outcome::Aborted { reason },
+            budget,
+            node_results,
+        })
+    }
+
+    fn finish_failed(
+        &self,
+        plan: &TaskPlan,
+        budget: Budget,
+        node_results: Vec<NodeResult>,
+        node_id: &str,
+        error: String,
+    ) -> Result<ExecutionReport, ExecutionError> {
+        self.publish_status(
+            plan,
+            "task-failed",
+            json!({"node": node_id, "error": error}),
+        );
+        Ok(ExecutionReport {
+            task_id: plan.task_id.clone(),
+            outcome: Outcome::Failed {
+                node: node_id.to_string(),
+                error,
+            },
+            budget,
+            node_results,
+        })
+    }
+}
+
+/// Name of the plan's most expensive agent (replan exclusion heuristic).
+fn most_expensive(plan: &TaskPlan) -> String {
+    plan.nodes
+        .iter()
+        .max_by(|a, b| {
+            a.profile
+                .cost_per_call
+                .partial_cmp(&b.profile.cost_per_call)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|n| n.agent.clone())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_agents::{
+        AgentContext, AgentFactory, AgentSpec, CostProfile, FnProcessor, Outputs, ParamSpec,
+        Processor,
+    };
+    use blueprint_planner::PlanNode;
+    use std::collections::BTreeMap;
+
+    fn upper_agent(factory: &AgentFactory, name: &str, cost: f64) {
+        let spec = AgentSpec::new(name, format!("{name} uppercases text"))
+            .with_input(ParamSpec::required("text", "input text", DataType::Text))
+            .with_output(ParamSpec::required("out", "uppercased", DataType::Text))
+            .with_profile(CostProfile::new(cost, 1_000, 0.95));
+        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let text = inputs.require_str("text")?;
+                ctx.charge_cost(0.5);
+                ctx.charge_latency_micros(1_000);
+                Ok(Outputs::new().with("out", json!(text.to_uppercase())))
+            },
+        ));
+        factory.register(spec, proc).unwrap();
+    }
+
+    fn chain_plan(task_id: &str, agents: &[&str]) -> TaskPlan {
+        chain_plan_with_cost(task_id, agents, 1.0)
+    }
+
+    fn chain_plan_with_cost(task_id: &str, agents: &[&str], est_cost: f64) -> TaskPlan {
+        let mut plan = TaskPlan::new(task_id, "hello world");
+        for (i, agent) in agents.iter().enumerate() {
+            let mut inputs = BTreeMap::new();
+            if i == 0 {
+                inputs.insert("text".to_string(), InputBinding::FromUser);
+            } else {
+                inputs.insert(
+                    "text".to_string(),
+                    InputBinding::FromNode {
+                        node: format!("n{i}"),
+                        output: "out".to_string(),
+                    },
+                );
+            }
+            plan.push(PlanNode {
+                id: format!("n{}", i + 1),
+                agent: agent.to_string(),
+                task: format!("step {i}"),
+                inputs,
+                profile: CostProfile::new(est_cost, 1_000, 0.95),
+            });
+        }
+        plan
+    }
+
+    fn setup(agents: &[&str]) -> (AgentFactory, TaskCoordinator, Arc<AgentRegistry>) {
+        let store = StreamStore::new();
+        let factory = AgentFactory::new(store.clone());
+        let registry = Arc::new(AgentRegistry::new());
+        for a in agents {
+            upper_agent(&factory, a, 1.0);
+            registry
+                .register(
+                    AgentSpec::new(*a, format!("{a} uppercases text"))
+                        .with_input(ParamSpec::required("text", "input", DataType::Text))
+                        .with_output(ParamSpec::required("out", "output", DataType::Text))
+                        .with_profile(CostProfile::new(1.0, 1_000, 0.95)),
+                )
+                .unwrap();
+            factory.spawn(a, "session:1").unwrap();
+        }
+        let coordinator =
+            TaskCoordinator::new(store, "session:1", registry.clone()).with_report_timeout(
+                Duration::from_secs(5),
+            );
+        (factory, coordinator, registry)
+    }
+
+    #[test]
+    fn executes_chain_and_tracks_budget() {
+        let (_factory, coordinator, _) = setup(&["alpha", "beta"]);
+        let plan = chain_plan("t1", &["alpha", "beta"]);
+        let report = coordinator
+            .execute(&plan, QosConstraints::none().with_max_cost(10.0))
+            .unwrap();
+        assert!(report.outcome.succeeded());
+        match &report.outcome {
+            Outcome::Completed { output } => {
+                assert_eq!(output["out"], json!("HELLO WORLD"));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(report.node_results.len(), 2);
+        assert!(report.node_results.iter().all(|n| n.ok));
+        // Each agent charged 0.5 cost and 1ms latency.
+        assert!((report.budget.spent_cost - 1.0).abs() < 1e-9);
+        assert_eq!(report.budget.spent_latency_micros, 2_000);
+        assert_eq!(report.budget.status(), BudgetStatus::Healthy);
+    }
+
+    #[test]
+    fn aborts_when_actual_cost_exceeds_budget() {
+        let (_factory, coordinator, _) = setup(&["alpha", "beta", "gamma"]);
+        // Estimated cost is zero, so no projected-overrun fires; each step
+        // actually charges 0.5, so the second step pushes actuals past 0.8.
+        let plan = chain_plan_with_cost("t2", &["alpha", "beta", "gamma"], 0.0);
+        let report = coordinator
+            .execute(&plan, QosConstraints::none().with_max_cost(0.8))
+            .unwrap();
+        match &report.outcome {
+            Outcome::Aborted { reason } => assert!(reason.contains("exceeded")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // Aborted before the third node ran.
+        assert!(report.node_results.len() < 3);
+    }
+
+    #[test]
+    fn projected_overrun_aborts_under_default_policy() {
+        let (_factory, coordinator, _) = setup(&["alpha", "beta"]);
+        let plan = chain_plan("t3", &["alpha", "beta"]);
+        // Projection: latencies are estimated at 1ms per node; spent adds
+        // actual 1ms each. Cap total latency at 2.5ms: after node 1 (spent
+        // 1ms + projected 1ms = 2ms) healthy; actuals stay under, so this
+        // completes. Instead cap cost: projected 2.0, spend 0.5/node, cap
+        // 1.2 → after node 1: spent 0.5 + projected 1.0 = 1.5 > 1.2.
+        let report = coordinator
+            .execute(&plan, QosConstraints::none().with_max_cost(1.2))
+            .unwrap();
+        match &report.outcome {
+            Outcome::Aborted { reason } => assert!(reason.contains("projected")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn continue_policy_pushes_through_overrun() {
+        let (factory, _, registry) = setup(&["alpha", "beta"]);
+        let coordinator = TaskCoordinator::new(
+            factory.store().clone(),
+            "session:1",
+            registry,
+        )
+        .with_policy(OverrunPolicy::Continue);
+        let plan = chain_plan("t4", &["alpha", "beta"]);
+        let report = coordinator
+            .execute(&plan, QosConstraints::none().with_max_cost(1.2))
+            .unwrap();
+        assert!(report.outcome.succeeded());
+    }
+
+    #[test]
+    fn missing_agent_times_out_to_failure() {
+        let (_factory, coordinator, _) = setup(&["alpha"]);
+        let coordinator = coordinator.with_report_timeout(Duration::from_millis(200));
+        let plan = chain_plan("t5", &["ghost-agent"]);
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        match &report.outcome {
+            Outcome::Failed { node, error } => {
+                assert_eq!(node, "n1");
+                assert!(error.contains("timed out"));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_plan_is_machinery_error() {
+        let (_factory, coordinator, _) = setup(&["alpha"]);
+        let mut plan = chain_plan("t6", &["alpha"]);
+        plan.nodes[0].inputs.insert(
+            "text".into(),
+            InputBinding::FromNode {
+                node: "ghost".into(),
+                output: "out".into(),
+            },
+        );
+        assert!(coordinator.execute(&plan, QosConstraints::none()).is_err());
+    }
+
+    #[test]
+    fn from_data_without_data_planner_fails_node() {
+        let (_factory, coordinator, _) = setup(&["alpha"]);
+        let mut plan = chain_plan("t7", &["alpha"]);
+        plan.nodes[0].inputs.insert(
+            "text".into(),
+            InputBinding::FromData {
+                query: "job listings".into(),
+            },
+        );
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        assert!(matches!(report.outcome, Outcome::Failed { .. }));
+    }
+
+    #[test]
+    fn status_messages_are_published() {
+        let (factory, coordinator, _) = setup(&["alpha"]);
+        let sub = factory
+            .store()
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["task-status"]))
+            .unwrap();
+        let plan = chain_plan("t8", &["alpha"]);
+        coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        let msg = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.control_op(), Some("task-completed"));
+    }
+
+    #[test]
+    fn replans_around_failed_agent() {
+        // A failing primary and a healthy backup with the same description:
+        // the coordinator replans, excluding the primary.
+        let store = StreamStore::new();
+        let factory = AgentFactory::new(store.clone());
+        let registry = Arc::new(AgentRegistry::new());
+
+        let fail_spec = AgentSpec::new("flaky-upper", "uppercase text transformer service")
+            .with_input(ParamSpec::required("text", "input", DataType::Text))
+            .with_output(ParamSpec::required("out", "output", DataType::Text))
+            .with_profile(CostProfile::new(1.0, 1_000, 0.95));
+        let fail_proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            |_: &Inputs, _: &AgentContext| -> blueprint_agents::Result<Outputs> {
+                Err(blueprint_agents::AgentError::ProcessorFailed(
+                    "service unavailable".into(),
+                ))
+            },
+        ));
+        factory.register(fail_spec.clone(), fail_proc).unwrap();
+        registry.register(fail_spec).unwrap();
+        upper_agent(&factory, "backup-upper", 1.0);
+        registry
+            .register(
+                AgentSpec::new("backup-upper", "uppercase text transformer service")
+                    .with_input(ParamSpec::required("text", "input", DataType::Text))
+                    .with_output(ParamSpec::required("out", "output", DataType::Text))
+                    .with_profile(CostProfile::new(1.0, 1_000, 0.95)),
+            )
+            .unwrap();
+        factory.spawn("flaky-upper", "session:1").unwrap();
+        factory.spawn("backup-upper", "session:1").unwrap();
+
+        let llm = Arc::new(blueprint_llmsim::SimLlm::new(
+            blueprint_llmsim::ModelProfile::large(),
+        ));
+        let task_planner = Arc::new(TaskPlanner::new(registry.clone(), llm));
+        // Boost flaky-upper so the planner picks it first.
+        registry
+            .record_usage("flaky-upper", "uppercase text transformer service")
+            .unwrap();
+
+        let coordinator = TaskCoordinator::new(store, "session:1", registry.clone())
+            .with_task_planner(task_planner.clone());
+
+        let plan = task_planner
+            .plan_subtasks(
+                "please uppercase this",
+                &["uppercase text transformer service".to_string()],
+                &[],
+            )
+            .unwrap();
+        assert_eq!(plan.nodes[0].agent, "flaky-upper");
+
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        match &report.outcome {
+            Outcome::Replanned { reason, inner } => {
+                assert!(reason.contains("flaky-upper"));
+                assert!(inner.outcome.succeeded());
+                assert_eq!(inner.node_results[0].agent, "backup-upper");
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert!(report.outcome.succeeded());
+    }
+
+    #[test]
+    fn projected_overrun_replans_onto_cheaper_agent() {
+        // Two interchangeable services; the planner initially assigns the
+        // expensive one. Under a cost cap with the Replan policy, the
+        // coordinator swaps to the economical service mid-flight (§V-H:
+        // "trigger the task planner to replan").
+        let store = StreamStore::new();
+        let factory = blueprint_agents::AgentFactory::new(store.clone());
+        let registry = Arc::new(AgentRegistry::new());
+        for (name, est_cost) in [("premium-echo", 5.0), ("budget-echo", 0.1)] {
+            let spec = AgentSpec::new(name, "echo the text back to the caller")
+                .with_input(ParamSpec::required("text", "t", DataType::Text))
+                .with_output(ParamSpec::required("out", "o", DataType::Text))
+                .with_profile(CostProfile::new(est_cost, 1_000, 0.95));
+            let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+                |inputs: &Inputs, ctx: &AgentContext| {
+                    ctx.charge_cost(0.05);
+                    Ok(Outputs::new().with("out", json!(inputs.require_str("text")?)))
+                },
+            ));
+            factory.register(spec.clone(), proc).unwrap();
+            registry.register(spec).unwrap();
+            factory.spawn(name, "session:1").unwrap();
+        }
+        // Bias planning toward the premium agent.
+        registry
+            .record_usage("premium-echo", "echo the text back to the caller")
+            .unwrap();
+        let llm = Arc::new(blueprint_llmsim::SimLlm::new(
+            blueprint_llmsim::ModelProfile::large(),
+        ));
+        let planner = Arc::new(TaskPlanner::new(Arc::clone(&registry), llm));
+        let coordinator = TaskCoordinator::new(store, "session:1", registry)
+            .with_task_planner(Arc::clone(&planner))
+            .with_policy(OverrunPolicy::Replan);
+
+        // A two-step plan over the premium agent: projected cost 10.0.
+        let plan = planner
+            .plan_subtasks(
+                "echo twice",
+                &[
+                    "echo the text back to the caller".to_string(),
+                    "echo the text back to the caller".to_string(),
+                ],
+                &[],
+            )
+            .unwrap();
+        assert!(plan.nodes.iter().all(|n| n.agent == "premium-echo"));
+
+        // Cap at 4.0: the remaining projection exceeds it after step 1,
+        // triggering the replan path.
+        let report = coordinator
+            .execute(&plan, QosConstraints::none().with_max_cost(4.0))
+            .unwrap();
+        match &report.outcome {
+            Outcome::Replanned { reason, inner } => {
+                assert!(reason.contains("overrun"));
+                assert!(inner.outcome.succeeded());
+                assert!(inner.node_results.iter().all(|n| n.agent == "budget-echo"));
+            }
+            other => panic!("expected replan, got {other:?}"),
+        }
+        assert!(report.outcome.succeeded());
+    }
+
+    #[test]
+    fn from_data_binding_is_satisfied_by_data_planner() {
+        use blueprint_datastore::{RelationalDb, RelationalSource};
+        use blueprint_llmsim::{ModelProfile, ParametricSource, SimLlm};
+        use blueprint_registry::DataRegistry;
+
+        let store = StreamStore::new();
+        let factory = AgentFactory::new(store.clone());
+        let registry = Arc::new(AgentRegistry::new());
+
+        // A matcher agent that counts the jobs it was handed.
+        let spec = AgentSpec::new("counter", "count the jobs handed to it")
+            .with_input(ParamSpec::required("jobs", "job listings", DataType::Table))
+            .with_output(ParamSpec::required("count", "job count", DataType::Number))
+            .with_profile(CostProfile::new(0.1, 100, 1.0));
+        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            |inputs: &Inputs, _: &AgentContext| {
+                let n = inputs.require("jobs")?.as_array().map(Vec::len).unwrap_or(0);
+                Ok(Outputs::new().with("count", json!(n)))
+            },
+        ));
+        factory.register(spec.clone(), proc).unwrap();
+        registry.register(spec).unwrap();
+        factory.spawn("counter", "session:1").unwrap();
+
+        // Data planner over a jobs table + parametric source.
+        let db = Arc::new(RelationalDb::new());
+        db.execute("CREATE TABLE jobs (id INT, title TEXT, city TEXT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO jobs VALUES (1, 'data scientist', 'san francisco'), \
+             (2, 'data scientist', 'new york'), (3, 'recruiter', 'oakland')",
+        )
+        .unwrap();
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+        let mut dp = DataPlanner::new(Arc::new(DataRegistry::new()), Arc::clone(&llm));
+        dp.add_source(Arc::new(RelationalSource::new("hr-db", db)));
+        dp.add_source(Arc::new(ParametricSource::new("gpt", llm)));
+
+        let coordinator = TaskCoordinator::new(store, "session:1", registry)
+            .with_data_planner(Arc::new(dp));
+
+        let mut plan = TaskPlan::new(
+            "t9",
+            "I am looking for a data scientist position in SF bay area.",
+        );
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "jobs".to_string(),
+            InputBinding::FromData {
+                query: "available job listings".into(),
+            },
+        );
+        plan.push(PlanNode {
+            id: "n1".into(),
+            agent: "counter".into(),
+            task: "count".into(),
+            inputs,
+            profile: CostProfile::new(0.1, 100, 1.0),
+        });
+
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        match &report.outcome {
+            Outcome::Completed { output } => {
+                // Only job 1 is a data scientist in a bay-area city.
+                assert_eq!(output["count"], json!(1));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // The data plan's LLM cost was charged to the budget.
+        assert!(report.budget.spent_cost > 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The coordinator as a stream participant.
+//!
+//! In the case study (Fig 9) the Task Coordinator is itself an agent:
+//! "Task Coordinator agent (TC) listening to any stream with a plan unrolls
+//! the plan and emits a Control Message to execute \[the\] agent". The
+//! [`CoordinatorDaemon`] subscribes to `task-plan` messages anywhere in its
+//! scope and executes each arriving plan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use blueprint_optimizer::QosConstraints;
+use blueprint_planner::TaskPlan;
+use blueprint_streams::{Selector, StreamStore, TagFilter};
+
+use crate::coordinator::TaskCoordinator;
+
+/// Runs a [`TaskCoordinator`] as a background plan-listener.
+pub struct CoordinatorDaemon {
+    handle: Option<JoinHandle<()>>,
+    stop_tx: Option<crossbeam::channel::Sender<()>>,
+    executed: Arc<AtomicU64>,
+}
+
+impl CoordinatorDaemon {
+    /// Spawns the daemon: every `task-plan` message within the
+    /// coordinator's session scope is executed under `constraints`. Plans
+    /// from other sessions are another daemon's responsibility.
+    pub fn spawn(
+        coordinator: Arc<TaskCoordinator>,
+        store: StreamStore,
+        constraints: QosConstraints,
+    ) -> blueprint_streams::Result<Self> {
+        let sub = store.subscribe(
+            Selector::Scope(coordinator.scope().to_string()),
+            TagFilter::any_of(["task-plan"]),
+        )?;
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let executed = Arc::new(AtomicU64::new(0));
+        let executed2 = Arc::clone(&executed);
+        let handle = std::thread::Builder::new()
+            .name("task-coordinator".into())
+            .spawn(move || loop {
+                crossbeam::channel::select! {
+                    recv(stop_rx) -> _ => break,
+                    recv(sub.receiver()) -> msg => {
+                        let Ok(msg) = msg else { break };
+                        if let Some(plan) = TaskPlan::from_message(&msg) {
+                            let _ = coordinator.execute(&plan, constraints);
+                            executed2.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+            .expect("spawn coordinator daemon");
+        Ok(CoordinatorDaemon {
+            handle: Some(handle),
+            stop_tx: Some(stop_tx),
+            executed,
+        })
+    }
+
+    /// Number of plans executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the daemon.
+    pub fn stop(&mut self) {
+        if let Some(tx) = self.stop_tx.take() {
+            let _ = tx.send(());
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CoordinatorDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_agents::{
+        AgentContext, AgentFactory, AgentSpec, CostProfile, DataType, FnProcessor, Inputs,
+        Outputs, ParamSpec, Processor,
+    };
+    use blueprint_planner::{InputBinding, PlanNode};
+    use blueprint_registry::AgentRegistry;
+    use serde_json::json;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    #[test]
+    fn daemon_executes_published_plans() {
+        let store = StreamStore::new();
+        let factory = AgentFactory::new(store.clone());
+        let registry = Arc::new(AgentRegistry::new());
+        let spec = AgentSpec::new("echo", "echoes")
+            .with_input(ParamSpec::required("text", "t", DataType::Text))
+            .with_output(ParamSpec::required("out", "o", DataType::Text))
+            .with_profile(CostProfile::new(0.1, 100, 1.0));
+        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            |inputs: &Inputs, _: &AgentContext| {
+                Ok(Outputs::new().with("out", json!(inputs.require_str("text")?)))
+            },
+        ));
+        factory.register(spec.clone(), proc).unwrap();
+        registry.register(spec).unwrap();
+        factory.spawn("echo", "session:1").unwrap();
+
+        let coordinator = Arc::new(TaskCoordinator::new(
+            store.clone(),
+            "session:1",
+            registry,
+        ));
+        let mut daemon =
+            CoordinatorDaemon::spawn(coordinator, store.clone(), QosConstraints::none()).unwrap();
+
+        // Publish a plan message; the daemon should run it end to end.
+        let mut plan = TaskPlan::new("t1", "ping");
+        let mut inputs = BTreeMap::new();
+        inputs.insert("text".to_string(), InputBinding::FromUser);
+        plan.push(PlanNode {
+            id: "n1".into(),
+            agent: "echo".into(),
+            task: "echo".into(),
+            inputs,
+            profile: CostProfile::new(0.1, 100, 1.0),
+        });
+        let status_sub = store
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["task-status"]))
+            .unwrap();
+        store
+            .publish_to(
+                "session:1:plans",
+                ["plans"],
+                plan.into_message().from_producer("agentic-employer"),
+            )
+            .unwrap();
+
+        let status = status_sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(status.control_op(), Some("task-completed"));
+        for _ in 0..100 {
+            if daemon.executed() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(daemon.executed(), 1);
+        daemon.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let store = StreamStore::new();
+        let registry = Arc::new(AgentRegistry::new());
+        let coordinator = Arc::new(TaskCoordinator::new(store.clone(), "s", registry));
+        let mut daemon =
+            CoordinatorDaemon::spawn(coordinator, store, QosConstraints::none()).unwrap();
+        daemon.stop();
+        daemon.stop();
+        assert_eq!(daemon.executed(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # blueprint-coordinator
+//!
+//! The task coordinator (§V-H): receives a [`TaskPlan`](blueprint_planner::TaskPlan) DAG with an initial
+//! budget and projected costs, initiates agents by streaming instruction
+//! messages to them, monitors execution, applies input transformations
+//! (invoking the data planner for `FromData` bindings and text→criteria
+//! extraction), updates the [`Budget`](blueprint_optimizer::Budget) with actual costs from agent
+//! reports, and aborts or replans when thresholds are exceeded.
+
+pub mod coordinator;
+pub mod daemon;
+
+pub use coordinator::{
+    ExecutionError, ExecutionReport, NodeResult, Outcome, OverrunPolicy, TaskCoordinator,
+};
+pub use daemon::CoordinatorDaemon;

@@ -1,0 +1,43 @@
+//! # blueprint-core
+//!
+//! The assembled blueprint runtime (§IV, Fig 1): one [`Blueprint`] owns the
+//! streams database, the agent and data registries, the agent factory
+//! ("containers"), the task and data planners, the optimizer configuration,
+//! and a session manager. A [`BlueprintSession`] adds the per-session pieces
+//! — spawned agent instances, a task coordinator with its budget, and the
+//! coordinator daemon listening for plans — and exposes the two interaction
+//! styles the paper describes:
+//!
+//! * **centralized**: [`BlueprintSession::handle`] plans the utterance with
+//!   the task planner and drives it through the coordinator;
+//! * **decentralized**: [`BlueprintSession::say`] simply publishes tagged
+//!   user text and lets tag-triggered agents chain autonomously (Fig 10),
+//!   while [`BlueprintSession::click`] injects UI events (Fig 9).
+//!
+//! ```no_run
+//! use blueprint_core::Blueprint;
+//!
+//! let blueprint = Blueprint::builder().with_hr_domain(Default::default()).build().unwrap();
+//! let session = blueprint.start_session().unwrap();
+//! let report = session
+//!     .handle("I am looking for a data scientist position in SF bay area.")
+//!     .unwrap();
+//! assert!(report.outcome.succeeded());
+//! ```
+
+pub mod runtime;
+
+pub use runtime::{Blueprint, BlueprintBuilder, BlueprintSession, CoreError};
+
+// Re-export the public surface of every layer so downstream users (examples,
+// benches, integration tests) need only this crate.
+pub use blueprint_agents as agents;
+pub use blueprint_coordinator as coordinator;
+pub use blueprint_datastore as datastore;
+pub use blueprint_hrdomain as hrdomain;
+pub use blueprint_llmsim as llmsim;
+pub use blueprint_optimizer as optimizer;
+pub use blueprint_planner as planner;
+pub use blueprint_registry as registry;
+pub use blueprint_session as session;
+pub use blueprint_streams as streams;

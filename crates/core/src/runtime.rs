@@ -1,0 +1,557 @@
+//! The assembled runtime.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use blueprint_agents::AgentFactory;
+use blueprint_coordinator::{
+    CoordinatorDaemon, ExecutionError, ExecutionReport, OverrunPolicy, TaskCoordinator,
+};
+use blueprint_datastore::{
+    DocumentSource, GraphSource, KvSource, RelationalSource,
+};
+use blueprint_hrdomain::{register_guardrails, register_hr_agents, HrConfig, HrDataset};
+use blueprint_llmsim::{ModelProfile, ParametricSource, SimLlm};
+use blueprint_optimizer::{Objective, QosConstraints};
+use blueprint_planner::{DataPlanner, PlanError, TaskPlan, TaskPlanner};
+use blueprint_registry::{AgentRegistry, DataRegistry};
+use blueprint_session::{Session, SessionManager};
+use blueprint_streams::{Message, StreamStore};
+
+/// Errors raised while assembling or driving the runtime.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Component wiring failed.
+    Setup(String),
+    /// Planning failed.
+    Plan(PlanError),
+    /// Coordination machinery failed.
+    Execution(ExecutionError),
+    /// Stream plumbing failed.
+    Stream(blueprint_streams::StreamError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Setup(msg) => write!(f, "setup failed: {msg}"),
+            CoreError::Plan(e) => write!(f, "planning failed: {e}"),
+            CoreError::Execution(e) => write!(f, "{e}"),
+            CoreError::Stream(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PlanError> for CoreError {
+    fn from(e: PlanError) -> Self {
+        CoreError::Plan(e)
+    }
+}
+
+impl From<ExecutionError> for CoreError {
+    fn from(e: ExecutionError) -> Self {
+        CoreError::Execution(e)
+    }
+}
+
+impl From<blueprint_streams::StreamError> for CoreError {
+    fn from(e: blueprint_streams::StreamError) -> Self {
+        CoreError::Stream(e)
+    }
+}
+
+/// Configures and assembles a [`Blueprint`].
+pub struct BlueprintBuilder {
+    hr_config: Option<HrConfig>,
+    guardrails: bool,
+    model: ModelProfile,
+    extra_models: Vec<ModelProfile>,
+    objective: Objective,
+    constraints: QosConstraints,
+    policy: OverrunPolicy,
+    report_timeout: Duration,
+}
+
+impl Default for BlueprintBuilder {
+    fn default() -> Self {
+        BlueprintBuilder {
+            hr_config: None,
+            guardrails: false,
+            model: ModelProfile::large(),
+            extra_models: Vec::new(),
+            objective: Objective::balanced(),
+            constraints: QosConstraints::none(),
+            policy: OverrunPolicy::default(),
+            report_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl BlueprintBuilder {
+    /// Generates and wires the YourJourney HR domain (data + agents).
+    pub fn with_hr_domain(mut self, config: HrConfig) -> Self {
+        self.hr_config = Some(config);
+        self
+    }
+
+    /// Registers the guardrail modules (content moderation + fact
+    /// verification, §III-A) as discoverable agents.
+    pub fn with_guardrails(mut self) -> Self {
+        self.guardrails = true;
+        self
+    }
+
+    /// Sets the primary model tier.
+    pub fn with_model(mut self, model: ModelProfile) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Registers an additional model tier as another parametric data source
+    /// (gives the optimizer a real choice).
+    pub fn with_extra_model(mut self, model: ModelProfile) -> Self {
+        self.extra_models.push(model);
+        self
+    }
+
+    /// Sets the planning objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the default QoS constraints for task execution.
+    pub fn with_constraints(mut self, constraints: QosConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the coordinator's overrun policy.
+    pub fn with_policy(mut self, policy: OverrunPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets how long the coordinator waits for each agent report.
+    pub fn with_report_timeout(mut self, timeout: Duration) -> Self {
+        self.report_timeout = timeout;
+        self
+    }
+
+    /// Assembles the runtime.
+    pub fn build(self) -> Result<Blueprint, CoreError> {
+        let store = StreamStore::new();
+        let factory = Arc::new(AgentFactory::new(store.clone()));
+        let agent_registry = Arc::new(AgentRegistry::new());
+        let data_registry = Arc::new(DataRegistry::new());
+        let llm = Arc::new(SimLlm::new(self.model.clone()));
+
+        let mut data_planner = DataPlanner::new(Arc::clone(&data_registry), Arc::clone(&llm));
+        data_planner.set_objective(self.objective);
+        data_planner.set_constraints(self.constraints);
+
+        let mut dataset = None;
+        if let Some(config) = self.hr_config {
+            let ds = Arc::new(HrDataset::generate(config));
+            ds.register_assets(&data_registry)
+                .map_err(|e| CoreError::Setup(e.to_string()))?;
+            register_hr_agents(&factory, &agent_registry, Arc::clone(&ds), Arc::clone(&llm))
+                .map_err(|e| CoreError::Setup(e.to_string()))?;
+            data_planner.add_source(Arc::new(RelationalSource::new("hr-db", Arc::clone(&ds.db))));
+            data_planner.add_source(Arc::new(DocumentSource::new(
+                "profiles",
+                Arc::clone(&ds.profiles),
+            )));
+            data_planner.add_source(Arc::new(GraphSource::new(
+                "title-taxonomy",
+                Arc::clone(&ds.taxonomy),
+            )));
+            data_planner.add_source(Arc::new(KvSource::new("hr-kv", Arc::clone(&ds.kv))));
+            dataset = Some(ds);
+        }
+        if self.guardrails {
+            register_guardrails(&factory, &agent_registry)
+                .map_err(|e| CoreError::Setup(e.to_string()))?;
+        }
+        data_planner.add_source(Arc::new(ParametricSource::new(
+            format!("gpt-{}", self.model.name.trim_start_matches("sim-")),
+            Arc::clone(&llm),
+        )));
+        for extra in &self.extra_models {
+            data_planner.add_source(Arc::new(ParametricSource::new(
+                format!("gpt-{}", extra.name.trim_start_matches("sim-")),
+                Arc::new(SimLlm::new(extra.clone())),
+            )));
+        }
+
+        let task_planner = Arc::new(TaskPlanner::new(Arc::clone(&agent_registry), Arc::clone(&llm)));
+        let sessions = SessionManager::new(store.clone());
+
+        Ok(Blueprint {
+            store,
+            factory,
+            agent_registry,
+            data_registry,
+            llm,
+            dataset,
+            task_planner,
+            data_planner: Arc::new(data_planner),
+            sessions,
+            constraints: self.constraints,
+            policy: self.policy,
+            report_timeout: self.report_timeout,
+        })
+    }
+}
+
+/// The assembled compound-AI runtime.
+pub struct Blueprint {
+    store: StreamStore,
+    factory: Arc<AgentFactory>,
+    agent_registry: Arc<AgentRegistry>,
+    data_registry: Arc<DataRegistry>,
+    llm: Arc<SimLlm>,
+    dataset: Option<Arc<HrDataset>>,
+    task_planner: Arc<TaskPlanner>,
+    data_planner: Arc<DataPlanner>,
+    sessions: SessionManager,
+    constraints: QosConstraints,
+    policy: OverrunPolicy,
+    report_timeout: Duration,
+}
+
+impl Blueprint {
+    /// Starts building a runtime.
+    pub fn builder() -> BlueprintBuilder {
+        BlueprintBuilder::default()
+    }
+
+    /// The streams database.
+    pub fn store(&self) -> &StreamStore {
+        &self.store
+    }
+
+    /// The agent registry.
+    pub fn agent_registry(&self) -> &Arc<AgentRegistry> {
+        &self.agent_registry
+    }
+
+    /// The data registry.
+    pub fn data_registry(&self) -> &Arc<DataRegistry> {
+        &self.data_registry
+    }
+
+    /// The agent factory.
+    pub fn factory(&self) -> &Arc<AgentFactory> {
+        &self.factory
+    }
+
+    /// The task planner.
+    pub fn task_planner(&self) -> &Arc<TaskPlanner> {
+        &self.task_planner
+    }
+
+    /// The data planner.
+    pub fn data_planner(&self) -> &Arc<DataPlanner> {
+        &self.data_planner
+    }
+
+    /// The simulated LLM.
+    pub fn llm(&self) -> &Arc<SimLlm> {
+        &self.llm
+    }
+
+    /// The generated HR dataset, when the HR domain was wired.
+    pub fn dataset(&self) -> Option<&Arc<HrDataset>> {
+        self.dataset.as_ref()
+    }
+
+    /// Starts a session: creates its scope, spawns an instance of every
+    /// registered agent into it, and attaches a coordinator + daemon.
+    pub fn start_session(&self) -> Result<BlueprintSession, CoreError> {
+        let session = self.sessions.start()?;
+        let scope = session.scope().to_string();
+        let mut instances = Vec::new();
+        for name in self.factory.registered() {
+            let id = self
+                .factory
+                .spawn(&name, &scope)
+                .map_err(|e| CoreError::Setup(e.to_string()))?;
+            session.add_agent(&name)?;
+            instances.push(id);
+        }
+        let coordinator = Arc::new(
+            TaskCoordinator::new(self.store.clone(), scope.clone(), Arc::clone(&self.agent_registry))
+                .with_data_planner(Arc::clone(&self.data_planner))
+                .with_task_planner(Arc::clone(&self.task_planner))
+                .with_policy(self.policy)
+                .with_report_timeout(self.report_timeout),
+        );
+        let daemon =
+            CoordinatorDaemon::spawn(Arc::clone(&coordinator), self.store.clone(), self.constraints)?;
+        Ok(BlueprintSession {
+            session,
+            coordinator,
+            daemon,
+            factory: Arc::clone(&self.factory),
+            task_planner: Arc::clone(&self.task_planner),
+            constraints: self.constraints,
+            instances,
+        })
+    }
+}
+
+/// A live session: spawned agents + coordinator + daemon.
+pub struct BlueprintSession {
+    session: Session,
+    coordinator: Arc<TaskCoordinator>,
+    daemon: CoordinatorDaemon,
+    factory: Arc<AgentFactory>,
+    task_planner: Arc<TaskPlanner>,
+    constraints: QosConstraints,
+    instances: Vec<u64>,
+}
+
+impl BlueprintSession {
+    /// The underlying session (scope, participants, activity).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The session's task coordinator.
+    pub fn coordinator(&self) -> &Arc<TaskCoordinator> {
+        &self.coordinator
+    }
+
+    /// Plans an utterance and returns the plan without executing it (the
+    /// interactive-planning surface of §V-F).
+    pub fn plan(&self, utterance: &str) -> Result<TaskPlan, CoreError> {
+        Ok(self.task_planner.plan(utterance)?)
+    }
+
+    /// Centralized handling: plan the utterance, execute it under the
+    /// session's constraints, and return the full report.
+    pub fn handle(&self, utterance: &str) -> Result<ExecutionReport, CoreError> {
+        let plan = self.task_planner.plan(utterance)?;
+        Ok(self.coordinator.execute(&plan, self.constraints)?)
+    }
+
+    /// Executes an explicit plan (e.g. one refined interactively).
+    pub fn execute(&self, plan: &TaskPlan) -> Result<ExecutionReport, CoreError> {
+        Ok(self.coordinator.execute(plan, self.constraints)?)
+    }
+
+    /// Decentralized handling: publish tagged user text onto the session's
+    /// user stream and let tag-triggered agents react (Fig 10 step 1).
+    pub fn say(&self, text: &str) -> Result<(), CoreError> {
+        self.session.publish(
+            "user",
+            Message::data(text).with_tag("user-text").from_producer("user"),
+        )?;
+        Ok(())
+    }
+
+    /// Injects a UI interaction event (Fig 9 step 1).
+    pub fn click(
+        &self,
+        form: &blueprint_agents::UiForm,
+        field: &str,
+        value: serde_json::Value,
+    ) -> Result<(), CoreError> {
+        self.session
+            .publish(&form.event_segment(), form.event(field, value))?;
+        Ok(())
+    }
+
+    /// Number of plans the daemon has executed.
+    pub fn plans_executed(&self) -> u64 {
+        self.daemon.executed()
+    }
+
+    /// Stops the session's agents and daemon.
+    pub fn shutdown(&mut self) {
+        self.daemon.stop();
+        for id in self.instances.drain(..) {
+            self.factory.stop(id);
+        }
+    }
+}
+
+impl Drop for BlueprintSession {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_coordinator::Outcome;
+    use blueprint_streams::{Selector, TagFilter};
+    use serde_json::json;
+
+    fn small_hr() -> HrConfig {
+        HrConfig {
+            seed: 5,
+            jobs: 60,
+            applicants: 50,
+            companies: 8,
+            applications: 100,
+        }
+    }
+
+    fn blueprint() -> Blueprint {
+        Blueprint::builder().with_hr_domain(small_hr()).build().unwrap()
+    }
+
+    #[test]
+    fn builder_wires_everything() {
+        let bp = blueprint();
+        assert_eq!(bp.factory().registered().len(), 10);
+        assert_eq!(bp.agent_registry().len(), 10);
+        assert_eq!(bp.data_registry().len(), 8);
+        assert!(bp.dataset().is_some());
+        assert!(bp
+            .data_planner()
+            .source_names()
+            .contains(&"gpt-large".to_string()));
+    }
+
+    #[test]
+    fn bare_runtime_without_hr_builds() {
+        let bp = Blueprint::builder().build().unwrap();
+        assert_eq!(bp.factory().registered().len(), 0);
+        assert!(bp.dataset().is_none());
+        // No agents → planning fails cleanly.
+        let session = bp.start_session().unwrap();
+        assert!(session.plan("find me a job").is_err());
+    }
+
+    #[test]
+    fn running_example_end_to_end_centralized() {
+        let bp = blueprint();
+        let session = bp.start_session().unwrap();
+        let report = session
+            .handle("I am looking for a data scientist position in SF bay area.")
+            .unwrap();
+        assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+        match &report.outcome {
+            Outcome::Completed { output } => {
+                let rendered = output["rendered"].as_str().unwrap();
+                assert!(rendered.contains("item(s)"));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // Budget recorded both agent and data-plan costs.
+        assert!(report.budget.spent_cost > 0.0);
+        assert_eq!(report.node_results.len(), 3);
+    }
+
+    #[test]
+    fn decentralized_conversation_fig10() {
+        let bp = blueprint();
+        let session = bp.start_session().unwrap();
+        let sub = bp
+            .store()
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["summary"]))
+            .unwrap();
+        session.say("How many applicants per city?").unwrap();
+        let summary = sub.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(summary.payload.as_str().unwrap().contains("row"));
+    }
+
+    #[test]
+    fn ui_event_drives_plan_fig9() {
+        let bp = blueprint();
+        let session = bp.start_session().unwrap();
+        let form = blueprint_agents::UiForm::new("applicants", "Applicants");
+        let sub = bp
+            .store()
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["task-status"]))
+            .unwrap();
+        session.click(&form, "job", json!(1)).unwrap();
+        let status = sub.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(status.control_op(), Some("task-completed"));
+        for _ in 0..200 {
+            if session.plans_executed() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(session.plans_executed(), 1);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let bp = blueprint();
+        let s1 = bp.start_session().unwrap();
+        let s2 = bp.start_session().unwrap();
+        assert_ne!(s1.session().scope(), s2.session().scope());
+        assert_eq!(s1.session().participants().len(), 10);
+    }
+
+    #[test]
+    fn plan_without_execution_is_inspectable() {
+        let bp = blueprint();
+        let session = bp.start_session().unwrap();
+        let plan = session
+            .plan("I am looking for a data scientist position in SF bay area.")
+            .unwrap();
+        let text = plan.render_text();
+        assert!(text.contains("PROFILER"));
+        assert!(text.contains("JOB-MATCHER"));
+        assert!(text.contains("PRESENTER"));
+    }
+
+    #[test]
+    fn shutdown_stops_agents() {
+        let bp = blueprint();
+        let mut session = bp.start_session().unwrap();
+        assert_eq!(bp.factory().stats().running_instances, 10);
+        session.shutdown();
+        assert_eq!(bp.factory().stats().running_instances, 0);
+    }
+
+    #[test]
+    fn budget_constraints_abort_expensive_tasks() {
+        let bp = Blueprint::builder()
+            .with_hr_domain(small_hr())
+            .with_constraints(QosConstraints::none().with_max_cost(0.001))
+            .build()
+            .unwrap();
+        let session = bp.start_session().unwrap();
+        let report = session
+            .handle("I am looking for a data scientist position in SF bay area.")
+            .unwrap();
+        assert!(matches!(report.outcome, Outcome::Aborted { .. }));
+    }
+
+    #[test]
+    fn guardrails_register_when_requested() {
+        let bp = Blueprint::builder()
+            .with_hr_domain(small_hr())
+            .with_guardrails()
+            .build()
+            .unwrap();
+        assert!(bp.agent_registry().contains("content-moderator"));
+        assert!(bp.agent_registry().contains("fact-verifier"));
+        // A session spawns them like any other agent and they serve work.
+        let session = bp.start_session().unwrap();
+        assert!(session.session().participants().contains(&"content-moderator".to_string()));
+    }
+
+    #[test]
+    fn extra_models_appear_as_sources() {
+        let bp = Blueprint::builder()
+            .with_hr_domain(small_hr())
+            .with_extra_model(ModelProfile::tiny())
+            .build()
+            .unwrap();
+        let names = bp.data_planner().source_names();
+        assert!(names.contains(&"gpt-large".to_string()));
+        assert!(names.contains(&"gpt-tiny".to_string()));
+    }
+}

@@ -1,0 +1,305 @@
+//! Document store with an inverted index and ranked text search.
+//!
+//! Job-seeker profiles in the YourJourney scenario live "in a document
+//! collection" (§V-D); this store holds JSON documents, indexes every text
+//! field into an inverted index, and answers ranked keyword queries
+//! (TF scoring with length normalization) plus exact field filters.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::error::DataError;
+use crate::Result;
+
+/// A stored document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Unique document id.
+    pub id: String,
+    /// JSON body.
+    pub body: Value,
+}
+
+/// A ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocHit {
+    /// Document id.
+    pub id: String,
+    /// Relevance score (term frequency, length-normalized).
+    pub score: f32,
+}
+
+#[derive(Default)]
+struct Inner {
+    docs: HashMap<String, Document>,
+    /// token → (doc id → term frequency)
+    inverted: HashMap<String, HashMap<String, u32>>,
+    /// doc id → token count (for normalization)
+    lengths: HashMap<String, u32>,
+}
+
+/// Thread-safe document collection.
+#[derive(Default)]
+pub struct DocumentStore {
+    inner: RwLock<Inner>,
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Collects every string value in a JSON tree.
+fn collect_text(value: &Value, out: &mut String) {
+    match value {
+        Value::String(s) => {
+            out.push_str(s);
+            out.push(' ');
+        }
+        Value::Array(items) => {
+            for v in items {
+                collect_text(v, out);
+            }
+        }
+        Value::Object(map) => {
+            for v in map.values() {
+                collect_text(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a document, reindexing its text.
+    pub fn put(&self, id: impl Into<String>, body: Value) -> Result<()> {
+        let id = id.into();
+        if id.is_empty() {
+            return Err(DataError::Schema("empty document id".into()));
+        }
+        let mut inner = self.inner.write();
+        // Remove stale postings on replace.
+        if inner.docs.contains_key(&id) {
+            remove_postings(&mut inner, &id);
+        }
+        let mut text = String::new();
+        collect_text(&body, &mut text);
+        let tokens = tokenize(&text);
+        inner.lengths.insert(id.clone(), tokens.len() as u32);
+        for t in tokens {
+            *inner
+                .inverted
+                .entry(t)
+                .or_default()
+                .entry(id.clone())
+                .or_insert(0) += 1;
+        }
+        inner.docs.insert(id.clone(), Document { id, body });
+        Ok(())
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, id: &str) -> Result<Document> {
+        self.inner
+            .read()
+            .docs
+            .get(id)
+            .cloned()
+            .ok_or_else(|| DataError::NotFound(format!("document {id}")))
+    }
+
+    /// Removes a document.
+    pub fn delete(&self, id: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.docs.remove(id).is_none() {
+            return Err(DataError::NotFound(format!("document {id}")));
+        }
+        remove_postings(&mut inner, id);
+        inner.lengths.remove(id);
+        Ok(())
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    /// True if the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().docs.is_empty()
+    }
+
+    /// Ranked keyword search over all text fields.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<DocHit> {
+        let inner = self.inner.read();
+        let mut scores: HashMap<&str, f32> = HashMap::new();
+        for t in tokenize(query) {
+            if let Some(postings) = inner.inverted.get(&t) {
+                for (doc, tf) in postings {
+                    let len = inner.lengths.get(doc).copied().unwrap_or(1).max(1) as f32;
+                    *scores.entry(doc.as_str()).or_insert(0.0) += *tf as f32 / len.sqrt();
+                }
+            }
+        }
+        let mut hits: Vec<DocHit> = scores
+            .into_iter()
+            .map(|(id, score)| DocHit {
+                id: id.to_string(),
+                score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Exact-match filter on a top-level field, returning matching documents
+    /// sorted by id.
+    pub fn filter_eq(&self, field: &str, value: &Value) -> Vec<Document> {
+        let inner = self.inner.read();
+        let mut out: Vec<Document> = inner
+            .docs
+            .values()
+            .filter(|d| d.body.get(field) == Some(value))
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+
+    /// All document ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.inner.read().docs.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+}
+
+fn remove_postings(inner: &mut Inner, id: &str) {
+    for postings in inner.inverted.values_mut() {
+        postings.remove(id);
+    }
+    inner.inverted.retain(|_, p| !p.is_empty());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn seeded() -> DocumentStore {
+        let s = DocumentStore::new();
+        s.put(
+            "p1",
+            json!({"name": "Ada", "skills": ["python", "machine learning", "sql"],
+                   "summary": "senior data scientist with ml experience"}),
+        )
+        .unwrap();
+        s.put(
+            "p2",
+            json!({"name": "Grace", "skills": ["compilers", "systems"],
+                   "summary": "systems engineer and compiler expert"}),
+        )
+        .unwrap();
+        s.put(
+            "p3",
+            json!({"name": "Alan", "skills": ["python", "statistics"],
+                   "summary": "data analyst moving into data science"}),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn put_get_delete_lifecycle() {
+        let s = seeded();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.get("p1").unwrap().body["name"], json!("Ada"));
+        s.delete("p1").unwrap();
+        assert!(s.get("p1").is_err());
+        assert!(s.delete("p1").is_err());
+        assert_eq!(s.ids(), ["p2", "p3"]);
+    }
+
+    #[test]
+    fn empty_id_rejected() {
+        assert!(DocumentStore::new().put("", json!({})).is_err());
+    }
+
+    #[test]
+    fn search_ranks_by_relevance() {
+        let s = seeded();
+        let hits = s.search("data scientist machine learning", 10);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].id, "p1");
+    }
+
+    #[test]
+    fn search_misses_return_empty() {
+        let s = seeded();
+        assert!(s.search("quantum chromodynamics", 10).is_empty());
+        assert!(s.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn search_limit_applies() {
+        let s = seeded();
+        let hits = s.search("python data", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn replace_reindexes() {
+        let s = seeded();
+        s.put("p2", json!({"summary": "now a data scientist too"}))
+            .unwrap();
+        let hits = s.search("compiler", 10);
+        assert!(hits.iter().all(|h| h.id != "p2"));
+        let hits2 = s.search("data scientist", 10);
+        assert!(hits2.iter().any(|h| h.id == "p2"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn filter_eq_matches_field() {
+        let s = seeded();
+        let docs = s.filter_eq("name", &json!("Grace"));
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].id, "p2");
+        assert!(s.filter_eq("name", &json!("Nobody")).is_empty());
+    }
+
+    #[test]
+    fn nested_arrays_are_indexed() {
+        let s = seeded();
+        let hits = s.search("compilers", 10);
+        assert_eq!(hits[0].id, "p2");
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let s = DocumentStore::new();
+        s.put("b", json!({"t": "alpha"})).unwrap();
+        s.put("a", json!({"t": "alpha"})).unwrap();
+        let hits = s.search("alpha", 10);
+        assert_eq!(hits[0].id, "a");
+        assert_eq!(hits[1].id, "b");
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the data substrates.
+
+use std::fmt;
+
+/// Errors raised by the relational, document, graph, and KV substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The query references an unknown table.
+    UnknownTable(String),
+    /// The query references an unknown column.
+    UnknownColumn(String),
+    /// A value did not match the column type.
+    TypeError(String),
+    /// Runtime evaluation failure (division by zero, bad aggregate, ...).
+    Eval(String),
+    /// The referenced document/node/key does not exist.
+    NotFound(String),
+    /// Schema-level violation (duplicate table, arity mismatch, ...).
+    Schema(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DataError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            DataError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            DataError::TypeError(msg) => write!(f, "type error: {msg}"),
+            DataError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            DataError::NotFound(what) => write!(f, "not found: {what}"),
+            DataError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            DataError::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            DataError::UnknownTable("jobs".into()).to_string(),
+            "unknown table: jobs"
+        );
+        assert_eq!(
+            DataError::UnknownColumn("x".into()).to_string(),
+            "unknown column: x"
+        );
+        assert!(DataError::TypeError("t".into()).to_string().contains("type"));
+        assert!(DataError::Eval("e".into()).to_string().contains("evaluation"));
+        assert!(DataError::NotFound("n".into()).to_string().contains("not found"));
+        assert!(DataError::Schema("s".into()).to_string().contains("schema"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Property graph store.
+//!
+//! The paper's data plan (Fig 7) consults "a graph database, which contains
+//! a title taxonomy" to expand "data scientist" into related titles. This
+//! store holds labelled nodes with JSON properties and typed directed edges,
+//! and supports neighbor queries and bounded BFS traversal — enough for
+//! taxonomy expansion, synonym lookup, and org-chart style queries.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::error::DataError;
+use crate::Result;
+
+/// A graph node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Unique node id.
+    pub id: String,
+    /// Label (e.g. `title`, `skill`).
+    pub label: String,
+    /// JSON properties.
+    pub props: Value,
+}
+
+/// A directed, typed edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node id.
+    pub from: String,
+    /// Target node id.
+    pub to: String,
+    /// Edge type (e.g. `synonym_of`, `specializes`).
+    pub etype: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    nodes: HashMap<String, Node>,
+    out: HashMap<String, Vec<Edge>>,
+    incoming: HashMap<String, Vec<Edge>>,
+}
+
+/// Thread-safe property graph.
+#[derive(Default)]
+pub struct PropertyGraph {
+    inner: RwLock<Inner>,
+}
+
+impl PropertyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a node.
+    pub fn add_node(
+        &self,
+        id: impl Into<String>,
+        label: impl Into<String>,
+        props: Value,
+    ) -> Result<()> {
+        let id = id.into();
+        if id.is_empty() {
+            return Err(DataError::Schema("empty node id".into()));
+        }
+        let node = Node {
+            id: id.clone(),
+            label: label.into(),
+            props,
+        };
+        self.inner.write().nodes.insert(id, node);
+        Ok(())
+    }
+
+    /// Adds a directed edge; both endpoints must exist.
+    pub fn add_edge(
+        &self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        etype: impl Into<String>,
+    ) -> Result<()> {
+        let (from, to, etype) = (from.into(), to.into(), etype.into());
+        let mut inner = self.inner.write();
+        for endpoint in [&from, &to] {
+            if !inner.nodes.contains_key(endpoint) {
+                return Err(DataError::NotFound(format!("node {endpoint}")));
+            }
+        }
+        let edge = Edge {
+            from: from.clone(),
+            to: to.clone(),
+            etype,
+        };
+        inner.out.entry(from).or_default().push(edge.clone());
+        inner.incoming.entry(to).or_default().push(edge);
+        Ok(())
+    }
+
+    /// Fetches a node.
+    pub fn node(&self, id: &str) -> Result<Node> {
+        self.inner
+            .read()
+            .nodes
+            .get(id)
+            .cloned()
+            .ok_or_else(|| DataError::NotFound(format!("node {id}")))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.inner.read().out.values().map(Vec::len).sum()
+    }
+
+    /// Outgoing neighbors, optionally filtered by edge type, sorted by id.
+    pub fn neighbors(&self, id: &str, etype: Option<&str>) -> Result<Vec<Node>> {
+        let inner = self.inner.read();
+        if !inner.nodes.contains_key(id) {
+            return Err(DataError::NotFound(format!("node {id}")));
+        }
+        let mut out: Vec<Node> = inner
+            .out
+            .get(id)
+            .into_iter()
+            .flatten()
+            .filter(|e| etype.is_none_or(|t| e.etype == t))
+            .filter_map(|e| inner.nodes.get(&e.to).cloned())
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out.dedup_by(|a, b| a.id == b.id);
+        Ok(out)
+    }
+
+    /// Incoming neighbors, optionally filtered by edge type, sorted by id.
+    pub fn incoming(&self, id: &str, etype: Option<&str>) -> Result<Vec<Node>> {
+        let inner = self.inner.read();
+        if !inner.nodes.contains_key(id) {
+            return Err(DataError::NotFound(format!("node {id}")));
+        }
+        let mut out: Vec<Node> = inner
+            .incoming
+            .get(id)
+            .into_iter()
+            .flatten()
+            .filter(|e| etype.is_none_or(|t| e.etype == t))
+            .filter_map(|e| inner.nodes.get(&e.from).cloned())
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out.dedup_by(|a, b| a.id == b.id);
+        Ok(out)
+    }
+
+    /// BFS over outgoing (and optionally incoming) edges up to `depth` hops,
+    /// optionally restricted to an edge type. Returns reached nodes
+    /// (excluding the start), sorted by id.
+    pub fn traverse(
+        &self,
+        start: &str,
+        etype: Option<&str>,
+        depth: usize,
+        undirected: bool,
+    ) -> Result<Vec<Node>> {
+        let inner = self.inner.read();
+        if !inner.nodes.contains_key(start) {
+            return Err(DataError::NotFound(format!("node {start}")));
+        }
+        let mut seen: HashSet<String> = HashSet::new();
+        seen.insert(start.to_string());
+        let mut queue: VecDeque<(String, usize)> = VecDeque::new();
+        queue.push_back((start.to_string(), 0));
+        let mut reached = Vec::new();
+        while let Some((node, d)) = queue.pop_front() {
+            if d == depth {
+                continue;
+            }
+            let mut next: Vec<&Edge> = inner.out.get(&node).into_iter().flatten().collect();
+            let mut incoming_edges: Vec<&Edge> = Vec::new();
+            if undirected {
+                incoming_edges = inner.incoming.get(&node).into_iter().flatten().collect();
+            }
+            for e in next.drain(..).chain(incoming_edges) {
+                if etype.is_some_and(|t| e.etype != t) {
+                    continue;
+                }
+                let other = if e.from == node { &e.to } else { &e.from };
+                if seen.insert(other.clone()) {
+                    if let Some(n) = inner.nodes.get(other) {
+                        reached.push(n.clone());
+                    }
+                    queue.push_back((other.clone(), d + 1));
+                }
+            }
+        }
+        reached.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(reached)
+    }
+
+    /// Nodes with the given label, sorted by id.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<Node> {
+        let inner = self.inner.read();
+        let mut out: Vec<Node> = inner
+            .nodes
+            .values()
+            .filter(|n| n.label == label)
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    /// The title taxonomy from the paper's Fig 7 discussion.
+    fn taxonomy() -> PropertyGraph {
+        let g = PropertyGraph::new();
+        for (id, name) in [
+            ("data-scientist", "data scientist"),
+            ("ml-engineer", "machine learning engineer"),
+            ("data-analyst", "data analyst"),
+            ("research-scientist", "research scientist"),
+            ("statistician", "statistician"),
+        ] {
+            g.add_node(id, "title", json!({"name": name})).unwrap();
+        }
+        g.add_edge("ml-engineer", "data-scientist", "related_to").unwrap();
+        g.add_edge("data-analyst", "data-scientist", "specializes_into").unwrap();
+        g.add_edge("data-scientist", "research-scientist", "related_to").unwrap();
+        g.add_edge("statistician", "data-scientist", "synonym_of").unwrap();
+        g
+    }
+
+    #[test]
+    fn counts() {
+        let g = taxonomy();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn node_lookup() {
+        let g = taxonomy();
+        assert_eq!(g.node("data-scientist").unwrap().props["name"], json!("data scientist"));
+        assert!(g.node("ghost").is_err());
+    }
+
+    #[test]
+    fn edge_requires_endpoints() {
+        let g = taxonomy();
+        assert!(g.add_edge("data-scientist", "ghost", "x").is_err());
+        assert!(g.add_edge("ghost", "data-scientist", "x").is_err());
+    }
+
+    #[test]
+    fn empty_node_id_rejected() {
+        assert!(PropertyGraph::new().add_node("", "l", json!({})).is_err());
+    }
+
+    #[test]
+    fn neighbors_directed() {
+        let g = taxonomy();
+        let out = g.neighbors("data-scientist", None).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, "research-scientist");
+        let inc = g.incoming("data-scientist", None).unwrap();
+        let ids: Vec<&str> = inc.iter().map(|n| n.id.as_str()).collect();
+        assert_eq!(ids, ["data-analyst", "ml-engineer", "statistician"]);
+    }
+
+    #[test]
+    fn neighbors_filter_by_type() {
+        let g = taxonomy();
+        let syn = g.incoming("data-scientist", Some("synonym_of")).unwrap();
+        assert_eq!(syn.len(), 1);
+        assert_eq!(syn[0].id, "statistician");
+    }
+
+    #[test]
+    fn traverse_undirected_expands_titles() {
+        // The Fig 7 use: expand "data scientist" into related titles.
+        let g = taxonomy();
+        let related = g.traverse("data-scientist", None, 1, true).unwrap();
+        let ids: Vec<&str> = related.iter().map(|n| n.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            ["data-analyst", "ml-engineer", "research-scientist", "statistician"]
+        );
+    }
+
+    #[test]
+    fn traverse_depth_zero_reaches_nothing() {
+        let g = taxonomy();
+        assert!(g.traverse("data-scientist", None, 0, true).unwrap().is_empty());
+    }
+
+    #[test]
+    fn traverse_directed_respects_direction() {
+        let g = taxonomy();
+        let reached = g.traverse("ml-engineer", None, 2, false).unwrap();
+        let ids: Vec<&str> = reached.iter().map(|n| n.id.as_str()).collect();
+        assert_eq!(ids, ["data-scientist", "research-scientist"]);
+    }
+
+    #[test]
+    fn traverse_missing_start_errors() {
+        assert!(taxonomy().traverse("ghost", None, 1, true).is_err());
+    }
+
+    #[test]
+    fn nodes_with_label() {
+        let g = taxonomy();
+        g.add_node("python", "skill", json!({})).unwrap();
+        assert_eq!(g.nodes_with_label("title").len(), 5);
+        assert_eq!(g.nodes_with_label("skill").len(), 1);
+        assert!(g.nodes_with_label("none").is_empty());
+    }
+
+    #[test]
+    fn traverse_handles_cycles() {
+        let g = PropertyGraph::new();
+        g.add_node("a", "n", json!({})).unwrap();
+        g.add_node("b", "n", json!({})).unwrap();
+        g.add_edge("a", "b", "e").unwrap();
+        g.add_edge("b", "a", "e").unwrap();
+        let reached = g.traverse("a", None, 10, false).unwrap();
+        assert_eq!(reached.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Key-value store.
+//!
+//! The simplest of the data registry's modalities (§V-D): JSON values under
+//! string keys with prefix scans — used in the HR scenario for session
+//! state, cached model outputs, and feature lookups.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use serde_json::Value;
+
+use crate::error::DataError;
+use crate::Result;
+
+/// Thread-safe ordered key-value store.
+#[derive(Default)]
+pub struct KvStore {
+    map: RwLock<BTreeMap<String, Value>>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a key.
+    pub fn put(&self, key: impl Into<String>, value: Value) {
+        self.map.write().insert(key.into(), value);
+    }
+
+    /// Gets a key.
+    pub fn get(&self, key: &str) -> Result<Value> {
+        self.map
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| DataError::NotFound(format!("key {key}")))
+    }
+
+    /// Gets a key or returns a default.
+    pub fn get_or(&self, key: &str, default: Value) -> Value {
+        self.map.read().get(key).cloned().unwrap_or(default)
+    }
+
+    /// Deletes a key; returns the previous value if present.
+    pub fn delete(&self, key: &str) -> Option<Value> {
+        self.map.write().remove(key)
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, Value)> {
+        self.map
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn put_get_delete() {
+        let kv = KvStore::new();
+        kv.put("a", json!(1));
+        assert_eq!(kv.get("a").unwrap(), json!(1));
+        assert_eq!(kv.delete("a"), Some(json!(1)));
+        assert!(kv.get("a").is_err());
+        assert_eq!(kv.delete("a"), None);
+    }
+
+    #[test]
+    fn get_or_defaults() {
+        let kv = KvStore::new();
+        assert_eq!(kv.get_or("missing", json!("d")), json!("d"));
+        kv.put("present", json!(2));
+        assert_eq!(kv.get_or("present", json!("d")), json!(2));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let kv = KvStore::new();
+        kv.put("k", json!(1));
+        kv.put("k", json!(2));
+        assert_eq!(kv.get("k").unwrap(), json!(2));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_in_order() {
+        let kv = KvStore::new();
+        kv.put("session:1:a", json!(1));
+        kv.put("session:1:b", json!(2));
+        kv.put("session:2:a", json!(3));
+        kv.put("other", json!(4));
+        let hits = kv.scan_prefix("session:1:");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, "session:1:a");
+        assert_eq!(hits[1].0, "session:1:b");
+        assert!(kv.scan_prefix("zzz").is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let kv = KvStore::new();
+        assert!(kv.is_empty());
+        kv.put("x", json!(null));
+        assert_eq!(kv.len(), 1);
+        assert!(!kv.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! SQL abstract syntax tree.
+
+use crate::schema::ColumnType;
+use crate::value::Datum;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable {
+        /// Table name (lowercased).
+        name: String,
+        /// Column declarations.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `INSERT INTO name [(cols)] VALUES (...), (...)`
+    Insert(InsertStmt),
+    /// `SELECT ...`
+    Select(Box<SelectStmt>),
+}
+
+/// An INSERT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table (lowercased).
+    pub table: String,
+    /// Optional explicit column list (lowercased).
+    pub columns: Option<Vec<String>>,
+    /// Row value tuples (constant expressions).
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM table (None for table-less selects like `SELECT 1`).
+    pub from: Option<TableRef>,
+    /// INNER JOINs in declaration order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name (lowercased).
+    pub table: String,
+    /// Alias (lowercased).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this reference binds in scopes (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// An inner join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// ON predicate.
+    pub on: Expr,
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `NOT`
+    Not,
+    /// Unary `-`
+    Neg,
+}
+
+/// A SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Datum),
+    /// A (possibly table-qualified) column reference, lowercased.
+    Column {
+        /// Qualifier (table name or alias).
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call, e.g. `COUNT(*)`, `SUM(salary)`, `LOWER(title)`.
+    FnCall {
+        /// Uppercased function name.
+        name: String,
+        /// Arguments (empty for `COUNT(*)` with `star` set).
+        args: Vec<Expr>,
+        /// `COUNT(*)` marker.
+        star: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List elements.
+        list: Vec<Expr>,
+        /// NOT IN?
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: Box<Expr>,
+        /// NOT LIKE?
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL?
+        negated: bool,
+    },
+}
+
+/// Aggregate function names the executor recognizes.
+pub const AGGREGATES: [&str; 5] = ["COUNT", "SUM", "AVG", "MIN", "MAX"];
+
+impl Expr {
+    /// True if the expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::FnCall { name, args, .. } => {
+                AGGREGATES.contains(&name.as_str())
+                    || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+
+    /// Convenience constructor for a bare column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.to_ascii_lowercase(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let agg = Expr::FnCall {
+            name: "COUNT".into(),
+            args: vec![],
+            star: true,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary {
+            left: Box::new(Expr::col("x")),
+            op: BinOp::Gt,
+            right: Box::new(agg),
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let scalar_fn = Expr::FnCall {
+            name: "LOWER".into(),
+            args: vec![Expr::col("title")],
+            star: false,
+        };
+        assert!(!scalar_fn.contains_aggregate());
+    }
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef {
+            table: "jobs".into(),
+            alias: Some("j".into()),
+        };
+        assert_eq!(t.binding(), "j");
+        let t2 = TableRef {
+            table: "jobs".into(),
+            alias: None,
+        };
+        assert_eq!(t2.binding(), "jobs");
+    }
+
+    #[test]
+    fn col_lowercases() {
+        assert_eq!(
+            Expr::col("TITLE"),
+            Expr::Column {
+                table: None,
+                name: "title".into()
+            }
+        );
+    }
+}

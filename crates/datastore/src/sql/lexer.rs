@@ -1,0 +1,299 @@
+//! SQL tokenizer.
+
+use crate::error::DataError;
+use crate::Result;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (uppercased for case-insensitive matching).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // `--` starts a comment to end of line.
+                if chars.get(i + 1) == Some(&'-') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(DataError::Parse("unexpected '!'".into()));
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DataError::Parse("unterminated string literal".into()))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| {
+                        DataError::Parse(format!("bad float literal: {text}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| {
+                        DataError::Parse(format!("bad int literal: {text}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                tokens.push(Token::Word(word.to_ascii_uppercase()));
+            }
+            other => return Err(DataError::Parse(format!("unexpected character: {other}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let t = tokenize("SELECT * FROM jobs WHERE salary >= 100").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Star,
+                Token::Word("FROM".into()),
+                Token::Word("JOBS".into()),
+                Token::Word("WHERE".into()),
+                Token::Word("SALARY".into()),
+                Token::Ge,
+                Token::Int(100),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("'it''s fine'").unwrap();
+        assert_eq!(t, vec![Token::Str("it's fine".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        let t = tokenize("1 2.5 3.0").unwrap();
+        assert_eq!(t, vec![Token::Int(1), Token::Float(2.5), Token::Float(3.0)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = tokenize("< <= > >= = <> !=").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names() {
+        let t = tokenize("jobs.title").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("JOBS".into()),
+                Token::Dot,
+                Token::Word("TITLE".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_fails() {
+        assert!(tokenize("SELECT @x").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn arithmetic_tokens() {
+        let t = tokenize("1 + 2 - 3 / 4 * 5").unwrap();
+        assert_eq!(t.len(), 9);
+        assert!(t.contains(&Token::Plus));
+        assert!(t.contains(&Token::Minus));
+        assert!(t.contains(&Token::Slash));
+        assert!(t.contains(&Token::Star));
+    }
+}

@@ -1,0 +1,26 @@
+//! SQL subset: lexer, AST, and parser.
+//!
+//! The engine supports the slice of SQL the blueprint's NL2Q agent and data
+//! planner emit:
+//!
+//! ```sql
+//! CREATE TABLE jobs (id INT, title TEXT, city TEXT, salary FLOAT);
+//! INSERT INTO jobs VALUES (1, 'data scientist', 'san francisco', 180000.0);
+//! SELECT title, COUNT(*) AS n FROM jobs
+//!   JOIN companies ON jobs.company_id = companies.id
+//!   WHERE city IN ('san francisco', 'oakland') AND salary >= 150000
+//!   GROUP BY title HAVING COUNT(*) > 1
+//!   ORDER BY n DESC LIMIT 10;
+//! ```
+//!
+//! Execution lives in [`crate::relational`].
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    BinOp, Expr, InsertStmt, Join, OrderKey, SelectItem, SelectStmt, Stmt, TableRef, UnOp,
+};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;

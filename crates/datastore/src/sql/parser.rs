@@ -1,0 +1,636 @@
+//! Recursive-descent SQL parser.
+
+use crate::error::DataError;
+use crate::schema::ColumnType;
+use crate::value::Datum;
+use crate::Result;
+
+use super::ast::*;
+use super::lexer::{tokenize, Token};
+
+/// Parses one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Stmt> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_semicolons();
+    if p.pos != p.tokens.len() {
+        return Err(DataError::Parse(format!(
+            "unexpected trailing tokens at position {}",
+            p.pos
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        if self.eat(expected) {
+            Ok(())
+        } else {
+            Err(DataError::Parse(format!(
+                "expected {expected:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(DataError::Parse(format!(
+                "expected {word}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w.to_ascii_lowercase()),
+            other => Err(DataError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_semicolons(&mut self) {
+        while self.eat(&Token::Semicolon) {}
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.eat_word("CREATE") {
+            self.create_table()
+        } else if self.eat_word("INSERT") {
+            self.insert()
+        } else if self.eat_word("SELECT") {
+            Ok(Stmt::Select(Box::new(self.select()?)))
+        } else {
+            Err(DataError::Parse(format!(
+                "expected CREATE, INSERT, or SELECT, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Stmt> {
+        self.expect_word("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_word = self.ident()?;
+            columns.push((col, ColumnType::parse(&ty_word)?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_word("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat(&Token::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_word("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Insert(InsertStmt {
+            table,
+            columns,
+            rows,
+        }))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        let mut stmt = SelectStmt {
+            distinct: self.eat_word("DISTINCT"),
+            ..Default::default()
+        };
+
+        loop {
+            if self.eat(&Token::Star) {
+                stmt.items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_word("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                stmt.items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+
+        if self.eat_word("FROM") {
+            stmt.from = Some(self.table_ref()?);
+            while self.eat_word("JOIN") || (self.eat_word("INNER") && self.eat_word("JOIN")) {
+                let table = self.table_ref()?;
+                self.expect_word("ON")?;
+                let on = self.expr()?;
+                stmt.joins.push(Join { table, on });
+            }
+        }
+
+        if self.eat_word("WHERE") {
+            stmt.where_clause = Some(self.expr()?);
+        }
+        if self.eat_word("GROUP") {
+            self.expect_word("BY")?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_word("HAVING") {
+            stmt.having = Some(self.expr()?);
+        }
+        if self.eat_word("ORDER") {
+            self.expect_word("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_word("DESC") {
+                    false
+                } else {
+                    self.eat_word("ASC");
+                    true
+                };
+                stmt.order_by.push(OrderKey { expr, asc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_word("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => stmt.limit = Some(n as u64),
+                other => {
+                    return Err(DataError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(stmt)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        // Optional alias: `jobs j` or `jobs AS j` — but not a clause keyword.
+        let alias = if self.eat_word("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Word(w)) = self.peek() {
+            const CLAUSES: [&str; 9] = [
+                "JOIN", "INNER", "ON", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "SELECT",
+            ];
+            if CLAUSES.contains(&w.as_str()) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < add < mul < unary.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_word("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_word("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_word("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+
+        // Postfix predicates: IS [NOT] NULL, [NOT] IN, [NOT] LIKE.
+        if self.eat_word("IS") {
+            let negated = self.eat_word("NOT");
+            self.expect_word("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = self.eat_word("NOT");
+        if self.eat_word("IN") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_word("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(DataError::Parse("expected IN or LIKE after NOT".into()));
+        }
+
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Literal(Datum::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Datum::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Datum::Text(s))),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Word(w)) => match w.as_str() {
+                "NULL" => Ok(Expr::Literal(Datum::Null)),
+                "TRUE" => Ok(Expr::Literal(Datum::Bool(true))),
+                "FALSE" => Ok(Expr::Literal(Datum::Bool(false))),
+                _ => {
+                    // Function call?
+                    if self.eat(&Token::LParen) {
+                        if self.eat(&Token::Star) {
+                            self.expect(&Token::RParen)?;
+                            return Ok(Expr::FnCall {
+                                name: w,
+                                args: vec![],
+                                star: true,
+                            });
+                        }
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Token::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::FnCall {
+                            name: w,
+                            args,
+                            star: false,
+                        });
+                    }
+                    // Qualified column?
+                    if self.eat(&Token::Dot) {
+                        let col = self.ident()?;
+                        return Ok(Expr::Column {
+                            table: Some(w.to_ascii_lowercase()),
+                            name: col,
+                        });
+                    }
+                    Ok(Expr::Column {
+                        table: None,
+                        name: w.to_ascii_lowercase(),
+                    })
+                }
+            },
+            other => Err(DataError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let stmt = parse("CREATE TABLE jobs (id INT, title TEXT, salary FLOAT, remote BOOL)")
+            .unwrap();
+        match stmt {
+            Stmt::CreateTable { name, columns } => {
+                assert_eq!(name, "jobs");
+                assert_eq!(columns.len(), 4);
+                assert_eq!(columns[1], ("title".to_string(), ColumnType::Text));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let stmt = parse("INSERT INTO jobs (id, title) VALUES (1, 'ds'), (2, 'mle')").unwrap();
+        match stmt {
+            Stmt::Insert(i) => {
+                assert_eq!(i.table, "jobs");
+                assert_eq!(i.columns, Some(vec!["id".into(), "title".into()]));
+                assert_eq!(i.rows.len(), 2);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_full_select() {
+        let stmt = parse(
+            "SELECT DISTINCT title, COUNT(*) AS n FROM jobs j \
+             JOIN companies c ON j.company_id = c.id \
+             WHERE salary >= 100000 AND city IN ('sf', 'oakland') \
+             GROUP BY title HAVING COUNT(*) > 1 \
+             ORDER BY n DESC, title LIMIT 5;",
+        )
+        .unwrap();
+        let Stmt::Select(s) = stmt else {
+            panic!("not a select")
+        };
+        assert!(s.distinct);
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.as_ref().unwrap().binding(), "j");
+        assert_eq!(s.joins.len(), 1);
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].asc);
+        assert!(s.order_by[1].asc);
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn parse_not_like_and_is_null() {
+        let Stmt::Select(s) = parse(
+            "SELECT * FROM t WHERE a NOT LIKE '%x%' AND b IS NOT NULL AND c IS NULL",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let w = s.where_clause.unwrap();
+        assert!(!w.contains_aggregate());
+        let text = format!("{w:?}");
+        assert!(text.contains("Like"));
+        assert!(text.contains("IsNull"));
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let Stmt::Select(s) = parse("SELECT 1 + 2 * 3").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        // Must parse as 1 + (2 * 3).
+        match expr {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_parenthesized_or() {
+        let Stmt::Select(s) =
+            parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap()
+        else {
+            panic!()
+        };
+        match s.where_clause.unwrap() {
+            Expr::Binary { op: BinOp::And, left, .. } => {
+                assert!(matches!(*left, Expr::Binary { op: BinOp::Or, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_literals() {
+        let Stmt::Select(s) = parse("SELECT NULL, TRUE, FALSE, -5, 'text'").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.items.len(), 5);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT 1 FROM t WHERE").is_err());
+        assert!(parse("SELECT 1 42").is_err());
+        assert!(parse("DELETE FROM t").is_err());
+    }
+
+    #[test]
+    fn bad_limit_rejected() {
+        assert!(parse("SELECT 1 LIMIT 'x'").is_err());
+    }
+
+    #[test]
+    fn not_requires_in_or_like() {
+        assert!(parse("SELECT * FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn table_alias_forms() {
+        let Stmt::Select(s) = parse("SELECT * FROM jobs AS j WHERE j.id = 1").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.from.unwrap().alias, Some("j".into()));
+        let Stmt::Select(s2) = parse("SELECT * FROM jobs j").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s2.from.unwrap().alias, Some("j".into()));
+        let Stmt::Select(s3) = parse("SELECT * FROM jobs WHERE id = 1").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s3.from.unwrap().alias, None);
+    }
+
+    #[test]
+    fn function_with_args() {
+        let Stmt::Select(s) = parse("SELECT LOWER(title), SUM(salary) FROM jobs").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.items.len(), 2);
+        let SelectItem::Expr { expr, .. } = &s.items[1] else {
+            panic!()
+        };
+        assert!(expr.contains_aggregate());
+    }
+}

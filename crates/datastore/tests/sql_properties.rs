@@ -1,0 +1,216 @@
+//! Property-based tests for the relational engine: the executor is checked
+//! against a naive in-Rust oracle over randomly generated tables and
+//! predicates.
+
+use blueprint_datastore::{Column, ColumnType, Datum, RelationalDb, Schema};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct JobRow {
+    id: i64,
+    title: String,
+    salary: f64,
+}
+
+fn title_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "data scientist".to_string(),
+        "ml engineer".to_string(),
+        "analyst".to_string(),
+        "recruiter".to_string(),
+    ])
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<JobRow>> {
+    prop::collection::vec(
+        (0i64..1000, title_strategy(), 50_000.0f64..250_000.0).prop_map(|(id, title, salary)| {
+            JobRow {
+                id,
+                title,
+                salary: salary.round(),
+            }
+        }),
+        0..60,
+    )
+}
+
+fn build_db(rows: &[JobRow], index: bool) -> RelationalDb {
+    let db = RelationalDb::new();
+    db.create_table(
+        "jobs",
+        Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("title", ColumnType::Text),
+            Column::new("salary", ColumnType::Float),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    for r in rows {
+        db.insert_row(
+            "jobs",
+            vec![
+                Datum::Int(r.id),
+                Datum::Text(r.title.clone()),
+                Datum::Float(r.salary),
+            ],
+        )
+        .unwrap();
+    }
+    if index {
+        db.create_index("jobs", "title").unwrap();
+    }
+    db
+}
+
+proptest! {
+    /// COUNT(*) with a comparison predicate matches the oracle.
+    #[test]
+    fn count_with_predicate_matches_oracle(rows in rows_strategy(), threshold in 50_000.0f64..250_000.0) {
+        let db = build_db(&rows, false);
+        let threshold = threshold.round();
+        let got = db
+            .execute(&format!("SELECT COUNT(*) FROM jobs WHERE salary >= {threshold}"))
+            .unwrap();
+        let expected = rows.iter().filter(|r| r.salary >= threshold).count() as i64;
+        prop_assert_eq!(&got.rows[0][0], &Datum::Int(expected));
+    }
+
+    /// Equality filtering is identical with and without a hash index.
+    #[test]
+    fn index_agrees_with_scan(rows in rows_strategy(), probe in title_strategy()) {
+        let plain = build_db(&rows, false);
+        let indexed = build_db(&rows, true);
+        let sql = format!("SELECT id FROM jobs WHERE title = '{probe}' ORDER BY id");
+        let a = plain.execute(&sql).unwrap();
+        let b = indexed.execute(&sql).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// ORDER BY produces a sorted permutation of the unordered result.
+    #[test]
+    fn order_by_sorts_and_preserves_rows(rows in rows_strategy()) {
+        let db = build_db(&rows, false);
+        let ordered = db.execute("SELECT salary FROM jobs ORDER BY salary ASC").unwrap();
+        let mut expected: Vec<f64> = rows.iter().map(|r| r.salary).collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got: Vec<f64> = ordered.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// LIMIT n returns min(n, total) rows — the prefix of the ordered set.
+    #[test]
+    fn limit_truncates_prefix(rows in rows_strategy(), limit in 0u64..20) {
+        let db = build_db(&rows, false);
+        let full = db.execute("SELECT id FROM jobs ORDER BY id, salary").unwrap();
+        let limited = db
+            .execute(&format!("SELECT id FROM jobs ORDER BY id, salary LIMIT {limit}"))
+            .unwrap();
+        prop_assert_eq!(limited.rows.len(), full.rows.len().min(limit as usize));
+        prop_assert_eq!(&limited.rows[..], &full.rows[..limited.rows.len()]);
+    }
+
+    /// GROUP BY counts partition the table: group sizes sum to row count.
+    #[test]
+    fn group_by_partitions(rows in rows_strategy()) {
+        let db = build_db(&rows, false);
+        let grouped = db
+            .execute("SELECT title, COUNT(*) AS n FROM jobs GROUP BY title")
+            .unwrap();
+        let total: i64 = grouped
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Datum::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(total, rows.len() as i64);
+        // Each group's count matches the oracle.
+        for row in &grouped.rows {
+            let title = row[0].as_str().unwrap();
+            let expected = rows.iter().filter(|r| r.title == title).count() as i64;
+            prop_assert_eq!(&row[1], &Datum::Int(expected));
+        }
+    }
+
+    /// SUM/AVG/MIN/MAX agree with the oracle (within float tolerance).
+    #[test]
+    fn aggregates_match_oracle(rows in rows_strategy()) {
+        prop_assume!(!rows.is_empty());
+        let db = build_db(&rows, false);
+        let r = db
+            .execute("SELECT SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM jobs")
+            .unwrap();
+        let salaries: Vec<f64> = rows.iter().map(|r| r.salary).collect();
+        let sum: f64 = salaries.iter().sum();
+        let avg = sum / salaries.len() as f64;
+        let min = salaries.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = salaries.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((r.rows[0][0].as_f64().unwrap() - sum).abs() < 1e-6 * sum.abs().max(1.0));
+        prop_assert!((r.rows[0][1].as_f64().unwrap() - avg).abs() < 1e-6 * avg.abs().max(1.0));
+        prop_assert_eq!(r.rows[0][2].as_f64().unwrap(), min);
+        prop_assert_eq!(r.rows[0][3].as_f64().unwrap(), max);
+    }
+
+    /// DISTINCT returns the set of distinct values.
+    #[test]
+    fn distinct_is_set_semantics(rows in rows_strategy()) {
+        let db = build_db(&rows, false);
+        let got = db.execute("SELECT DISTINCT title FROM jobs").unwrap();
+        let expected: std::collections::BTreeSet<&str> =
+            rows.iter().map(|r| r.title.as_str()).collect();
+        let got_set: std::collections::BTreeSet<String> = got
+            .rows
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_string())
+            .collect();
+        prop_assert_eq!(got.rows.len(), got_set.len()); // no duplicates
+        prop_assert_eq!(
+            got_set,
+            expected.into_iter().map(str::to_string).collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    /// IN-list equals the union of equality predicates.
+    #[test]
+    fn in_list_is_union(rows in rows_strategy()) {
+        let db = build_db(&rows, false);
+        let in_list = db
+            .execute("SELECT COUNT(*) FROM jobs WHERE title IN ('data scientist', 'analyst')")
+            .unwrap();
+        let a = db
+            .execute("SELECT COUNT(*) FROM jobs WHERE title = 'data scientist'")
+            .unwrap();
+        let b = db
+            .execute("SELECT COUNT(*) FROM jobs WHERE title = 'analyst'")
+            .unwrap();
+        let count = |r: &blueprint_datastore::ResultSet| match r.rows[0][0] {
+            Datum::Int(n) => n,
+            _ => 0,
+        };
+        prop_assert_eq!(count(&in_list), count(&a) + count(&b));
+    }
+
+    /// Inserting after index creation keeps index probes consistent.
+    #[test]
+    fn incremental_index_maintenance(first in rows_strategy(), second in rows_strategy()) {
+        let db = build_db(&first, true);
+        for r in &second {
+            db.insert_row(
+                "jobs",
+                vec![Datum::Int(r.id), Datum::Text(r.title.clone()), Datum::Float(r.salary)],
+            )
+            .unwrap();
+        }
+        let probed = db
+            .execute("SELECT COUNT(*) FROM jobs WHERE title = 'analyst'")
+            .unwrap();
+        let expected = first
+            .iter()
+            .chain(&second)
+            .filter(|r| r.title == "analyst")
+            .count() as i64;
+        prop_assert_eq!(&probed.rows[0][0], &Datum::Int(expected));
+    }
+}

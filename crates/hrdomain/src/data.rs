@@ -1,0 +1,525 @@
+//! Seeded synthetic HR data: the stand-in for YourJourney's proprietary
+//! resume, job-posting, and application corpora (§II: "1M job seekers" —
+//! scaled down but with the same shape: skewed titles, bay-area-heavy
+//! locations, skill co-occurrence).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+use blueprint_datastore::{
+    Column, ColumnType, Datum, DocumentStore, KvStore, PropertyGraph, RelationalDb, Schema,
+};
+use blueprint_registry::{DataAsset, DataLevel, DataModality, DataRegistry, FieldMeta};
+
+/// Sizing for the synthetic dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct HrConfig {
+    /// RNG seed (all data is a pure function of this).
+    pub seed: u64,
+    /// Number of job postings.
+    pub jobs: usize,
+    /// Number of applicants (with resume documents).
+    pub applicants: usize,
+    /// Number of companies.
+    pub companies: usize,
+    /// Number of applications.
+    pub applications: usize,
+}
+
+impl Default for HrConfig {
+    fn default() -> Self {
+        HrConfig {
+            seed: 42,
+            jobs: 200,
+            applicants: 300,
+            companies: 20,
+            applications: 600,
+        }
+    }
+}
+
+/// Title vocabulary with sampling weights (skewed toward data roles, as the
+/// engineering-jobs specialization of §II implies).
+pub const TITLES: [(&str, u32); 8] = [
+    ("data scientist", 25),
+    ("machine learning engineer", 15),
+    ("data analyst", 15),
+    ("data engineer", 12),
+    ("software engineer", 18),
+    ("research scientist", 6),
+    ("recruiter", 5),
+    ("statistician", 4),
+];
+
+/// City vocabulary: bay-area cities (matching the built-in knowledge base)
+/// plus others.
+pub const CITIES: [(&str, u32); 10] = [
+    ("san francisco", 22),
+    ("oakland", 10),
+    ("san jose", 12),
+    ("berkeley", 8),
+    ("palo alto", 8),
+    ("mountain view", 10),
+    ("new york", 14),
+    ("seattle", 8),
+    ("austin", 5),
+    ("boston", 3),
+];
+
+/// Skill vocabulary.
+pub const SKILLS: [&str; 10] = [
+    "python",
+    "sql",
+    "statistics",
+    "machine learning",
+    "pytorch",
+    "java",
+    "rust",
+    "communication",
+    "data visualization",
+    "distributed systems",
+];
+
+fn weighted<'a>(rng: &mut StdRng, items: &[(&'a str, u32)]) -> &'a str {
+    let total: u32 = items.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for (item, w) in items {
+        if pick < *w {
+            return item;
+        }
+        pick -= w;
+    }
+    items[items.len() - 1].0
+}
+
+/// The generated multi-modal dataset.
+pub struct HrDataset {
+    /// Relational database: jobs, companies, applicants, applications.
+    pub db: Arc<RelationalDb>,
+    /// Resume documents.
+    pub profiles: Arc<DocumentStore>,
+    /// Title taxonomy graph.
+    pub taxonomy: Arc<PropertyGraph>,
+    /// Key-value store (session state, caches).
+    pub kv: Arc<KvStore>,
+    /// Generation parameters.
+    pub config: HrConfig,
+}
+
+impl HrDataset {
+    /// Generates the dataset deterministically from the config seed.
+    pub fn generate(config: HrConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let db = Arc::new(RelationalDb::new());
+
+        // Companies.
+        db.create_table(
+            "companies",
+            Schema::new(vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+                Column::new("size", ColumnType::Int),
+            ])
+            .expect("companies schema"),
+        )
+        .expect("create companies");
+        for i in 0..config.companies {
+            let size = match rng.gen_range(0..3) {
+                0 => rng.gen_range(10..200),
+                1 => rng.gen_range(200..5_000),
+                _ => rng.gen_range(5_000..100_000),
+            };
+            db.insert_row(
+                "companies",
+                vec![
+                    Datum::Int(i as i64 + 1),
+                    Datum::Text(format!("company-{}", i + 1)),
+                    Datum::Int(size),
+                ],
+            )
+            .expect("insert company");
+        }
+
+        // Jobs.
+        db.create_table(
+            "jobs",
+            Schema::new(vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("title", ColumnType::Text),
+                Column::new("city", ColumnType::Text),
+                Column::new("salary", ColumnType::Float),
+                Column::new("company_id", ColumnType::Int),
+                Column::new("remote", ColumnType::Bool),
+            ])
+            .expect("jobs schema"),
+        )
+        .expect("create jobs");
+        for i in 0..config.jobs {
+            let title = weighted(&mut rng, &TITLES);
+            let city = weighted(&mut rng, &CITIES);
+            let base = match title {
+                "data scientist" => 170_000.0,
+                "machine learning engineer" => 185_000.0,
+                "research scientist" => 175_000.0,
+                "data engineer" => 160_000.0,
+                "software engineer" => 165_000.0,
+                "data analyst" => 115_000.0,
+                "statistician" => 125_000.0,
+                _ => 95_000.0,
+            };
+            let salary: f64 = base * rng.gen_range(0.85..1.25);
+            db.insert_row(
+                "jobs",
+                vec![
+                    Datum::Int(i as i64 + 1),
+                    Datum::Text(title.to_string()),
+                    Datum::Text(city.to_string()),
+                    Datum::Float((salary / 100.0).round() * 100.0),
+                    Datum::Int(rng.gen_range(1..=config.companies as i64)),
+                    Datum::Bool(rng.gen_bool(0.3)),
+                ],
+            )
+            .expect("insert job");
+        }
+        db.create_index("jobs", "city").expect("index jobs.city");
+        db.create_index("jobs", "title").expect("index jobs.title");
+
+        // Applicants (relational projection of the resume documents).
+        db.create_table(
+            "applicants",
+            Schema::new(vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("name", ColumnType::Text),
+                Column::new("city", ColumnType::Text),
+                Column::new("title", ColumnType::Text),
+                Column::new("skills", ColumnType::Text),
+                Column::new("experience", ColumnType::Int),
+            ])
+            .expect("applicants schema"),
+        )
+        .expect("create applicants");
+        let profiles = Arc::new(DocumentStore::new());
+        for i in 0..config.applicants {
+            let title = weighted(&mut rng, &TITLES);
+            let city = weighted(&mut rng, &CITIES);
+            let experience = rng.gen_range(0..20i64);
+            let n_skills = rng.gen_range(2..6usize);
+            let mut skills: Vec<&str> = Vec::new();
+            while skills.len() < n_skills {
+                let s = SKILLS[rng.gen_range(0..SKILLS.len())];
+                if !skills.contains(&s) {
+                    skills.push(s);
+                }
+            }
+            let name = format!("applicant-{}", i + 1);
+            db.insert_row(
+                "applicants",
+                vec![
+                    Datum::Int(i as i64 + 1),
+                    Datum::Text(name.clone()),
+                    Datum::Text(city.to_string()),
+                    Datum::Text(title.to_string()),
+                    Datum::Text(skills.join(", ")),
+                    Datum::Int(experience),
+                ],
+            )
+            .expect("insert applicant");
+            profiles
+                .put(
+                    format!("profile-{}", i + 1),
+                    json!({
+                        "name": name,
+                        "title": title,
+                        "city": city,
+                        "skills": skills,
+                        "experience_years": experience,
+                        "summary": format!(
+                            "{title} in {city} with {experience} years of experience in {}",
+                            skills.join(", ")
+                        ),
+                    }),
+                )
+                .expect("store profile");
+        }
+
+        // Applications.
+        db.create_table(
+            "applications",
+            Schema::new(vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("job_id", ColumnType::Int),
+                Column::new("applicant_id", ColumnType::Int),
+                Column::new("status", ColumnType::Text),
+            ])
+            .expect("applications schema"),
+        )
+        .expect("create applications");
+        const STATUSES: [(&str, u32); 4] =
+            [("applied", 50), ("screening", 25), ("interview", 15), ("offer", 10)];
+        for i in 0..config.applications {
+            db.insert_row(
+                "applications",
+                vec![
+                    Datum::Int(i as i64 + 1),
+                    Datum::Int(rng.gen_range(1..=config.jobs.max(1) as i64)),
+                    Datum::Int(rng.gen_range(1..=config.applicants.max(1) as i64)),
+                    Datum::Text(weighted(&mut rng, &STATUSES).to_string()),
+                ],
+            )
+            .expect("insert application");
+        }
+        db.create_index("applications", "job_id")
+            .expect("index applications.job_id");
+
+        // Title taxonomy.
+        let taxonomy = Arc::new(PropertyGraph::new());
+        for (title, _) in TITLES {
+            taxonomy
+                .add_node(slug(title), "title", json!({ "name": title }))
+                .expect("taxonomy node");
+        }
+        for (a, b, e) in [
+            ("machine-learning-engineer", "data-scientist", "related_to"),
+            ("data-analyst", "data-scientist", "specializes_into"),
+            ("data-scientist", "research-scientist", "related_to"),
+            ("statistician", "data-scientist", "synonym_of"),
+            ("data-engineer", "software-engineer", "related_to"),
+        ] {
+            taxonomy.add_edge(a, b, e).expect("taxonomy edge");
+        }
+
+        HrDataset {
+            db,
+            profiles,
+            taxonomy,
+            kv: Arc::new(KvStore::new()),
+            config,
+        }
+    }
+
+    /// Registers every asset in a data registry (the Fig 5 catalog).
+    pub fn register_assets(&self, registry: &DataRegistry) -> blueprint_registry::Result<()> {
+        registry.register(DataAsset::new(
+            "hr-lakehouse",
+            "YourJourney HR lakehouse",
+            DataLevel::Lakehouse,
+            DataModality::Relational,
+        ))?;
+        registry.register(
+            DataAsset::new(
+                "hr-db",
+                "HR relational database with job posting, company, applicant, and application data",
+                DataLevel::Database,
+                DataModality::Relational,
+            )
+            .with_parent("hr-lakehouse")
+            .with_connection("sql://hr"),
+        )?;
+        registry.register(
+            DataAsset::new(
+                "jobs",
+                "job postings with title, city, salary, company, remote flag",
+                DataLevel::Collection,
+                DataModality::Relational,
+            )
+            .with_parent("hr-db")
+            .with_field(FieldMeta::new("title", "text", "job title"))
+            .with_field(FieldMeta::new("city", "text", "job location city"))
+            .with_field(FieldMeta::new("salary", "float", "annual salary"))
+            .with_index("city")
+            .with_index("title")
+            .with_stats(self.db.row_count("jobs") as u64, 0)
+            .with_connection("sql://hr/jobs"),
+        )?;
+        registry.register(
+            DataAsset::new(
+                "applicants",
+                "applicant records with name, city, title, skills, experience",
+                DataLevel::Collection,
+                DataModality::Relational,
+            )
+            .with_parent("hr-db")
+            .with_field(FieldMeta::new("skills", "text", "comma separated skills"))
+            .with_stats(self.db.row_count("applicants") as u64, 0)
+            .with_connection("sql://hr/applicants"),
+        )?;
+        registry.register(
+            DataAsset::new(
+                "applications",
+                "applications linking applicants to job postings with status",
+                DataLevel::Collection,
+                DataModality::Relational,
+            )
+            .with_parent("hr-db")
+            .with_index("job_id")
+            .with_stats(self.db.row_count("applications") as u64, 0)
+            .with_connection("sql://hr/applications"),
+        )?;
+        registry.register(
+            DataAsset::new(
+                "profiles",
+                "job seeker resume documents with skills and experience summaries",
+                DataLevel::Collection,
+                DataModality::Document,
+            )
+            .with_parent("hr-db")
+            .with_stats(self.profiles.len() as u64, 0)
+            .with_connection("doc://hr/profiles"),
+        )?;
+        registry.register(
+            DataAsset::new(
+                "title-taxonomy",
+                "graph of job title relationships and synonyms",
+                DataLevel::Collection,
+                DataModality::Graph,
+            )
+            .with_parent("hr-db")
+            .with_stats(self.taxonomy.node_count() as u64, 0)
+            .with_connection("graph://hr/titles"),
+        )?;
+        registry.register(DataAsset::new(
+            "gpt-knowledge",
+            "general world knowledge from a large language model such as cities in a region",
+            DataLevel::Collection,
+            DataModality::Parametric,
+        ))?;
+        Ok(())
+    }
+}
+
+/// Slugifies a title into a taxonomy node id.
+pub fn slug(title: &str) -> String {
+    title.to_lowercase().split_whitespace().collect::<Vec<_>>().join("-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HrDataset {
+        HrDataset::generate(HrConfig {
+            seed: 7,
+            jobs: 50,
+            applicants: 40,
+            companies: 5,
+            applications: 80,
+        })
+    }
+
+    #[test]
+    fn generation_respects_config_sizes() {
+        let d = small();
+        assert_eq!(d.db.row_count("jobs"), 50);
+        assert_eq!(d.db.row_count("applicants"), 40);
+        assert_eq!(d.db.row_count("companies"), 5);
+        assert_eq!(d.db.row_count("applications"), 80);
+        assert_eq!(d.profiles.len(), 40);
+        assert_eq!(d.taxonomy.node_count(), TITLES.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        let qa = a.db.execute("SELECT * FROM jobs ORDER BY id LIMIT 5").unwrap();
+        let qb = b.db.execute("SELECT * FROM jobs ORDER BY id LIMIT 5").unwrap();
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = HrDataset::generate(HrConfig {
+            seed: 8,
+            ..a.config
+        });
+        let qa = a.db.execute("SELECT * FROM jobs ORDER BY id").unwrap();
+        let qb = b.db.execute("SELECT * FROM jobs ORDER BY id").unwrap();
+        assert_ne!(qa, qb);
+    }
+
+    #[test]
+    fn titles_are_skewed_toward_data_roles() {
+        let d = HrDataset::generate(HrConfig::default());
+        let r = d
+            .db
+            .execute("SELECT COUNT(*) FROM jobs WHERE title = 'data scientist'")
+            .unwrap();
+        let ds = match r.rows[0][0] {
+            Datum::Int(n) => n,
+            _ => 0,
+        };
+        let r2 = d
+            .db
+            .execute("SELECT COUNT(*) FROM jobs WHERE title = 'statistician'")
+            .unwrap();
+        let stat = match r2.rows[0][0] {
+            Datum::Int(n) => n,
+            _ => 0,
+        };
+        assert!(ds > stat);
+    }
+
+    #[test]
+    fn indices_exist_for_hot_columns() {
+        let d = small();
+        // Index probes should agree with full scans.
+        let by_index = d
+            .db
+            .execute("SELECT COUNT(*) FROM jobs WHERE city = 'san francisco'")
+            .unwrap();
+        assert!(matches!(by_index.rows[0][0], Datum::Int(_)));
+    }
+
+    #[test]
+    fn profiles_are_searchable() {
+        let d = small();
+        let hits = d.profiles.search("python machine learning", 5);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn taxonomy_expands_data_scientist() {
+        let d = small();
+        let related = d
+            .taxonomy
+            .traverse("data-scientist", None, 1, true)
+            .unwrap();
+        assert!(related.iter().any(|n| n.id == "machine-learning-engineer"));
+        assert!(related.iter().any(|n| n.id == "statistician"));
+    }
+
+    #[test]
+    fn assets_register_into_catalog() {
+        let d = small();
+        let registry = DataRegistry::new();
+        d.register_assets(&registry).unwrap();
+        assert_eq!(registry.len(), 8);
+        let hits = registry.discover("job postings with title and city", None, 3);
+        assert_eq!(hits[0].name, "jobs");
+        let chain = registry.ancestry("jobs").unwrap();
+        assert_eq!(chain.len(), 3);
+    }
+
+    #[test]
+    fn slug_formats() {
+        assert_eq!(slug("Data Scientist"), "data-scientist");
+        assert_eq!(slug("machine learning engineer"), "machine-learning-engineer");
+    }
+
+    #[test]
+    fn salaries_are_positive_and_plausible() {
+        let d = small();
+        let r = d
+            .db
+            .execute("SELECT MIN(salary), MAX(salary) FROM jobs")
+            .unwrap();
+        let min = r.rows[0][0].as_f64().unwrap();
+        let max = r.rows[0][1].as_f64().unwrap();
+        assert!(min > 50_000.0);
+        assert!(max < 300_000.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Guardrail modules: content moderation and fact verification.
+//!
+//! The paper's related work (§III-A) singles out "verification,
+//! summarization, explanation, and self-reflection modules", and YourJourney
+//! is explicitly "considering developing modules for content moderation and
+//! explanation" (§II). These are exactly the kind of components the
+//! architecture makes pluggable: both guardrails below are ordinary agents
+//! — registered, discoverable, and insertable into any plan.
+
+use std::sync::Arc;
+
+use serde_json::{json, Value};
+
+use blueprint_agents::{
+    AgentContext, AgentFactory, AgentSpec, CostProfile, DataType, FnProcessor, Inputs, Outputs,
+    ParamSpec, Processor,
+};
+use blueprint_registry::AgentRegistry;
+
+/// A moderation finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModerationVerdict {
+    /// Whether the content may pass.
+    pub allowed: bool,
+    /// Why not (empty when allowed).
+    pub reasons: Vec<String>,
+}
+
+/// Terms the deterministic moderator blocks (stand-in for a trained
+/// moderation model; the categories mirror common policy families).
+const BLOCKLIST: [(&str, &str); 6] = [
+    ("ssn", "personally identifiable information (SSN)"),
+    ("social security", "personally identifiable information (SSN)"),
+    ("password", "credential exposure"),
+    ("discriminate", "discriminatory hiring language"),
+    ("only young", "age-discriminatory language"),
+    ("salary of employee", "confidential compensation data"),
+];
+
+/// Rule-based moderation: blocklist categories + PII heuristics.
+pub fn moderate(text: &str) -> ModerationVerdict {
+    let lower = text.to_lowercase();
+    let mut reasons = Vec::new();
+    for (term, category) in BLOCKLIST {
+        if lower.contains(term) {
+            reasons.push(category.to_string());
+        }
+    }
+    // Email-address heuristic.
+    if lower
+        .split_whitespace()
+        .any(|w| w.contains('@') && w.contains('.'))
+    {
+        reasons.push("personally identifiable information (email)".to_string());
+    }
+    // Long digit runs (phone/SSN-like).
+    let digit_run = lower
+        .chars()
+        .fold((0usize, 0usize), |(run, max), c| {
+            if c.is_ascii_digit() {
+                (run + 1, max.max(run + 1))
+            } else {
+                (0, max)
+            }
+        })
+        .1;
+    if digit_run >= 9 {
+        reasons.push("personally identifiable information (long number)".to_string());
+    }
+    reasons.dedup();
+    ModerationVerdict {
+        allowed: reasons.is_empty(),
+        reasons,
+    }
+}
+
+/// Fact verification: checks that every count claimed in a summary
+/// ("returned N rows", "N applicants", ...) is consistent with the rows it
+/// allegedly summarizes. The self-checking module of §III-A, grounded in
+/// data instead of a second LLM opinion.
+pub fn verify_counts(claim: &str, rows: &Value) -> (bool, String) {
+    let n = rows.as_array().map(Vec::len).unwrap_or(0);
+    let claimed: Vec<usize> = claim
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|t| !t.is_empty() && t.len() < 7)
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    if claimed.is_empty() {
+        // No numeric claims to check.
+        return (true, "no numeric claims found".to_string());
+    }
+    if claimed.contains(&n) {
+        (true, format!("claimed count {n} matches the {n} source rows"))
+    } else {
+        (
+            false,
+            format!(
+                "claim mentions {:?} but the source has {n} rows",
+                claimed
+            ),
+        )
+    }
+}
+
+/// Registers both guardrails as agents. Returns their names.
+pub fn register_guardrails(
+    factory: &AgentFactory,
+    registry: &AgentRegistry,
+) -> blueprint_agents::Result<Vec<String>> {
+    let mut names = Vec::new();
+
+    // ── CONTENT MODERATOR ────────────────────────────────────────────────
+    let spec = AgentSpec::new(
+        "content-moderator",
+        "moderate content for policy violations and personally identifiable information",
+    )
+    .with_input(ParamSpec::required("text", "the content to check", DataType::Text))
+    .with_output(ParamSpec::required(
+        "verdict",
+        "allowed flag with violation reasons",
+        DataType::Json,
+    ))
+    .with_profile(CostProfile::new(0.05, 10_000, 0.97));
+    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        |inputs: &Inputs, ctx: &AgentContext| {
+            let text = inputs.require_str("text")?;
+            ctx.charge_cost(0.01);
+            ctx.charge_latency_micros(2_000);
+            let verdict = moderate(text);
+            Ok(Outputs::new().with(
+                "verdict",
+                json!({"allowed": verdict.allowed, "reasons": verdict.reasons}),
+            ))
+        },
+    ));
+    factory.register(spec.clone(), proc)?;
+    registry
+        .register(spec)
+        .map_err(|e| blueprint_agents::AgentError::InvalidSpec(e.to_string()))?;
+    names.push("content-moderator".to_string());
+
+    // ── FACT VERIFIER ────────────────────────────────────────────────────
+    let spec = AgentSpec::new(
+        "fact-verifier",
+        "verify that numeric claims in a summary are supported by the source rows",
+    )
+    .with_input(ParamSpec::required("claim", "the summary text to verify", DataType::Text))
+    .with_input(ParamSpec::required("rows", "the source rows", DataType::Table))
+    .with_output(ParamSpec::required(
+        "verdict",
+        "supported flag with an explanation",
+        DataType::Json,
+    ))
+    .with_profile(CostProfile::new(0.1, 20_000, 0.95));
+    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        |inputs: &Inputs, ctx: &AgentContext| {
+            let claim = inputs.require_str("claim")?;
+            let rows = inputs.require("rows")?;
+            ctx.charge_cost(0.02);
+            ctx.charge_latency_micros(3_000);
+            let (supported, explanation) = verify_counts(claim, rows);
+            Ok(Outputs::new().with(
+                "verdict",
+                json!({"supported": supported, "explanation": explanation}),
+            ))
+        },
+    ));
+    factory.register(spec.clone(), proc)?;
+    registry
+        .register(spec)
+        .map_err(|e| blueprint_agents::AgentError::InvalidSpec(e.to_string()))?;
+    names.push("fact-verifier".to_string());
+
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_streams::StreamStore;
+
+    #[test]
+    fn clean_text_passes_moderation() {
+        let v = moderate("I am looking for a data scientist position in SF bay area.");
+        assert!(v.allowed);
+        assert!(v.reasons.is_empty());
+    }
+
+    #[test]
+    fn blocklist_terms_are_flagged() {
+        let v = moderate("please share the candidate's social security number");
+        assert!(!v.allowed);
+        assert!(v.reasons.iter().any(|r| r.contains("SSN")));
+    }
+
+    #[test]
+    fn email_and_long_numbers_are_pii() {
+        let v = moderate("contact ada@example.com");
+        assert!(!v.allowed);
+        assert!(v.reasons.iter().any(|r| r.contains("email")));
+        let v2 = moderate("call 4155551234567 now");
+        assert!(!v2.allowed);
+        assert!(v2.reasons.iter().any(|r| r.contains("long number")));
+        // Short numbers are fine.
+        assert!(moderate("job id 42 looks good").allowed);
+    }
+
+    #[test]
+    fn discriminatory_language_flagged() {
+        assert!(!moderate("we only young candidates please").allowed);
+    }
+
+    #[test]
+    fn verify_counts_matches() {
+        let rows = json!([{"a":1},{"a":2},{"a":3}]);
+        let (ok, why) = verify_counts("The query returned 3 rows.", &rows);
+        assert!(ok, "{why}");
+        let (bad, why) = verify_counts("The query returned 5 rows.", &rows);
+        assert!(!bad);
+        assert!(why.contains("source has 3 rows"));
+    }
+
+    #[test]
+    fn verify_counts_without_numbers_passes() {
+        let (ok, why) = verify_counts("Several strong candidates applied.", &json!([{}]));
+        assert!(ok);
+        assert!(why.contains("no numeric claims"));
+    }
+
+    #[test]
+    fn verify_counts_ignores_huge_numbers() {
+        // Salaries etc. (≥ 7 digits) are not row-count claims.
+        let (ok, _) = verify_counts("avg salary 17059814 across 2 rows", &json!([{}, {}]));
+        assert!(ok);
+    }
+
+    #[test]
+    fn guardrail_agents_register_and_run() {
+        let store = StreamStore::new();
+        let factory = AgentFactory::new(store);
+        let registry = AgentRegistry::new();
+        let names = register_guardrails(&factory, &registry).unwrap();
+        assert_eq!(names, ["content-moderator", "fact-verifier"]);
+
+        let id = factory.spawn("content-moderator", "s").unwrap();
+        let out = factory
+            .with_instance(id, |h| {
+                h.host()
+                    .execute_now(Inputs::new().with("text", json!("share the password please")))
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.get("verdict").unwrap()["allowed"], json!(false));
+
+        let vid = factory.spawn("fact-verifier", "s").unwrap();
+        let out = factory
+            .with_instance(vid, |h| {
+                h.host().execute_now(
+                    Inputs::new()
+                        .with("claim", json!("2 rows returned"))
+                        .with("rows", json!([{"x":1},{"x":2}])),
+                )
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.get("verdict").unwrap()["supported"], json!(true));
+    }
+
+    #[test]
+    fn guardrails_are_discoverable_for_planning() {
+        let store = StreamStore::new();
+        let factory = AgentFactory::new(store);
+        let registry = AgentRegistry::new();
+        register_guardrails(&factory, &registry).unwrap();
+        let hits = registry.search("moderate content for policy violations", 1);
+        assert_eq!(hits[0].name, "content-moderator");
+        let hits = registry.search("verify numeric claims in a summary", 1);
+        assert_eq!(hits[0].name, "fact-verifier");
+    }
+}

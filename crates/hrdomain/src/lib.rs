@@ -1,0 +1,18 @@
+//! # blueprint-hrdomain
+//!
+//! The YourJourney HR company of the paper's §II: seeded synthetic data
+//! (job postings, companies, applicants, applications, resume documents,
+//! and the title taxonomy) plus the agent suite both scenarios use —
+//! PROFILER, JOB MATCHER, PRESENTER for Career Assistance (§II-A) and
+//! INTENT CLASSIFIER, NL2Q, SQL EXECUTOR, QUERY SUMMARIZER, SUMMARIZER,
+//! and AGENTIC EMPLOYER for the Agentic Employer case study (§VI).
+
+pub mod agents;
+pub mod data;
+pub mod guardrails;
+pub mod matcher;
+
+pub use agents::{register_hr_agents, HrAgents};
+pub use data::{HrConfig, HrDataset};
+pub use guardrails::{moderate, register_guardrails, verify_counts, ModerationVerdict};
+pub use matcher::{match_score, rank_jobs, JobMatch};

@@ -1,0 +1,143 @@
+//! Intent classification head (Fig 10's Intent Classifier agent).
+
+use serde::{Deserialize, Serialize};
+
+/// User-utterance intents the Agentic Employer application distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intent {
+    /// A greeting / small talk.
+    Greeting,
+    /// An open-ended data question ("how many applicants have ml skills?").
+    OpenEndedQuery,
+    /// A job-search request ("I am looking for a data scientist position").
+    JobSearch,
+    /// The user supplying profile information.
+    ProfileInfo,
+    /// A command to act on a list ("add the top 3 to my shortlist").
+    ListCommand,
+    /// A request to summarize ("summarize the applicants for job 12").
+    SummarizeRequest,
+    /// Unclassifiable.
+    Unknown,
+}
+
+impl Intent {
+    /// Stream tag used when the classifier emits this intent.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Intent::Greeting => "intent-greeting",
+            Intent::OpenEndedQuery => "intent-open-query",
+            Intent::JobSearch => "intent-job-search",
+            Intent::ProfileInfo => "intent-profile-info",
+            Intent::ListCommand => "intent-list-command",
+            Intent::SummarizeRequest => "intent-summarize",
+            Intent::Unknown => "intent-unknown",
+        }
+    }
+}
+
+/// Rule table emulating a trained intent classifier: first matching rule
+/// wins; rules are ordered from most to least specific.
+pub(crate) fn classify(text: &str) -> (Intent, f64) {
+    let t = text.to_lowercase();
+    let has = |words: &[&str]| words.iter().any(|w| t.contains(w));
+
+    if t.trim().is_empty() {
+        return (Intent::Unknown, 0.2);
+    }
+    if has(&["hello", "hi ", "hey", "good morning", "good afternoon"]) && t.len() < 40 {
+        return (Intent::Greeting, 0.95);
+    }
+    if has(&["summarize", "summary", "overview of", "tl;dr"]) {
+        return (Intent::SummarizeRequest, 0.9);
+    }
+    if has(&["add ", "remove ", "shortlist", "my list", "drop "]) {
+        return (Intent::ListCommand, 0.85);
+    }
+    if has(&["looking for", "find me", "position", "job in", "roles in", "openings"]) {
+        return (Intent::JobSearch, 0.9);
+    }
+    if has(&["my name is", "i have", "years of experience", "my skills", "i know"]) {
+        return (Intent::ProfileInfo, 0.8);
+    }
+    if has(&["how many", "which ", "what ", "who ", "show me", "list ", "count", "average", "do ", "does "])
+        || t.ends_with('?')
+    {
+        return (Intent::OpenEndedQuery, 0.85);
+    }
+    (Intent::Unknown, 0.4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greeting() {
+        let (i, c) = classify("Hello there!");
+        assert_eq!(i, Intent::Greeting);
+        assert!(c > 0.9);
+    }
+
+    #[test]
+    fn open_ended_query() {
+        let (i, _) = classify("How many applicants have machine learning skills?");
+        assert_eq!(i, Intent::OpenEndedQuery);
+        let (i2, _) = classify("which cities have the most applicants");
+        assert_eq!(i2, Intent::OpenEndedQuery);
+    }
+
+    #[test]
+    fn job_search_running_example() {
+        let (i, c) = classify("I am looking for a data scientist position in SF bay area.");
+        assert_eq!(i, Intent::JobSearch);
+        assert!(c >= 0.9);
+    }
+
+    #[test]
+    fn summarize_request() {
+        let (i, _) = classify("Summarize the applicants for job 12");
+        assert_eq!(i, Intent::SummarizeRequest);
+    }
+
+    #[test]
+    fn list_command() {
+        let (i, _) = classify("add the top three to my shortlist");
+        assert_eq!(i, Intent::ListCommand);
+    }
+
+    #[test]
+    fn profile_info() {
+        let (i, _) = classify("I have 5 years of experience with python");
+        assert_eq!(i, Intent::ProfileInfo);
+    }
+
+    #[test]
+    fn question_mark_fallback() {
+        let (i, _) = classify("salary bands for engineers?");
+        assert_eq!(i, Intent::OpenEndedQuery);
+    }
+
+    #[test]
+    fn unknown_and_empty() {
+        assert_eq!(classify("").0, Intent::Unknown);
+        assert_eq!(classify("xyzzy plugh").0, Intent::Unknown);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags: std::collections::HashSet<&str> = [
+            Intent::Greeting,
+            Intent::OpenEndedQuery,
+            Intent::JobSearch,
+            Intent::ProfileInfo,
+            Intent::ListCommand,
+            Intent::SummarizeRequest,
+            Intent::Unknown,
+        ]
+        .iter()
+        .map(|i| i.tag())
+        .collect();
+        assert_eq!(tags.len(), 7);
+    }
+}

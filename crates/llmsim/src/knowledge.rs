@@ -1,0 +1,203 @@
+//! Seeded parametric knowledge base.
+//!
+//! Stands in for the world knowledge of a hosted LLM. It ships with the
+//! facts the paper's running example needs — cities in the SF bay area,
+//! related job titles, skills per role — and accepts additional facts so
+//! examples and tests can extend it.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// Topic-keyed lists of facts with keyword lookup.
+#[derive(Default)]
+pub struct KnowledgeBase {
+    /// topic (lowercased keyword set) → answers
+    facts: RwLock<HashMap<String, Vec<String>>>,
+}
+
+/// Function words that carry no topical signal and would otherwise inflate
+/// token-overlap scores ("cities in the X" matching any "... in the ..."
+/// topic).
+const STOPWORDS: [&str; 14] = [
+    "a", "an", "the", "in", "of", "for", "to", "are", "is", "what", "which", "list", "me",
+    "please",
+];
+
+fn normalize(topic: &str) -> String {
+    let lower = topic.to_lowercase();
+    let mut tokens: Vec<&str> = lower
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty() && !STOPWORDS.contains(t))
+        .collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens.join(" ")
+}
+
+impl KnowledgeBase {
+    /// An empty knowledge base.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The built-in knowledge the HR scenario relies on.
+    pub fn builtin() -> Self {
+        let kb = Self::empty();
+        kb.add(
+            "cities in the sf bay area",
+            [
+                "san francisco",
+                "oakland",
+                "san jose",
+                "berkeley",
+                "palo alto",
+                "mountain view",
+                "sunnyvale",
+                "fremont",
+            ],
+        );
+        kb.add(
+            "titles related to data scientist",
+            [
+                "data scientist",
+                "machine learning engineer",
+                "data analyst",
+                "research scientist",
+                "applied scientist",
+                "statistician",
+            ],
+        );
+        kb.add(
+            "skills required for data scientist",
+            [
+                "python",
+                "sql",
+                "statistics",
+                "machine learning",
+                "data visualization",
+                "communication",
+            ],
+        );
+        kb.add(
+            "skills required for machine learning engineer",
+            ["python", "pytorch", "distributed systems", "mlops", "sql"],
+        );
+        kb.add(
+            "cities in new york metro area",
+            ["new york", "jersey city", "newark", "brooklyn", "queens"],
+        );
+        kb
+    }
+
+    /// Registers a fact list under a topic.
+    pub fn add<I, S>(&self, topic: &str, answers: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.facts
+            .write()
+            .insert(normalize(topic), answers.into_iter().map(Into::into).collect());
+    }
+
+    /// Looks up the best-matching topic for a question: the topic sharing
+    /// the most tokens with the question (at least 2, or an exact match).
+    pub fn lookup(&self, question: &str) -> Option<Vec<String>> {
+        let facts = self.facts.read();
+        let qnorm = normalize(question);
+        if let Some(exact) = facts.get(&qnorm) {
+            return Some(exact.clone());
+        }
+        let qtokens: Vec<&str> = qnorm.split(' ').filter(|t| !t.is_empty()).collect();
+        let mut best: Option<(usize, &String, &Vec<String>)> = None;
+        for (topic, answers) in facts.iter() {
+            let overlap = topic
+                .split(' ')
+                .filter(|t| qtokens.contains(t))
+                .count();
+            let better = match best {
+                Some((b, bt, _)) => overlap > b || (overlap == b && topic < bt),
+                None => true,
+            };
+            if overlap >= 2 && better {
+                best = Some((overlap, topic, answers));
+            }
+        }
+        best.map(|(_, _, answers)| answers.clone())
+    }
+
+    /// Number of topics known.
+    pub fn len(&self) -> usize {
+        self.facts.read().len()
+    }
+
+    /// True if no topics are known.
+    pub fn is_empty(&self) -> bool {
+        self.facts.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_answers_bay_area_cities() {
+        let kb = KnowledgeBase::builtin();
+        let cities = kb.lookup("list the cities in the SF bay area").unwrap();
+        assert!(cities.contains(&"san francisco".to_string()));
+        assert!(cities.contains(&"oakland".to_string()));
+        assert!(cities.len() >= 5);
+    }
+
+    #[test]
+    fn lookup_is_order_insensitive() {
+        let kb = KnowledgeBase::builtin();
+        let a = kb.lookup("sf bay area cities").unwrap();
+        let b = kb.lookup("cities in the sf bay area").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn related_titles() {
+        let kb = KnowledgeBase::builtin();
+        let titles = kb.lookup("titles related to data scientist").unwrap();
+        assert!(titles.contains(&"machine learning engineer".to_string()));
+    }
+
+    #[test]
+    fn unknown_topic_is_none() {
+        let kb = KnowledgeBase::builtin();
+        assert!(kb.lookup("weather on neptune").is_none());
+        assert!(kb.lookup("").is_none());
+    }
+
+    #[test]
+    fn single_token_overlap_is_insufficient() {
+        let kb = KnowledgeBase::builtin();
+        // "cities" alone matches several topics with one token — rejected.
+        assert!(kb.lookup("zork").is_none());
+    }
+
+    #[test]
+    fn custom_facts_extend() {
+        let kb = KnowledgeBase::empty();
+        assert!(kb.is_empty());
+        kb.add("capitals of europe", ["paris", "berlin"]);
+        assert_eq!(kb.len(), 1);
+        let got = kb.lookup("what are the capitals of europe").unwrap();
+        assert_eq!(got, ["paris", "berlin"]);
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let kb = KnowledgeBase::empty();
+        kb.add("alpha beta", ["1"]);
+        kb.add("alpha beta gamma delta", ["2"]);
+        // Both share 2 tokens with the question; lexicographically smaller
+        // normalized topic wins → "alpha beta".
+        let got = kb.lookup("alpha beta").unwrap();
+        assert_eq!(got, ["1"]);
+    }
+}

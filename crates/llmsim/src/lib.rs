@@ -1,0 +1,32 @@
+//! # blueprint-llmsim
+//!
+//! A deterministic simulated LLM. The paper's architecture treats LLMs as
+//! (a) agents with a cost/latency/accuracy profile and (b) *data sources*
+//! holding parametric knowledge (§V-G: "'cities in the SF bay area' might be
+//! obtained from an OpenAI model"). This reproduction has no model weights,
+//! so the simulator substitutes task heads that exercise exactly the same
+//! code paths:
+//!
+//! * intent classification (Fig 10's Intent Classifier),
+//! * criteria extraction (`PROFILER.CRITERIA ← USER.TEXT`),
+//! * NL→SQL translation over a provided schema (the NL2Q agent),
+//! * summarization/explanation of query results (Query Summarizer),
+//! * parametric knowledge lookup backed by a seeded [`KnowledgeBase`],
+//! * token-stream completion output (streams carry tokens as messages).
+//!
+//! Determinism: every head is a pure function of (model seed, input).
+//! Model tiers ([`ModelProfile`]) differ in cost, latency, and *simulated
+//! accuracy* — lower-tier models corrupt a seeded fraction of their outputs,
+//! which is what makes the optimizer's accuracy/cost trade-off measurable in
+//! the benches.
+
+pub mod intent;
+pub mod knowledge;
+pub mod llm;
+pub mod model;
+pub mod nl2sql;
+
+pub use intent::Intent;
+pub use knowledge::KnowledgeBase;
+pub use llm::{ExtractedCriteria, ParametricSource, SimLlm, Usage};
+pub use model::ModelProfile;

@@ -1,0 +1,533 @@
+//! The simulated LLM: task heads + usage metering + accuracy enactment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use blueprint_datastore::{CostEstimate, DataError, DataSource, SourceQuery, SourceResult};
+
+use crate::intent::{classify, Intent};
+use crate::knowledge::KnowledgeBase;
+use crate::model::ModelProfile;
+use crate::nl2sql::{nl2sql, TableSchema};
+
+/// Metering for one simulated call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Usage {
+    /// Prompt tokens.
+    pub tokens_in: usize,
+    /// Generated tokens.
+    pub tokens_out: usize,
+    /// Monetary cost in cost units.
+    pub cost: f64,
+    /// Simulated latency in microseconds.
+    pub latency_micros: u64,
+}
+
+/// Criteria extracted from a user utterance
+/// (`PROFILER.CRITERIA ← USER.TEXT`, §V-G).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExtractedCriteria {
+    /// Desired job title, if detected.
+    pub title: Option<String>,
+    /// Desired location phrase, if detected.
+    pub location: Option<String>,
+    /// Skills mentioned.
+    pub skills: Vec<String>,
+}
+
+impl ExtractedCriteria {
+    /// JSON form placed on streams.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "title": self.title,
+            "location": self.location,
+            "skills": self.skills,
+        })
+    }
+}
+
+/// Titles the extractor recognizes (a stand-in for an NER model's lexicon).
+const KNOWN_TITLES: [&str; 8] = [
+    "data scientist",
+    "machine learning engineer",
+    "ml engineer",
+    "data analyst",
+    "data engineer",
+    "software engineer",
+    "research scientist",
+    "recruiter",
+];
+
+/// Skills the extractor recognizes.
+const KNOWN_SKILLS: [&str; 8] = [
+    "python", "sql", "statistics", "machine learning", "pytorch", "java", "rust", "communication",
+];
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn count_tokens(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+/// A deterministic simulated LLM at a given tier.
+pub struct SimLlm {
+    profile: ModelProfile,
+    kb: Arc<KnowledgeBase>,
+}
+
+impl SimLlm {
+    /// Creates a simulator with the built-in knowledge base.
+    pub fn new(profile: ModelProfile) -> Self {
+        SimLlm {
+            profile,
+            kb: Arc::new(KnowledgeBase::builtin()),
+        }
+    }
+
+    /// Creates a simulator with a custom knowledge base.
+    pub fn with_knowledge(profile: ModelProfile, kb: Arc<KnowledgeBase>) -> Self {
+        SimLlm { profile, kb }
+    }
+
+    /// The tier profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The knowledge base.
+    pub fn knowledge_base(&self) -> &Arc<KnowledgeBase> {
+        &self.kb
+    }
+
+    fn usage(&self, tokens_in: usize, tokens_out: usize) -> Usage {
+        Usage {
+            tokens_in,
+            tokens_out,
+            cost: self.profile.call_cost(tokens_in, tokens_out),
+            latency_micros: self.profile.call_latency_micros(tokens_out),
+        }
+    }
+
+    /// Deterministic per-item corruption decision: true when this item of
+    /// this input should be corrupted at this tier's accuracy.
+    fn corrupt(&self, input: &str, item: usize) -> bool {
+        let key = format!("{}#{}#{}", self.profile.seed, input, item);
+        let h = fnv1a(key.as_bytes());
+        let p = (h % 10_000) as f64 / 10_000.0;
+        p >= self.profile.accuracy
+    }
+
+    /// Classifies a user utterance's intent.
+    pub fn classify_intent(&self, text: &str) -> (Intent, f64, Usage) {
+        let (intent, confidence) = classify(text);
+        let usage = self.usage(count_tokens(text), 3);
+        if self.corrupt(text, 0) {
+            // The lossy tier mislabels: everything degrades to Unknown.
+            return (Intent::Unknown, confidence * 0.5, usage);
+        }
+        (intent, confidence, usage)
+    }
+
+    /// Extracts job-search criteria from an utterance.
+    pub fn extract_criteria(&self, text: &str) -> (ExtractedCriteria, Usage) {
+        let t = text.to_lowercase();
+        let mut out = ExtractedCriteria::default();
+        for title in KNOWN_TITLES {
+            if t.contains(title) {
+                out.title = Some(title.to_string());
+                break;
+            }
+        }
+        if let Some(pos) = t.find(" in ") {
+            let rest = &t[pos + 4..];
+            let loc: String = rest
+                .trim_start_matches("the ")
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || c.is_whitespace())
+                .collect();
+            let loc = loc.trim();
+            if !loc.is_empty() {
+                out.location = Some(loc.to_string());
+            }
+        }
+        for skill in KNOWN_SKILLS {
+            if t.contains(skill) {
+                out.skills.push(skill.to_string());
+            }
+        }
+        let usage = self.usage(count_tokens(text), 12);
+        if self.corrupt(text, 1) {
+            // Corruption drops the location — a realistic extraction miss.
+            out.location = None;
+        }
+        (out, usage)
+    }
+
+    /// Answers a knowledge question from parametric memory. Corruption drops
+    /// a seeded subset of answer items.
+    pub fn knowledge(&self, question: &str) -> (Vec<String>, Usage) {
+        let answers = self.kb.lookup(question).unwrap_or_default();
+        let kept: Vec<String> = answers
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !self.corrupt(question, *i))
+            .map(|(_, a)| a)
+            .collect();
+        let tokens_out: usize = kept.iter().map(|a| count_tokens(a)).sum();
+        let usage = self.usage(count_tokens(question), tokens_out.max(1));
+        (kept, usage)
+    }
+
+    /// Translates a question into SQL over a schema. Corruption drops the
+    /// WHERE clause (the classic NL2Q failure mode).
+    pub fn nl_to_sql(
+        &self,
+        question: &str,
+        tables: &[TableSchema],
+        values: &HashMap<String, Vec<String>>,
+    ) -> (Option<String>, Usage) {
+        let sql = nl2sql(question, tables, values);
+        let usage = self.usage(
+            count_tokens(question) + tables.iter().map(|t| t.columns.len() + 1).sum::<usize>(),
+            sql.as_deref().map(count_tokens).unwrap_or(1),
+        );
+        let sql = sql.map(|s| {
+            if self.corrupt(question, 2) {
+                match s.find(" WHERE ") {
+                    Some(i) => s[..i].to_string(),
+                    None => s,
+                }
+            } else {
+                s
+            }
+        });
+        (sql, usage)
+    }
+
+    /// Summarizes a JSON table (array of objects) into prose — the Query
+    /// Summarizer agent's head.
+    pub fn summarize_rows(&self, rows: &Value) -> (String, Usage) {
+        let arr = rows.as_array().cloned().unwrap_or_default();
+        let summary = if arr.is_empty() {
+            "The query returned no rows.".to_string()
+        } else {
+            let cols: Vec<String> = arr[0]
+                .as_object()
+                .map(|o| o.keys().cloned().collect())
+                .unwrap_or_default();
+            let mut s = format!(
+                "The query returned {} row{} with column{} {}.",
+                arr.len(),
+                if arr.len() == 1 { "" } else { "s" },
+                if cols.len() == 1 { "" } else { "s" },
+                cols.join(", ")
+            );
+            if let Some(first) = arr.first().and_then(Value::as_object) {
+                let sample: Vec<String> = first
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", render_scalar(v)))
+                    .collect();
+                s.push_str(&format!(" For example: {}.", sample.join(", ")));
+            }
+            s
+        };
+        let usage = self.usage(
+            arr.len().saturating_mul(8) + 4,
+            count_tokens(&summary),
+        );
+        (summary, usage)
+    }
+
+    /// Summarizes free text: keeps the first sentence and reports length.
+    pub fn summarize_text(&self, text: &str) -> (String, Usage) {
+        let first = text.split(['.', '!', '?']).next().unwrap_or("").trim();
+        let summary = if first.is_empty() {
+            "Empty input.".to_string()
+        } else {
+            format!("{first}. ({} words total)", count_tokens(text))
+        };
+        let usage = self.usage(count_tokens(text), count_tokens(&summary));
+        (summary, usage)
+    }
+
+    /// Generic completion: knowledge lookup, falling back to a deterministic
+    /// acknowledgment.
+    pub fn complete(&self, prompt: &str) -> (String, Usage) {
+        let (hits, _) = self.knowledge(prompt);
+        let text = if hits.is_empty() {
+            format!(
+                "[{}] I considered your request ({} tokens) but have no grounded answer.",
+                self.profile.name,
+                count_tokens(prompt)
+            )
+        } else {
+            hits.join(", ")
+        };
+        let usage = self.usage(count_tokens(prompt), count_tokens(&text));
+        (text, usage)
+    }
+
+    /// Splits a completion into the token stream published message-by-message
+    /// (the paper models LLM output as a stream of tokens, §V-A).
+    pub fn stream_tokens(text: &str) -> Vec<String> {
+        text.split_whitespace().map(str::to_string).collect()
+    }
+}
+
+fn render_scalar(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// The LLM as a data source (`DataModality::Parametric` in the registry).
+pub struct ParametricSource {
+    name: String,
+    llm: Arc<SimLlm>,
+}
+
+impl ParametricSource {
+    /// Wraps a simulator under a registry name.
+    pub fn new(name: impl Into<String>, llm: Arc<SimLlm>) -> Self {
+        ParametricSource {
+            name: name.into(),
+            llm,
+        }
+    }
+}
+
+impl DataSource for ParametricSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn modality(&self) -> &'static str {
+        "parametric"
+    }
+
+    fn supports(&self, query: &SourceQuery) -> bool {
+        matches!(query, SourceQuery::Knowledge(_))
+    }
+
+    fn estimate(&self, query: &SourceQuery) -> CostEstimate {
+        match query {
+            SourceQuery::Knowledge(q) => {
+                let profile = self.llm.profile();
+                let tokens_out = 24; // typical list answer
+                CostEstimate {
+                    cost_units: profile.call_cost(count_tokens(q), tokens_out),
+                    latency_micros: profile.call_latency_micros(tokens_out),
+                    accuracy: profile.accuracy,
+                }
+            }
+            _ => CostEstimate::FREE,
+        }
+    }
+
+    fn query(&self, query: &SourceQuery) -> blueprint_datastore::Result<SourceResult> {
+        match query {
+            SourceQuery::Knowledge(q) => {
+                let (answers, _) = self.llm.knowledge(q);
+                if answers.is_empty() {
+                    return Err(DataError::NotFound(format!(
+                        "parametric source has no answer for: {q}"
+                    )));
+                }
+                Ok(SourceResult::from_array(Value::Array(
+                    answers.into_iter().map(Value::String).collect(),
+                )))
+            }
+            other => Err(DataError::Eval(format!(
+                "parametric source cannot answer {}",
+                other.op_name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn large() -> SimLlm {
+        SimLlm::new(ModelProfile::large())
+    }
+
+    fn tiny() -> SimLlm {
+        SimLlm::new(ModelProfile::tiny())
+    }
+
+    const RUNNING_EXAMPLE: &str = "I am looking for a data scientist position in SF bay area.";
+
+    #[test]
+    fn intent_on_running_example() {
+        let (intent, conf, usage) = large().classify_intent(RUNNING_EXAMPLE);
+        assert_eq!(intent, Intent::JobSearch);
+        assert!(conf > 0.8);
+        assert!(usage.cost > 0.0);
+        assert!(usage.latency_micros > 0);
+    }
+
+    #[test]
+    fn extraction_on_running_example() {
+        let (c, usage) = large().extract_criteria(RUNNING_EXAMPLE);
+        assert_eq!(c.title.as_deref(), Some("data scientist"));
+        assert_eq!(c.location.as_deref(), Some("sf bay area"));
+        assert!(usage.tokens_in > 0);
+    }
+
+    #[test]
+    fn extraction_finds_skills() {
+        let (c, _) = large().extract_criteria("I know python and sql, looking for ml roles in oakland");
+        assert!(c.skills.contains(&"python".to_string()));
+        assert!(c.skills.contains(&"sql".to_string()));
+        assert_eq!(c.location.as_deref(), Some("oakland"));
+    }
+
+    #[test]
+    fn knowledge_full_fidelity_on_large() {
+        let (cities, usage) = large().knowledge("cities in the sf bay area");
+        assert_eq!(cities.len(), 8); // sim-large at 0.98 keeps all 8 here
+        assert!(usage.cost > 0.0);
+    }
+
+    #[test]
+    fn knowledge_degrades_on_tiny() {
+        let (large_cities, _) = large().knowledge("cities in the sf bay area");
+        let (tiny_cities, _) = tiny().knowledge("cities in the sf bay area");
+        assert!(tiny_cities.len() < large_cities.len());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = tiny().knowledge("cities in the sf bay area").0;
+        let b = tiny().knowledge("cities in the sf bay area").0;
+        assert_eq!(a, b);
+        let (i1, _, _) = tiny().classify_intent("hello");
+        let (i2, _, _) = tiny().classify_intent("hello");
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn nl_to_sql_delegates() {
+        let tables = vec![TableSchema {
+            name: "jobs".into(),
+            columns: vec![("id".into(), "int".into()), ("city".into(), "text".into())],
+        }];
+        let mut values = HashMap::new();
+        values.insert("city".to_string(), vec!["oakland".to_string()]);
+        let (sql, usage) = large().nl_to_sql("how many jobs in oakland", &tables, &values);
+        assert_eq!(
+            sql.as_deref(),
+            Some("SELECT COUNT(*) AS n FROM jobs WHERE city = 'oakland'")
+        );
+        assert!(usage.cost > 0.0);
+    }
+
+    #[test]
+    fn summarize_rows_mentions_shape() {
+        let rows = json!([
+            {"city": "san francisco", "n": 2},
+            {"city": "oakland", "n": 1}
+        ]);
+        let (s, _) = large().summarize_rows(&rows);
+        assert!(s.contains("2 rows"));
+        assert!(s.contains("city"));
+        assert!(s.contains("For example"));
+        let (empty, _) = large().summarize_rows(&json!([]));
+        assert!(empty.contains("no rows"));
+    }
+
+    #[test]
+    fn summarize_text_takes_first_sentence() {
+        let (s, _) = large().summarize_text("First point. Second point. Third.");
+        assert!(s.starts_with("First point."));
+        assert!(s.contains("5 words total")); // "First point. Second point. Third." = 5 words
+        let (e, _) = large().summarize_text("");
+        assert_eq!(e, "Empty input.");
+    }
+
+    #[test]
+    fn complete_uses_knowledge_or_acknowledges() {
+        let (grounded, _) = large().complete("cities in the sf bay area");
+        assert!(grounded.contains("san francisco"));
+        let (fallback, _) = large().complete("xyzzy");
+        assert!(fallback.contains("sim-large"));
+    }
+
+    #[test]
+    fn stream_tokens_splits() {
+        assert_eq!(
+            SimLlm::stream_tokens("a b  c"),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+        assert!(SimLlm::stream_tokens("").is_empty());
+    }
+
+    #[test]
+    fn cost_scales_with_tier() {
+        let (_, u_large) = large().knowledge("cities in the sf bay area");
+        let (_, u_tiny) = tiny().knowledge("cities in the sf bay area");
+        assert!(u_large.cost > u_tiny.cost);
+        assert!(u_large.latency_micros > u_tiny.latency_micros);
+    }
+
+    #[test]
+    fn parametric_source_round_trip() {
+        let src = ParametricSource::new("gpt-knowledge", Arc::new(large()));
+        assert_eq!(src.modality(), "parametric");
+        let q = SourceQuery::Knowledge("cities in the sf bay area".into());
+        assert!(src.supports(&q));
+        let r = src.query(&q).unwrap();
+        assert!(r.rows >= 5);
+        let est = src.estimate(&q);
+        assert!(est.cost_units > 0.0);
+        assert!(est.accuracy > 0.9);
+        assert!(src.query(&SourceQuery::KvGet("x".into())).is_err());
+        assert!(src
+            .query(&SourceQuery::Knowledge("unknown topic".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn custom_knowledge_base() {
+        let kb = Arc::new(KnowledgeBase::empty());
+        kb.add("test topic", ["answer"]);
+        let llm = SimLlm::with_knowledge(ModelProfile::large(), kb);
+        assert_eq!(llm.knowledge("test topic").0, ["answer"]);
+    }
+
+    #[test]
+    fn corrupted_nl2sql_drops_where() {
+        // Find a question the tiny tier corrupts; verify the WHERE is gone.
+        let tables = vec![TableSchema {
+            name: "jobs".into(),
+            columns: vec![("city".into(), "text".into())],
+        }];
+        let mut values = HashMap::new();
+        values.insert("city".to_string(), vec!["oakland".to_string()]);
+        let llm = tiny();
+        let mut saw_corruption = false;
+        for i in 0..200 {
+            let q = format!("jobs in oakland please variant {i}");
+            let (sql, _) = llm.nl_to_sql(&q, &tables, &values);
+            let sql = sql.unwrap();
+            if !sql.contains("WHERE") {
+                saw_corruption = true;
+                break;
+            }
+        }
+        assert!(saw_corruption, "tiny tier should corrupt some queries");
+    }
+}

@@ -1,0 +1,113 @@
+//! Model tiers and their QoS profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The QoS profile of a simulated model tier.
+///
+/// The optimizer (§V-G) chooses between tiers by these numbers; the
+/// simulator *enacts* them: cost and latency are charged per token, and
+/// `accuracy` is the probability each generated item survives uncorrupted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Tier name (`sim-large`, `sim-small`, `sim-tiny`).
+    pub name: String,
+    /// Cost units per 1000 tokens (in + out).
+    pub cost_per_1k_tokens: f64,
+    /// Fixed per-call latency in simulated microseconds.
+    pub base_latency_micros: u64,
+    /// Additional latency per generated token in simulated microseconds.
+    pub latency_per_token_micros: u64,
+    /// Probability each output item is correct, in `[0, 1]`.
+    pub accuracy: f64,
+    /// Seed mixed into the corruption hash (distinct tiers disagree).
+    pub seed: u64,
+}
+
+impl ModelProfile {
+    /// The flagship tier: accurate, slow, expensive.
+    pub fn large() -> Self {
+        ModelProfile {
+            name: "sim-large".into(),
+            cost_per_1k_tokens: 10.0,
+            base_latency_micros: 200_000,
+            latency_per_token_micros: 20_000,
+            accuracy: 0.98,
+            seed: 101,
+        }
+    }
+
+    /// The workhorse tier: cheaper and faster, less accurate.
+    pub fn small() -> Self {
+        ModelProfile {
+            name: "sim-small".into(),
+            cost_per_1k_tokens: 1.0,
+            base_latency_micros: 60_000,
+            latency_per_token_micros: 5_000,
+            accuracy: 0.90,
+            seed: 202,
+        }
+    }
+
+    /// The edge tier: nearly free, fast, noticeably lossy.
+    pub fn tiny() -> Self {
+        ModelProfile {
+            name: "sim-tiny".into(),
+            cost_per_1k_tokens: 0.1,
+            base_latency_micros: 15_000,
+            latency_per_token_micros: 1_000,
+            accuracy: 0.75,
+            seed: 303,
+        }
+    }
+
+    /// All built-in tiers, cheapest last.
+    pub fn tiers() -> Vec<ModelProfile> {
+        vec![Self::large(), Self::small(), Self::tiny()]
+    }
+
+    /// Cost of a call with the given token counts.
+    pub fn call_cost(&self, tokens_in: usize, tokens_out: usize) -> f64 {
+        self.cost_per_1k_tokens * (tokens_in + tokens_out) as f64 / 1000.0
+    }
+
+    /// Latency of a call generating `tokens_out` tokens.
+    pub fn call_latency_micros(&self, tokens_out: usize) -> u64 {
+        self.base_latency_micros + self.latency_per_token_micros * tokens_out as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered_by_cost_and_accuracy() {
+        let l = ModelProfile::large();
+        let s = ModelProfile::small();
+        let t = ModelProfile::tiny();
+        assert!(l.cost_per_1k_tokens > s.cost_per_1k_tokens);
+        assert!(s.cost_per_1k_tokens > t.cost_per_1k_tokens);
+        assert!(l.accuracy > s.accuracy);
+        assert!(s.accuracy > t.accuracy);
+        assert!(l.base_latency_micros > t.base_latency_micros);
+    }
+
+    #[test]
+    fn call_cost_scales_with_tokens() {
+        let m = ModelProfile::small();
+        assert!((m.call_cost(500, 500) - 1.0).abs() < 1e-9);
+        assert_eq!(m.call_cost(0, 0), 0.0);
+    }
+
+    #[test]
+    fn call_latency_includes_base_and_per_token() {
+        let m = ModelProfile::tiny();
+        assert_eq!(m.call_latency_micros(0), 15_000);
+        assert_eq!(m.call_latency_micros(10), 25_000);
+    }
+
+    #[test]
+    fn tiers_list_has_three() {
+        assert_eq!(ModelProfile::tiers().len(), 3);
+    }
+}

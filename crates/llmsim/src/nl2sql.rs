@@ -1,0 +1,323 @@
+//! NL→SQL head (the NL2Q agent of Fig 10).
+//!
+//! A template-based translator that emulates a fine-tuned NL2Q model over a
+//! *known schema*: it scores candidate tables by token overlap, detects
+//! aggregates ("how many", "average ..."), grouping ("per city"), numeric
+//! comparisons ("over 150000"), equality filters from a data-aware value
+//! dictionary (the sampled distinct values a real NL2Q system indexes), and
+//! containment filters ("with python skills" → `LIKE '%python%'`).
+
+use std::collections::HashMap;
+
+/// Schema handed to the translator (table name + column names/types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// `(column name, "text" | "int" | "float" | "bool")` pairs.
+    pub columns: Vec<(String, String)>,
+}
+
+fn tokens(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn singular(token: &str) -> String {
+    token.strip_suffix('s').unwrap_or(token).to_string()
+}
+
+/// Translates a natural-language question into SQL over the given schema.
+///
+/// `values` is the data-aware dictionary: column name → known distinct text
+/// values (lowercased) used to ground equality filters.
+pub fn nl2sql(
+    question: &str,
+    tables: &[TableSchema],
+    values: &HashMap<String, Vec<String>>,
+) -> Option<String> {
+    if tables.is_empty() {
+        return None;
+    }
+    let q = question.to_lowercase();
+    let qtokens = tokens(&q);
+
+    // 1. Pick the table with the highest token overlap (name + columns).
+    let mut best: (usize, &TableSchema) = (0, &tables[0]);
+    for t in tables {
+        let mut score = 0;
+        let tname = singular(&t.name.to_lowercase());
+        if qtokens.iter().any(|tok| singular(tok) == tname) {
+            score += 3;
+        }
+        for (c, _) in &t.columns {
+            if qtokens.iter().any(|tok| singular(tok) == singular(c)) {
+                score += 1;
+            }
+        }
+        if score > best.0 {
+            best = (score, t);
+        }
+    }
+    let table = best.1;
+
+    // 2. Aggregate / projection.
+    let mut select = String::new();
+    let mut group_col: Option<String> = None;
+    // "per <col>" / "by <col>" grouping.
+    for (i, tok) in qtokens.iter().enumerate() {
+        if (tok == "per" || tok == "by") && i + 1 < qtokens.len() {
+            let cand = singular(&qtokens[i + 1]);
+            if let Some((c, _)) = table
+                .columns
+                .iter()
+                .find(|(c, _)| singular(c) == cand)
+            {
+                group_col = Some(c.clone());
+            }
+        }
+    }
+    let wants_count = q.contains("how many") || qtokens.contains(&"count".to_string());
+    let avg_col = qtokens.iter().enumerate().find_map(|(i, tok)| {
+        if tok == "average" || tok == "avg" || tok == "mean" {
+            qtokens[i + 1..].iter().find_map(|next| {
+                let cand = singular(next);
+                table
+                    .columns
+                    .iter()
+                    .find(|(c, _)| singular(c) == cand)
+                    .map(|(c, _)| c.clone())
+            })
+        } else {
+            None
+        }
+    });
+
+    if let Some(g) = &group_col {
+        if let Some(a) = &avg_col {
+            select = format!("SELECT {g}, AVG({a}) AS avg_{a} FROM {}", table.name);
+        } else {
+            select = format!("SELECT {g}, COUNT(*) AS n FROM {}", table.name);
+        }
+    } else if let Some(a) = &avg_col {
+        select = format!("SELECT AVG({a}) AS avg_{a} FROM {}", table.name);
+    } else if wants_count {
+        select = format!("SELECT COUNT(*) AS n FROM {}", table.name);
+    }
+    if select.is_empty() {
+        select = format!("SELECT * FROM {}", table.name);
+    }
+
+    // 3. Filters.
+    let mut predicates: Vec<String> = Vec::new();
+    // Equality from the value dictionary (longest value wins per column).
+    for (col, _) in &table.columns {
+        if let Some(vals) = values.get(col) {
+            let mut hit: Option<&String> = None;
+            for v in vals {
+                if q.contains(v.as_str()) && hit.is_none_or(|h| v.len() > h.len()) {
+                    hit = Some(v);
+                }
+            }
+            if let Some(v) = hit {
+                predicates.push(format!("{col} = '{}'", v.replace('\'', "''")));
+            }
+        }
+    }
+    // Numeric comparisons: "<col> over|above|at least|under|below N".
+    for (col, ctype) in &table.columns {
+        if ctype != "int" && ctype != "float" {
+            continue;
+        }
+        if !qtokens.iter().any(|t| singular(t) == singular(col)) {
+            continue;
+        }
+        for (i, tok) in qtokens.iter().enumerate() {
+            let op = match tok.as_str() {
+                "over" | "above" | "exceeding" => Some(">"),
+                "under" | "below" => Some("<"),
+                "least" => Some(">="),
+                _ => None,
+            };
+            if let (Some(op), Some(num)) = (op, qtokens.get(i + 1)) {
+                if num.chars().all(|c| c.is_ascii_digit()) {
+                    predicates.push(format!("{col} {op} {num}"));
+                }
+            }
+        }
+    }
+    // Containment: "with <word> skills" / "have <word> skills" → LIKE.
+    for (col, ctype) in &table.columns {
+        if ctype != "text" {
+            continue;
+        }
+        for (i, tok) in qtokens.iter().enumerate() {
+            if singular(tok) == singular(col) && i >= 1 {
+                let prev = &qtokens[i - 1];
+                let known_value_hit = values
+                    .get(col)
+                    .is_some_and(|vals| vals.iter().any(|v| q.contains(v.as_str())));
+                if !known_value_hit
+                    && i >= 2
+                    && matches!(qtokens[i - 2].as_str(), "with" | "have" | "has" | "know" | "knows")
+                {
+                    predicates.push(format!("{col} LIKE '%{prev}%'"));
+                }
+            }
+        }
+    }
+
+    let mut sql = select;
+    if !predicates.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&predicates.join(" AND "));
+    }
+    if let Some(g) = &group_col {
+        sql.push_str(&format!(" GROUP BY {g}"));
+        if avg_col.is_none() {
+            sql.push_str(" ORDER BY n DESC");
+        }
+    }
+    // "top N".
+    if let Some(i) = qtokens.iter().position(|t| t == "top") {
+        if let Some(n) = qtokens.get(i + 1).and_then(|t| t.parse::<u64>().ok()) {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+    }
+    Some(sql)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Vec<TableSchema> {
+        vec![
+            TableSchema {
+                name: "applicants".into(),
+                columns: vec![
+                    ("id".into(), "int".into()),
+                    ("name".into(), "text".into()),
+                    ("city".into(), "text".into()),
+                    ("skills".into(), "text".into()),
+                    ("experience".into(), "int".into()),
+                ],
+            },
+            TableSchema {
+                name: "jobs".into(),
+                columns: vec![
+                    ("id".into(), "int".into()),
+                    ("title".into(), "text".into()),
+                    ("city".into(), "text".into()),
+                    ("salary".into(), "float".into()),
+                ],
+            },
+        ]
+    }
+
+    fn values() -> HashMap<String, Vec<String>> {
+        let mut v = HashMap::new();
+        v.insert(
+            "city".to_string(),
+            vec!["san francisco".into(), "oakland".into(), "san jose".into()],
+        );
+        v.insert(
+            "title".to_string(),
+            vec!["data scientist".into(), "ml engineer".into()],
+        );
+        v
+    }
+
+    #[test]
+    fn count_per_group() {
+        let sql = nl2sql("How many applicants per city?", &schema(), &values()).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT city, COUNT(*) AS n FROM applicants GROUP BY city ORDER BY n DESC"
+        );
+    }
+
+    #[test]
+    fn count_with_like_filter() {
+        let sql = nl2sql(
+            "how many applicants have python skills",
+            &schema(),
+            &values(),
+        )
+        .unwrap();
+        assert_eq!(
+            sql,
+            "SELECT COUNT(*) AS n FROM applicants WHERE skills LIKE '%python%'"
+        );
+    }
+
+    #[test]
+    fn average_with_equality_filter() {
+        let sql = nl2sql(
+            "what is the average salary of jobs in san francisco",
+            &schema(),
+            &values(),
+        )
+        .unwrap();
+        assert_eq!(
+            sql,
+            "SELECT AVG(salary) AS avg_salary FROM jobs WHERE city = 'san francisco'"
+        );
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let sql = nl2sql(
+            "show applicants with experience over 5",
+            &schema(),
+            &values(),
+        )
+        .unwrap();
+        assert!(sql.starts_with("SELECT * FROM applicants"));
+        assert!(sql.contains("experience > 5"));
+    }
+
+    #[test]
+    fn title_equality_from_values() {
+        let sql = nl2sql("jobs for data scientist", &schema(), &values()).unwrap();
+        assert_eq!(sql, "SELECT * FROM jobs WHERE title = 'data scientist'");
+    }
+
+    #[test]
+    fn longest_value_wins() {
+        // "san francisco" contains tokens overlapping "san jose"; the longer
+        // literal match must win.
+        let sql = nl2sql("jobs in san francisco", &schema(), &values()).unwrap();
+        assert!(sql.contains("city = 'san francisco'"));
+        assert!(!sql.contains("san jose"));
+    }
+
+    #[test]
+    fn top_n_limit() {
+        let sql = nl2sql("top 3 cities by city count of applicants", &schema(), &values())
+            .unwrap();
+        assert!(sql.ends_with("LIMIT 3"));
+    }
+
+    #[test]
+    fn empty_schema_is_none() {
+        assert!(nl2sql("anything", &[], &HashMap::new()).is_none());
+    }
+
+    #[test]
+    fn default_projection_is_star() {
+        let sql = nl2sql("applicants", &schema(), &HashMap::new()).unwrap();
+        assert_eq!(sql, "SELECT * FROM applicants");
+    }
+
+    #[test]
+    fn quote_escaping_in_values() {
+        let mut v = HashMap::new();
+        v.insert("city".to_string(), vec!["coeur d'alene".to_string()]);
+        let sql = nl2sql("jobs in coeur d'alene", &schema(), &v).unwrap();
+        assert!(sql.contains("city = 'coeur d''alene'"));
+    }
+}

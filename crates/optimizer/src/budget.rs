@@ -1,0 +1,265 @@
+//! QoS constraints and the runtime budget.
+//!
+//! The paper's **budget** component keeps "records of the current and
+//! projected QoS stats to guide execution \[and\] planning" (§IV). The task
+//! coordinator charges actual costs as agent reports arrive and aborts or
+//! replans when the projection exceeds the constraints (§V-H).
+
+use serde::{Deserialize, Serialize};
+
+use blueprint_agents::CostProfile;
+
+/// Hard QoS limits on a task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct QosConstraints {
+    /// Maximum total monetary cost (cost units).
+    pub max_cost: Option<f64>,
+    /// Maximum end-to-end latency in simulated microseconds.
+    pub max_latency_micros: Option<u64>,
+    /// Minimum acceptable accuracy.
+    pub min_accuracy: Option<f64>,
+}
+
+impl QosConstraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: caps cost.
+    pub fn with_max_cost(mut self, max: f64) -> Self {
+        self.max_cost = Some(max);
+        self
+    }
+
+    /// Builder-style: caps latency.
+    pub fn with_max_latency_micros(mut self, max: u64) -> Self {
+        self.max_latency_micros = Some(max);
+        self
+    }
+
+    /// Builder-style: sets an accuracy floor.
+    pub fn with_min_accuracy(mut self, min: f64) -> Self {
+        self.min_accuracy = Some(min);
+        self
+    }
+
+    /// True if a profile satisfies every limit.
+    pub fn admits(&self, p: &CostProfile) -> bool {
+        self.max_cost.is_none_or(|m| p.cost_per_call <= m)
+            && self.max_latency_micros.is_none_or(|m| p.latency_micros <= m)
+            && self.min_accuracy.is_none_or(|m| p.accuracy >= m)
+    }
+}
+
+/// Verdict of a budget check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetStatus {
+    /// Within limits, including projections.
+    Healthy,
+    /// Actuals are within limits but actual+projected exceeds them — the
+    /// coordinator should consider replanning (§V-H).
+    ProjectedOverrun,
+    /// Actuals already exceed a limit — abort.
+    Exceeded,
+}
+
+/// Runtime QoS ledger for one task execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// The task's limits.
+    pub constraints: QosConstraints,
+    /// Cost actually incurred so far.
+    pub spent_cost: f64,
+    /// Latency actually incurred so far (µs).
+    pub spent_latency_micros: u64,
+    /// Running accuracy estimate of completed steps (product).
+    pub accuracy_so_far: f64,
+    /// Projected cost of the remaining plan (set from optimizer estimates).
+    pub projected_cost: f64,
+    /// Projected latency of the remaining plan (µs).
+    pub projected_latency_micros: u64,
+    /// Projected accuracy of the remaining plan.
+    pub projected_accuracy: f64,
+}
+
+impl Budget {
+    /// A fresh budget under the given constraints with no projection.
+    pub fn new(constraints: QosConstraints) -> Self {
+        Budget {
+            constraints,
+            spent_cost: 0.0,
+            spent_latency_micros: 0,
+            accuracy_so_far: 1.0,
+            projected_cost: 0.0,
+            projected_latency_micros: 0,
+            projected_accuracy: 1.0,
+        }
+    }
+
+    /// Installs the optimizer's projection for the (remaining) plan.
+    pub fn set_projection(&mut self, remaining: &CostProfile) {
+        self.projected_cost = remaining.cost_per_call;
+        self.projected_latency_micros = remaining.latency_micros;
+        self.projected_accuracy = remaining.accuracy;
+    }
+
+    /// Charges the actual QoS of one completed step and reduces the
+    /// projection by that step's estimate.
+    pub fn charge(&mut self, actual_cost: f64, actual_latency_micros: u64, step_accuracy: f64) {
+        self.spent_cost += actual_cost.max(0.0);
+        self.spent_latency_micros += actual_latency_micros;
+        self.accuracy_so_far *= step_accuracy.clamp(0.0, 1.0);
+    }
+
+    /// Reduces the remaining projection after a step completes.
+    pub fn consume_projection(&mut self, step: &CostProfile) {
+        self.projected_cost = (self.projected_cost - step.cost_per_call).max(0.0);
+        self.projected_latency_micros = self
+            .projected_latency_micros
+            .saturating_sub(step.latency_micros);
+        if step.accuracy > 0.0 {
+            self.projected_accuracy = (self.projected_accuracy / step.accuracy).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Total = actual + projected, as a profile.
+    pub fn projected_total(&self) -> CostProfile {
+        CostProfile {
+            cost_per_call: self.spent_cost + self.projected_cost,
+            latency_micros: self.spent_latency_micros + self.projected_latency_micros,
+            accuracy: self.accuracy_so_far * self.projected_accuracy,
+        }
+    }
+
+    /// Actuals only, as a profile.
+    pub fn actual(&self) -> CostProfile {
+        CostProfile {
+            cost_per_call: self.spent_cost,
+            latency_micros: self.spent_latency_micros,
+            accuracy: self.accuracy_so_far,
+        }
+    }
+
+    /// Checks the ledger against the constraints.
+    pub fn status(&self) -> BudgetStatus {
+        // Accuracy floors are checked on the projection only: accuracy does
+        // not "run out" the way cost does, but a projection below the floor
+        // means the plan cannot meet it.
+        let actual_over = self
+            .constraints
+            .max_cost
+            .is_some_and(|m| self.spent_cost > m)
+            || self
+                .constraints
+                .max_latency_micros
+                .is_some_and(|m| self.spent_latency_micros > m);
+        if actual_over {
+            return BudgetStatus::Exceeded;
+        }
+        if !self.constraints.admits(&self.projected_total()) {
+            return BudgetStatus::ProjectedOverrun;
+        }
+        BudgetStatus::Healthy
+    }
+
+    /// Remaining cost headroom (infinite when unconstrained).
+    pub fn remaining_cost(&self) -> f64 {
+        self.constraints
+            .max_cost
+            .map(|m| (m - self.spent_cost).max(0.0))
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_admit_matrix() {
+        let c = QosConstraints::none()
+            .with_max_cost(5.0)
+            .with_max_latency_micros(100)
+            .with_min_accuracy(0.8);
+        assert!(c.admits(&CostProfile::new(5.0, 100, 0.8)));
+        assert!(!c.admits(&CostProfile::new(5.1, 100, 0.8)));
+        assert!(!c.admits(&CostProfile::new(5.0, 101, 0.8)));
+        assert!(!c.admits(&CostProfile::new(5.0, 100, 0.79)));
+        assert!(QosConstraints::none().admits(&CostProfile::new(1e9, u64::MAX, 0.0)));
+    }
+
+    #[test]
+    fn fresh_budget_is_healthy() {
+        let b = Budget::new(QosConstraints::none().with_max_cost(1.0));
+        assert_eq!(b.status(), BudgetStatus::Healthy);
+        assert_eq!(b.remaining_cost(), 1.0);
+    }
+
+    #[test]
+    fn charge_accumulates_and_detects_exceeded() {
+        let mut b = Budget::new(QosConstraints::none().with_max_cost(1.0));
+        b.charge(0.6, 10, 0.95);
+        assert_eq!(b.status(), BudgetStatus::Healthy);
+        assert!((b.remaining_cost() - 0.4).abs() < 1e-9);
+        b.charge(0.6, 10, 0.95);
+        assert_eq!(b.status(), BudgetStatus::Exceeded);
+        assert_eq!(b.remaining_cost(), 0.0);
+    }
+
+    #[test]
+    fn latency_exceeded() {
+        let mut b = Budget::new(QosConstraints::none().with_max_latency_micros(100));
+        b.charge(0.0, 101, 1.0);
+        assert_eq!(b.status(), BudgetStatus::Exceeded);
+    }
+
+    #[test]
+    fn projection_triggers_overrun_before_actuals() {
+        let mut b = Budget::new(QosConstraints::none().with_max_cost(1.0));
+        b.set_projection(&CostProfile::new(0.9, 0, 1.0));
+        b.charge(0.2, 0, 1.0);
+        // Spent 0.2 + projected 0.9 = 1.1 > 1.0, but actuals are fine.
+        assert_eq!(b.status(), BudgetStatus::ProjectedOverrun);
+        // After consuming part of the projection the plan can be healthy.
+        b.consume_projection(&CostProfile::new(0.9, 0, 1.0));
+        assert_eq!(b.status(), BudgetStatus::Healthy);
+    }
+
+    #[test]
+    fn accuracy_floor_checked_on_projection() {
+        let mut b = Budget::new(QosConstraints::none().with_min_accuracy(0.9));
+        b.charge(0.0, 0, 0.85);
+        assert_eq!(b.status(), BudgetStatus::ProjectedOverrun);
+    }
+
+    #[test]
+    fn projected_total_composes() {
+        let mut b = Budget::new(QosConstraints::none());
+        b.charge(1.0, 100, 0.9);
+        b.set_projection(&CostProfile::new(2.0, 200, 0.8));
+        let total = b.projected_total();
+        assert!((total.cost_per_call - 3.0).abs() < 1e-9);
+        assert_eq!(total.latency_micros, 300);
+        assert!((total.accuracy - 0.72).abs() < 1e-9);
+        let actual = b.actual();
+        assert!((actual.cost_per_call - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_charges_ignored() {
+        let mut b = Budget::new(QosConstraints::none().with_max_cost(1.0));
+        b.charge(-5.0, 0, 1.5);
+        assert_eq!(b.spent_cost, 0.0);
+        assert_eq!(b.accuracy_so_far, 1.0);
+    }
+
+    #[test]
+    fn consume_projection_saturates() {
+        let mut b = Budget::new(QosConstraints::none());
+        b.set_projection(&CostProfile::new(1.0, 100, 0.9));
+        b.consume_projection(&CostProfile::new(5.0, 500, 0.9));
+        assert_eq!(b.projected_cost, 0.0);
+        assert_eq!(b.projected_latency_micros, 0);
+    }
+}

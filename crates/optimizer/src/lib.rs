@@ -1,0 +1,28 @@
+//! # blueprint-optimizer
+//!
+//! Multi-objective optimization over task and data plans (§V-G "Optimization
+//! plays a crucial role", §IV "optimizer: performs multi-objective
+//! optimization over task and data plans") plus the **budget** component
+//! (§IV, §V-H): "records of the current and projected QoS stats to guide
+//! execution \[and\] planning".
+//!
+//! The optimizer works over [`CostProfile`]s (cost, latency, accuracy):
+//!
+//! * [`pareto_frontier`] — the non-dominated set of candidates;
+//! * [`select`] — pick the best feasible candidate under
+//!   [`QosConstraints`] for an [`Objective`];
+//! * [`optimize_choices`] — assign one option per plan node (e.g. a model
+//!   tier per operator), exhaustively for small search spaces and greedily
+//!   for large ones;
+//! * [`Budget`] — runtime tracking of projected vs. actual QoS with
+//!   violation detection, consumed by the task coordinator.
+
+pub mod budget;
+pub mod objective;
+pub mod pareto;
+
+pub use budget::{Budget, BudgetStatus, QosConstraints};
+pub use objective::Objective;
+pub use pareto::{optimize_choices, pareto_frontier, select, Candidate};
+
+pub use blueprint_agents::CostProfile;

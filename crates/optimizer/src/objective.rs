@@ -1,0 +1,105 @@
+//! Optimization objectives.
+
+use serde::{Deserialize, Serialize};
+
+use blueprint_agents::CostProfile;
+
+/// What the planner is asked to optimize for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize monetary cost.
+    MinCost,
+    /// Minimize end-to-end latency.
+    MinLatency,
+    /// Maximize expected accuracy.
+    MaxAccuracy,
+    /// Weighted scalarization: minimize
+    /// `cost_w·cost + latency_w·latency_ms − accuracy_w·accuracy·100`.
+    Weighted {
+        /// Weight on cost units.
+        cost_w: f64,
+        /// Weight on latency (milliseconds).
+        latency_w: f64,
+        /// Weight on accuracy (scaled ×100 so defaults are comparable).
+        accuracy_w: f64,
+    },
+}
+
+impl Objective {
+    /// A balanced weighted objective.
+    pub fn balanced() -> Self {
+        Objective::Weighted {
+            cost_w: 1.0,
+            latency_w: 1.0,
+            accuracy_w: 1.0,
+        }
+    }
+
+    /// Scalar score of a profile: **lower is better** for every variant.
+    pub fn score(&self, p: &CostProfile) -> f64 {
+        match self {
+            Objective::MinCost => p.cost_per_call,
+            Objective::MinLatency => p.latency_micros as f64,
+            Objective::MaxAccuracy => -p.accuracy,
+            Objective::Weighted {
+                cost_w,
+                latency_w,
+                accuracy_w,
+            } => {
+                cost_w * p.cost_per_call + latency_w * (p.latency_micros as f64 / 1000.0)
+                    - accuracy_w * p.accuracy * 100.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap() -> CostProfile {
+        CostProfile::new(0.1, 10_000, 0.7)
+    }
+
+    fn premium() -> CostProfile {
+        CostProfile::new(10.0, 300_000, 0.99)
+    }
+
+    #[test]
+    fn min_cost_prefers_cheap() {
+        assert!(Objective::MinCost.score(&cheap()) < Objective::MinCost.score(&premium()));
+    }
+
+    #[test]
+    fn min_latency_prefers_fast() {
+        assert!(Objective::MinLatency.score(&cheap()) < Objective::MinLatency.score(&premium()));
+    }
+
+    #[test]
+    fn max_accuracy_prefers_premium() {
+        assert!(Objective::MaxAccuracy.score(&premium()) < Objective::MaxAccuracy.score(&cheap()));
+    }
+
+    #[test]
+    fn weighted_trades_off() {
+        // With accuracy weighted heavily, premium wins despite its cost.
+        let acc_heavy = Objective::Weighted {
+            cost_w: 0.1,
+            latency_w: 0.01,
+            accuracy_w: 10.0,
+        };
+        assert!(acc_heavy.score(&premium()) < acc_heavy.score(&cheap()));
+        // With cost weighted heavily, cheap wins.
+        let cost_heavy = Objective::Weighted {
+            cost_w: 100.0,
+            latency_w: 0.0,
+            accuracy_w: 1.0,
+        };
+        assert!(cost_heavy.score(&cheap()) < cost_heavy.score(&premium()));
+    }
+
+    #[test]
+    fn balanced_is_weighted() {
+        assert!(matches!(Objective::balanced(), Objective::Weighted { .. }));
+    }
+}

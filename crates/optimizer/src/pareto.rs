@@ -1,0 +1,351 @@
+//! Pareto analysis and constrained selection over QoS profiles.
+
+use blueprint_agents::CostProfile;
+
+use crate::budget::QosConstraints;
+use crate::objective::Objective;
+
+/// An option under consideration: an item with its estimated QoS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate<T> {
+    /// The option (a source name, model tier, plan id, ...).
+    pub item: T,
+    /// Estimated QoS of choosing it.
+    pub profile: CostProfile,
+}
+
+impl<T> Candidate<T> {
+    /// Creates a candidate.
+    pub fn new(item: T, profile: CostProfile) -> Self {
+        Candidate { item, profile }
+    }
+}
+
+/// `a` dominates `b` if it is no worse on every axis and strictly better on
+/// at least one (cost ↓, latency ↓, accuracy ↑).
+fn dominates(a: &CostProfile, b: &CostProfile) -> bool {
+    let no_worse = a.cost_per_call <= b.cost_per_call
+        && a.latency_micros <= b.latency_micros
+        && a.accuracy >= b.accuracy;
+    let strictly_better = a.cost_per_call < b.cost_per_call
+        || a.latency_micros < b.latency_micros
+        || a.accuracy > b.accuracy;
+    no_worse && strictly_better
+}
+
+/// Returns the indices of the non-dominated candidates, in input order.
+pub fn pareto_frontier<T>(candidates: &[Candidate<T>]) -> Vec<usize> {
+    (0..candidates.len())
+        .filter(|&i| {
+            !candidates
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(&other.profile, &candidates[i].profile))
+        })
+        .collect()
+}
+
+/// Picks the best feasible candidate: filters by constraints, then minimizes
+/// the objective score (ties broken by input order). Returns its index.
+pub fn select<T>(
+    candidates: &[Candidate<T>],
+    objective: Objective,
+    constraints: &QosConstraints,
+) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| constraints.admits(&c.profile))
+        .min_by(|(_, a), (_, b)| {
+            objective
+                .score(&a.profile)
+                .partial_cmp(&objective.score(&b.profile))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+/// Assigns one option per plan node so the *sequential composition* of the
+/// chosen profiles optimizes `objective` subject to `constraints`.
+///
+/// Searches exhaustively when the cartesian space is ≤ `EXHAUSTIVE_LIMIT`
+/// combinations; otherwise falls back to a greedy per-node choice followed
+/// by a repair pass that upgrades accuracy-critical nodes while constraints
+/// are violated.
+///
+/// Returns the chosen option index per node, or `None` when no feasible
+/// assignment was found.
+pub fn optimize_choices(
+    nodes: &[Vec<CostProfile>],
+    objective: Objective,
+    constraints: &QosConstraints,
+) -> Option<Vec<usize>> {
+    if nodes.is_empty() {
+        return Some(Vec::new());
+    }
+    if nodes.iter().any(Vec::is_empty) {
+        return None;
+    }
+    const EXHAUSTIVE_LIMIT: usize = 4096;
+    let space: usize = nodes.iter().map(Vec::len).product();
+    if space <= EXHAUSTIVE_LIMIT {
+        exhaustive(nodes, objective, constraints)
+    } else {
+        greedy(nodes, objective, constraints)
+    }
+}
+
+fn compose(nodes: &[Vec<CostProfile>], choice: &[usize]) -> CostProfile {
+    let mut total = CostProfile::FREE;
+    for (node, &c) in nodes.iter().zip(choice) {
+        total = total.then(&node[c]);
+    }
+    total
+}
+
+fn exhaustive(
+    nodes: &[Vec<CostProfile>],
+    objective: Objective,
+    constraints: &QosConstraints,
+) -> Option<Vec<usize>> {
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut choice = vec![0usize; nodes.len()];
+    loop {
+        let total = compose(nodes, &choice);
+        if constraints.admits(&total) {
+            let score = objective.score(&total);
+            if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                best = Some((score, choice.clone()));
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == nodes.len() {
+                return best.map(|(_, c)| c);
+            }
+            choice[i] += 1;
+            if choice[i] < nodes[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn greedy(
+    nodes: &[Vec<CostProfile>],
+    objective: Objective,
+    constraints: &QosConstraints,
+) -> Option<Vec<usize>> {
+    // Per-node best by objective, ignoring constraints.
+    let mut choice: Vec<usize> = nodes
+        .iter()
+        .map(|options| {
+            options
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    objective
+                        .score(a)
+                        .partial_cmp(&objective.score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty options")
+        })
+        .collect();
+
+    // Repair: while the composed plan violates constraints, switch the node
+    // whose alternative most improves the violated axis.
+    for _ in 0..nodes.len() * 4 {
+        let total = compose(nodes, &choice);
+        if constraints.admits(&total) {
+            return Some(choice);
+        }
+        let mut best_fix: Option<(f64, usize, usize)> = None; // (improvement, node, option)
+        for (n, options) in nodes.iter().enumerate() {
+            for o in 0..options.len() {
+                if o == choice[n] {
+                    continue;
+                }
+                let mut alt = choice.clone();
+                alt[n] = o;
+                let alt_total = compose(nodes, &alt);
+                let improvement = violation(constraints, &total) - violation(constraints, &alt_total);
+                if improvement > 0.0
+                    && best_fix.as_ref().is_none_or(|(b, _, _)| improvement > *b)
+                {
+                    best_fix = Some((improvement, n, o));
+                }
+            }
+        }
+        match best_fix {
+            Some((_, n, o)) => choice[n] = o,
+            None => return None,
+        }
+    }
+    let total = compose(nodes, &choice);
+    constraints.admits(&total).then_some(choice)
+}
+
+/// A scalar measure of how badly a profile violates the constraints
+/// (0 when feasible).
+fn violation(constraints: &QosConstraints, p: &CostProfile) -> f64 {
+    let mut v = 0.0;
+    if let Some(max_cost) = constraints.max_cost {
+        v += (p.cost_per_call - max_cost).max(0.0);
+    }
+    if let Some(max_latency) = constraints.max_latency_micros {
+        v += (p.latency_micros.saturating_sub(max_latency)) as f64 / 1000.0;
+    }
+    if let Some(min_acc) = constraints.min_accuracy {
+        v += (min_acc - p.accuracy).max(0.0) * 100.0;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiers() -> Vec<CostProfile> {
+        vec![
+            CostProfile::new(10.0, 300_000, 0.98), // large
+            CostProfile::new(1.0, 80_000, 0.90),   // small
+            CostProfile::new(0.1, 20_000, 0.75),   // tiny
+        ]
+    }
+
+    #[test]
+    fn frontier_excludes_dominated() {
+        let mut cands: Vec<Candidate<&str>> = tiers()
+            .into_iter()
+            .zip(["large", "small", "tiny"])
+            .map(|(p, n)| Candidate::new(n, p))
+            .collect();
+        // Add a strictly dominated option: costlier, slower, less accurate
+        // than "small".
+        cands.push(Candidate::new("bad", CostProfile::new(2.0, 100_000, 0.85)));
+        let frontier = pareto_frontier(&cands);
+        assert_eq!(frontier, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn frontier_of_identical_profiles_keeps_all() {
+        let p = CostProfile::new(1.0, 1, 0.9);
+        let cands = vec![Candidate::new(1, p), Candidate::new(2, p)];
+        assert_eq!(pareto_frontier(&cands).len(), 2);
+    }
+
+    #[test]
+    fn select_respects_constraints() {
+        let cands: Vec<Candidate<&str>> = tiers()
+            .into_iter()
+            .zip(["large", "small", "tiny"])
+            .map(|(p, n)| Candidate::new(n, p))
+            .collect();
+        // Cheapest overall is tiny...
+        let unconstrained = select(&cands, Objective::MinCost, &QosConstraints::none()).unwrap();
+        assert_eq!(cands[unconstrained].item, "tiny");
+        // ...but with a 0.85 accuracy floor, small is the cheapest feasible.
+        let constrained = select(
+            &cands,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.85),
+        )
+        .unwrap();
+        assert_eq!(cands[constrained].item, "small");
+        // Infeasible constraints yield None.
+        assert!(select(
+            &cands,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.999),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn optimize_choices_exhaustive_finds_crossover() {
+        // Two nodes, each choosing a tier. Accuracy floor 0.8 composed:
+        // tiny+tiny = 0.5625 (out), small+small = 0.81 (in).
+        let nodes = vec![tiers(), tiers()];
+        let choice = optimize_choices(
+            &nodes,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.80),
+        )
+        .unwrap();
+        let total = compose(&nodes, &choice);
+        assert!(total.accuracy >= 0.80);
+        // The minimal-cost feasible assignment is small+small (cost 2.0).
+        assert_eq!(choice, vec![1, 1]);
+    }
+
+    #[test]
+    fn optimize_choices_empty_and_infeasible() {
+        assert_eq!(
+            optimize_choices(&[], Objective::MinCost, &QosConstraints::none()),
+            Some(vec![])
+        );
+        assert!(optimize_choices(
+            &[vec![]],
+            Objective::MinCost,
+            &QosConstraints::none()
+        )
+        .is_none());
+        let nodes = vec![tiers()];
+        assert!(optimize_choices(
+            &nodes,
+            Objective::MinCost,
+            &QosConstraints::none().with_max_cost(0.01),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn greedy_path_repairs_to_feasibility() {
+        // 13 nodes × 3 options = 3^13 > 4096 → greedy path.
+        let nodes: Vec<Vec<CostProfile>> = (0..13).map(|_| tiers()).collect();
+        // Cost-min greedy picks all-tiny (accuracy 0.75^13 ≈ 0.024); the
+        // accuracy floor forces upgrades.
+        let choice = optimize_choices(
+            &nodes,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.2),
+        )
+        .unwrap();
+        let total = compose(&nodes, &choice);
+        assert!(total.accuracy >= 0.2);
+        // It should not have upgraded everything to large.
+        assert!(choice.iter().any(|&c| c != 0));
+    }
+
+    #[test]
+    fn greedy_detects_infeasible() {
+        let nodes: Vec<Vec<CostProfile>> = (0..13).map(|_| tiers()).collect();
+        assert!(optimize_choices(
+            &nodes,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.999),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn latency_constraint_prunes_slow_plans() {
+        let nodes = vec![tiers(), tiers()];
+        let choice = optimize_choices(
+            &nodes,
+            Objective::MaxAccuracy,
+            &QosConstraints::none().with_max_latency_micros(200_000),
+        )
+        .unwrap();
+        let total = compose(&nodes, &choice);
+        assert!(total.latency_micros <= 200_000);
+        // Accuracy-max under the latency cap: small+small (160k µs, 0.81)
+        // beats anything involving large (≥ 320k µs).
+        assert_eq!(choice, vec![1, 1]);
+    }
+}

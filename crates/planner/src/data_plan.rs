@@ -1,0 +1,383 @@
+//! Data plans: operator DAGs over multi-modal sources (Fig 7).
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use blueprint_agents::ops;
+use blueprint_datastore::CostEstimate;
+use blueprint_streams::Message;
+
+use crate::error::PlanError;
+use crate::Result;
+
+/// Operators the data planner composes. Beyond relational operators the
+/// paper calls for "several new operators ... to discover data, handle text
+/// operations, etc." (§V-G) — `Q2NL`, `Knowledge`, `Extract`, `Summarize`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataOp {
+    /// A constant input.
+    Literal {
+        /// The constant.
+        value: Value,
+    },
+    /// Transforms a structured query fragment into a natural-language
+    /// question for a parametric source — the operator the planner *injects*
+    /// in Fig 7.
+    Q2NL {
+        /// The query fragment (e.g. `city ∈ "SF bay area"`).
+        fragment: String,
+    },
+    /// Asks a parametric source (LLM) a knowledge question.
+    /// Input slot `question` (from a `Q2NL` node).
+    Knowledge {
+        /// Data-source name in the planner's source set.
+        source: String,
+    },
+    /// Expands a node through the graph source (title taxonomy).
+    GraphExpand {
+        /// Data-source name.
+        source: String,
+        /// Start node id.
+        node: String,
+        /// Hop bound.
+        depth: usize,
+    },
+    /// Executes a SQL template against a relational source. `{slot}`
+    /// placeholders splice in upstream list results as quoted literals.
+    SqlTemplate {
+        /// Data-source name.
+        source: String,
+        /// SQL text with `{slot}` placeholders.
+        template: String,
+    },
+    /// Ranked search against a document source.
+    DocSearch {
+        /// Data-source name.
+        source: String,
+        /// Keyword query.
+        query: String,
+        /// Maximum hits.
+        limit: usize,
+    },
+    /// Extracts structured criteria from text (LLM extract head).
+    /// Input slot `text`.
+    Extract,
+    /// Summarizes a table into prose (LLM summarize head).
+    /// Input slot `rows`.
+    Summarize,
+}
+
+impl DataOp {
+    /// Operator name for rendering and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataOp::Literal { .. } => "literal",
+            DataOp::Q2NL { .. } => "q2nl",
+            DataOp::Knowledge { .. } => "knowledge",
+            DataOp::GraphExpand { .. } => "graph-expand",
+            DataOp::SqlTemplate { .. } => "sql",
+            DataOp::DocSearch { .. } => "doc-search",
+            DataOp::Extract => "extract",
+            DataOp::Summarize => "summarize",
+        }
+    }
+}
+
+/// One operator instance in the plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataNode {
+    /// Node id (unique in the plan).
+    pub id: String,
+    /// The operator.
+    pub op: DataOp,
+    /// Input wiring: `(slot name, producing node id)`.
+    pub inputs: Vec<(String, String)>,
+    /// Planner's QoS estimate for this node.
+    pub estimate: CostEstimate,
+}
+
+/// An operator DAG with a designated output node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DataPlan {
+    /// Free-text description of the request this plan answers.
+    pub request: String,
+    /// Nodes in insertion order (insertion order must be topological).
+    pub nodes: Vec<DataNode>,
+    /// Id of the node whose result is the plan's answer.
+    pub output: String,
+}
+
+impl DataPlan {
+    /// Creates an empty plan for a request.
+    pub fn new(request: impl Into<String>) -> Self {
+        DataPlan {
+            request: request.into(),
+            nodes: Vec::new(),
+            output: String::new(),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn push(&mut self, node: DataNode) -> String {
+        let id = node.id.clone();
+        self.nodes.push(node);
+        self.output = id.clone();
+        id
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: &str) -> Option<&DataNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Validates: unique ids, inputs reference earlier nodes, output exists.
+    pub fn validate(&self) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        for n in &self.nodes {
+            for (slot, dep) in &n.inputs {
+                if !seen.contains(dep.as_str()) {
+                    return Err(PlanError::InvalidPlan(format!(
+                        "node {} slot {slot} references {dep}, which is not an earlier node",
+                        n.id
+                    )));
+                }
+            }
+            if !seen.insert(n.id.as_str()) {
+                return Err(PlanError::InvalidPlan(format!("duplicate node id: {}", n.id)));
+            }
+        }
+        if !self.nodes.is_empty() && self.node(&self.output).is_none() {
+            return Err(PlanError::InvalidPlan(format!(
+                "output node {} not in plan",
+                self.output
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total estimated QoS: costs/latencies add, accuracies multiply.
+    pub fn projected_estimate(&self) -> CostEstimate {
+        let mut total = CostEstimate::FREE;
+        for n in &self.nodes {
+            total = CostEstimate {
+                cost_units: total.cost_units + n.estimate.cost_units,
+                latency_micros: total.latency_micros + n.estimate.latency_micros,
+                accuracy: total.accuracy * n.estimate.accuracy,
+            };
+        }
+        total
+    }
+
+    /// Wraps the plan in a `data-plan` control message.
+    pub fn into_message(self) -> Message {
+        let value = serde_json::to_value(&self).expect("DataPlan serializes");
+        Message::control(ops::DATA_PLAN, value).with_tag("plan")
+    }
+
+    /// Parses a plan from a `data-plan` control message.
+    pub fn from_message(msg: &Message) -> Option<DataPlan> {
+        if msg.control_op() != Some(ops::DATA_PLAN) {
+            return None;
+        }
+        serde_json::from_value(msg.control_args()?.clone()).ok()
+    }
+
+    /// Renders the plan — the Fig 7 regeneration format:
+    ///
+    /// ```text
+    /// data plan for: "data scientist position in sf bay area"
+    ///   d1 q2nl("city ∈ 'SF bay area'")
+    ///   d2 knowledge[gpt-knowledge](question ← d1)   ~cost 0.4
+    ///   d3 graph-expand[title-taxonomy](data-scientist, depth 1)
+    ///   d4 sql[hr-db]: SELECT * FROM jobs WHERE city IN ({cities}) …
+    ///      (cities ← d2, titles ← d3)
+    /// output: d4
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = format!("data plan for: \"{}\"\n", self.request);
+        for n in &self.nodes {
+            let detail = match &n.op {
+                DataOp::Literal { value } => format!("literal({value})"),
+                DataOp::Q2NL { fragment } => format!("q2nl(\"{fragment}\")"),
+                DataOp::Knowledge { source } => format!("knowledge[{source}]"),
+                DataOp::GraphExpand { source, node, depth } => {
+                    format!("graph-expand[{source}]({node}, depth {depth})")
+                }
+                DataOp::SqlTemplate { source, template } => {
+                    format!("sql[{source}]: {template}")
+                }
+                DataOp::DocSearch { source, query, limit } => {
+                    format!("doc-search[{source}](\"{query}\", limit {limit})")
+                }
+                DataOp::Extract => "extract".to_string(),
+                DataOp::Summarize => "summarize".to_string(),
+            };
+            let wiring = if n.inputs.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = n
+                    .inputs
+                    .iter()
+                    .map(|(slot, dep)| format!("{slot} ← {dep}"))
+                    .collect();
+                format!(" ({})", parts.join(", "))
+            };
+            out.push_str(&format!("  {} {}{}\n", n.id, detail, wiring));
+        }
+        out.push_str(&format!("output: {}\n", self.output));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn fig7_plan() -> DataPlan {
+        let mut plan = DataPlan::new("data scientist position in sf bay area");
+        plan.push(DataNode {
+            id: "d1".into(),
+            op: DataOp::Q2NL {
+                fragment: "city ∈ 'SF bay area'".into(),
+            },
+            inputs: vec![],
+            estimate: CostEstimate::FREE,
+        });
+        plan.push(DataNode {
+            id: "d2".into(),
+            op: DataOp::Knowledge {
+                source: "gpt-knowledge".into(),
+            },
+            inputs: vec![("question".into(), "d1".into())],
+            estimate: CostEstimate {
+                cost_units: 0.4,
+                latency_micros: 300_000,
+                accuracy: 0.95,
+            },
+        });
+        plan.push(DataNode {
+            id: "d3".into(),
+            op: DataOp::GraphExpand {
+                source: "title-taxonomy".into(),
+                node: "data-scientist".into(),
+                depth: 1,
+            },
+            inputs: vec![],
+            estimate: CostEstimate {
+                cost_units: 0.001,
+                latency_micros: 80,
+                accuracy: 1.0,
+            },
+        });
+        plan.push(DataNode {
+            id: "d4".into(),
+            op: DataOp::SqlTemplate {
+                source: "hr-db".into(),
+                template: "SELECT * FROM jobs WHERE city IN ({cities}) AND title IN ({titles})"
+                    .into(),
+            },
+            inputs: vec![
+                ("cities".into(), "d2".into()),
+                ("titles".into(), "d3".into()),
+            ],
+            estimate: CostEstimate {
+                cost_units: 0.001,
+                latency_micros: 1_000,
+                accuracy: 1.0,
+            },
+        });
+        plan
+    }
+
+    #[test]
+    fn fig7_plan_validates() {
+        let plan = fig7_plan();
+        plan.validate().unwrap();
+        assert_eq!(plan.output, "d4");
+        assert_eq!(plan.node("d2").unwrap().op.name(), "knowledge");
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut plan = DataPlan::new("r");
+        plan.push(DataNode {
+            id: "a".into(),
+            op: DataOp::Knowledge { source: "s".into() },
+            inputs: vec![("question".into(), "b".into())],
+            estimate: CostEstimate::FREE,
+        });
+        plan.push(DataNode {
+            id: "b".into(),
+            op: DataOp::Q2NL { fragment: "f".into() },
+            inputs: vec![],
+            estimate: CostEstimate::FREE,
+        });
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut plan = DataPlan::new("r");
+        for _ in 0..2 {
+            plan.push(DataNode {
+                id: "a".into(),
+                op: DataOp::Literal { value: json!(1) },
+                inputs: vec![],
+                estimate: CostEstimate::FREE,
+            });
+        }
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn bad_output_rejected() {
+        let mut plan = fig7_plan();
+        plan.output = "ghost".into();
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn projected_estimate_composes() {
+        let est = fig7_plan().projected_estimate();
+        assert!((est.cost_units - 0.402).abs() < 1e-9);
+        assert_eq!(est.latency_micros, 301_080);
+        assert!((est.accuracy - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_round_trip() {
+        let plan = fig7_plan();
+        let msg = plan.clone().into_message();
+        let back = DataPlan::from_message(&msg).unwrap();
+        assert_eq!(back, plan);
+        assert!(DataPlan::from_message(&Message::data("x")).is_none());
+    }
+
+    #[test]
+    fn render_shows_injected_q2nl_and_sources() {
+        let text = fig7_plan().render_text();
+        assert!(text.contains("q2nl(\"city ∈ 'SF bay area'\")"));
+        assert!(text.contains("knowledge[gpt-knowledge]"));
+        assert!(text.contains("graph-expand[title-taxonomy]"));
+        assert!(text.contains("sql[hr-db]"));
+        assert!(text.contains("cities ← d2"));
+        assert!(text.contains("output: d4"));
+    }
+
+    #[test]
+    fn op_names_cover_variants() {
+        assert_eq!(DataOp::Literal { value: json!(1) }.name(), "literal");
+        assert_eq!(DataOp::Extract.name(), "extract");
+        assert_eq!(DataOp::Summarize.name(), "summarize");
+        assert_eq!(
+            DataOp::DocSearch {
+                source: "s".into(),
+                query: "q".into(),
+                limit: 1
+            }
+            .name(),
+            "doc-search"
+        );
+    }
+}

@@ -1,0 +1,932 @@
+//! The data planner (§V-G): plans and executes data retrieval across
+//! multi-modal sources under QoS constraints.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde_json::{json, Value};
+
+use blueprint_agents::CostProfile;
+use blueprint_datastore::{CostEstimate, DataSource, RelationalDb, SourceQuery};
+use blueprint_llmsim::SimLlm;
+use blueprint_optimizer::{select, Candidate, Objective, QosConstraints};
+use blueprint_registry::DataRegistry;
+
+use crate::data_plan::{DataNode, DataOp, DataPlan};
+use crate::error::PlanError;
+use crate::Result;
+
+/// The result of executing a data plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedPlan {
+    /// The output node's value.
+    pub value: Value,
+    /// Actual QoS incurred (virtual time).
+    pub actual: CostProfile,
+    /// Per-node trace: `(node id, operator name, rows produced)`.
+    pub trace: Vec<(String, String, usize)>,
+}
+
+/// Plans and executes data operations over registered sources.
+pub struct DataPlanner {
+    registry: Arc<DataRegistry>,
+    sources: HashMap<String, Arc<dyn DataSource>>,
+    llm: Arc<SimLlm>,
+    objective: Objective,
+    constraints: QosConstraints,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+impl DataPlanner {
+    /// Creates a planner over a data registry with no sources attached.
+    pub fn new(registry: Arc<DataRegistry>, llm: Arc<SimLlm>) -> Self {
+        DataPlanner {
+            registry,
+            sources: HashMap::new(),
+            llm,
+            objective: Objective::balanced(),
+            constraints: QosConstraints::none(),
+            counter: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Attaches a data source (its `name()` keys the plan's `source` refs).
+    pub fn add_source(&mut self, source: Arc<dyn DataSource>) {
+        self.sources.insert(source.name().to_string(), source);
+    }
+
+    /// Sets the optimization objective.
+    pub fn set_objective(&mut self, objective: Objective) {
+        self.objective = objective;
+    }
+
+    /// Sets the QoS constraints future plans must satisfy.
+    pub fn set_constraints(&mut self, constraints: QosConstraints) {
+        self.constraints = constraints;
+    }
+
+    /// The data registry.
+    pub fn registry(&self) -> &Arc<DataRegistry> {
+        &self.registry
+    }
+
+    /// Names of attached sources, sorted.
+    pub fn source_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sources.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn next_id(&self) -> String {
+        format!(
+            "d{}",
+            self.counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        )
+    }
+
+    fn source(&self, name: &str) -> Result<&Arc<dyn DataSource>> {
+        self.sources
+            .get(name)
+            .ok_or_else(|| PlanError::NoSourceFor(name.to_string()))
+    }
+
+    fn sources_by_modality(&self, modality: &str) -> Vec<&Arc<dyn DataSource>> {
+        let mut out: Vec<&Arc<dyn DataSource>> = self
+            .sources
+            .values()
+            .filter(|s| s.modality() == modality)
+            .collect();
+        out.sort_by(|a, b| a.name().cmp(b.name()));
+        out
+    }
+
+    /// Picks the best parametric source for a knowledge question under the
+    /// planner's objective and constraints — the optimizer choosing among
+    /// model tiers (§V-G).
+    fn choose_parametric(&self, question: &str) -> Result<(String, CostEstimate)> {
+        let query = SourceQuery::Knowledge(question.to_string());
+        let candidates: Vec<Candidate<String>> = self
+            .sources_by_modality("parametric")
+            .into_iter()
+            .map(|s| {
+                let est = s.estimate(&query);
+                Candidate::new(
+                    s.name().to_string(),
+                    CostProfile::new(est.cost_units, est.latency_micros, est.accuracy),
+                )
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Err(PlanError::NoSourceFor(format!("knowledge: {question}")));
+        }
+        let idx = select(&candidates, self.objective, &self.constraints).ok_or_else(|| {
+            PlanError::Infeasible(format!(
+                "no parametric source satisfies the QoS constraints for: {question}"
+            ))
+        })?;
+        let chosen = &candidates[idx];
+        Ok((
+            chosen.item.clone(),
+            CostEstimate {
+                cost_units: chosen.profile.cost_per_call,
+                latency_micros: chosen.profile.latency_micros,
+                accuracy: chosen.profile.accuracy,
+            },
+        ))
+    }
+
+    /// Plans the Fig 7 decomposition for a job query like
+    /// "data scientist position in sf bay area":
+    ///
+    /// 1. extract criteria (title, location) from the utterance;
+    /// 2. if the location is a *region* (answerable from parametric
+    ///    knowledge), inject `Q2NL` → `Knowledge` to obtain its cities;
+    /// 3. expand the title through the graph taxonomy when available;
+    /// 4. splice both lists into a relational `SELECT`.
+    pub fn plan_job_query(&self, utterance: &str) -> Result<DataPlan> {
+        let (criteria, _usage) = self.llm.extract_criteria(utterance);
+        let mut plan = DataPlan::new(utterance);
+
+        // Location: region → Q2NL + Knowledge; literal city → Literal list.
+        let cities_node = match &criteria.location {
+            Some(location) => {
+                let question = format!("cities in the {location}");
+                let is_region = self.llm.knowledge_base().lookup(&question).is_some();
+                if is_region {
+                    let q2nl_id = self.next_id();
+                    plan.push(DataNode {
+                        id: q2nl_id.clone(),
+                        op: DataOp::Q2NL {
+                            fragment: format!("city ∈ \"{location}\""),
+                        },
+                        inputs: vec![],
+                        estimate: CostEstimate::FREE,
+                    });
+                    let (source, estimate) = self.choose_parametric(&question)?;
+                    let know_id = self.next_id();
+                    self.registry.record_usage(&source, &question).ok();
+                    plan.push(DataNode {
+                        id: know_id.clone(),
+                        op: DataOp::Knowledge { source },
+                        inputs: vec![("question".into(), q2nl_id)],
+                        estimate,
+                    });
+                    Some(know_id)
+                } else {
+                    let id = self.next_id();
+                    plan.push(DataNode {
+                        id: id.clone(),
+                        op: DataOp::Literal {
+                            value: json!([location]),
+                        },
+                        inputs: vec![],
+                        estimate: CostEstimate::FREE,
+                    });
+                    Some(id)
+                }
+            }
+            None => None,
+        };
+
+        // Title: expand through the graph taxonomy when available.
+        let titles_node = match &criteria.title {
+            Some(title) => {
+                let node_id = slugify(title);
+                let graph = self.sources_by_modality("graph").into_iter().next();
+                let id = self.next_id();
+                match graph {
+                    Some(g)
+                        if g
+                            .query(&SourceQuery::GraphRelated {
+                                node: node_id.clone(),
+                                edge_type: None,
+                                depth: 1,
+                            })
+                            .is_ok() =>
+                    {
+                        let estimate = g.estimate(&SourceQuery::GraphRelated {
+                            node: node_id.clone(),
+                            edge_type: None,
+                            depth: 1,
+                        });
+                        self.registry.record_usage(g.name(), title).ok();
+                        plan.push(DataNode {
+                            id: id.clone(),
+                            op: DataOp::GraphExpand {
+                                source: g.name().to_string(),
+                                node: node_id,
+                                depth: 1,
+                            },
+                            inputs: vec![],
+                            estimate,
+                        });
+                    }
+                    _ => {
+                        plan.push(DataNode {
+                            id: id.clone(),
+                            op: DataOp::Literal {
+                                value: json!([title]),
+                            },
+                            inputs: vec![],
+                            estimate: CostEstimate::FREE,
+                        });
+                    }
+                }
+                Some(id)
+            }
+            None => None,
+        };
+
+        // Final relational select.
+        let relational = self
+            .sources_by_modality("relational")
+            .into_iter()
+            .next()
+            .ok_or_else(|| PlanError::NoSourceFor("relational jobs data".into()))?;
+        let mut template = "SELECT * FROM jobs".to_string();
+        let mut conjuncts = Vec::new();
+        let mut inputs = Vec::new();
+        if let Some(c) = cities_node {
+            conjuncts.push("city IN ({cities})".to_string());
+            inputs.push(("cities".to_string(), c));
+        }
+        if let Some(t) = titles_node {
+            conjuncts.push("title IN ({titles})".to_string());
+            inputs.push(("titles".to_string(), t));
+        }
+        if !conjuncts.is_empty() {
+            template.push_str(" WHERE ");
+            template.push_str(&conjuncts.join(" AND "));
+        }
+        let estimate = relational.estimate(&SourceQuery::Sql(template.clone()));
+        self.registry.record_usage(relational.name(), utterance).ok();
+        plan.push(DataNode {
+            id: self.next_id(),
+            op: DataOp::SqlTemplate {
+                source: relational.name().to_string(),
+                template,
+            },
+            inputs,
+            estimate,
+        });
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// The *direct NL2Q* baseline the paper argues "may not always work"
+    /// (§V-G): translate the whole question into one SQL query with no
+    /// decomposition. Table schemas and a sampled value dictionary come from
+    /// the relational database itself (data-aware translation).
+    pub fn plan_nl2q_direct(
+        &self,
+        question: &str,
+        db: &RelationalDb,
+        source_name: &str,
+    ) -> Result<DataPlan> {
+        let tables: Vec<blueprint_llmsim::nl2sql::TableSchema> = db
+            .table_names()
+            .iter()
+            .map(|t| {
+                let schema = db.schema_of(t).expect("table exists");
+                blueprint_llmsim::nl2sql::TableSchema {
+                    name: t.clone(),
+                    columns: schema
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), c.ctype.name().to_lowercase()))
+                        .collect(),
+                }
+            })
+            .collect();
+        let values = sample_values(db);
+        let (sql, _usage) = self.llm.nl_to_sql(question, &tables, &values);
+        let sql = sql.ok_or_else(|| PlanError::NoSourceFor(question.to_string()))?;
+        let source = self.source(source_name)?;
+        let estimate = source.estimate(&SourceQuery::Sql(sql.clone()));
+        let mut plan = DataPlan::new(question);
+        plan.push(DataNode {
+            id: self.next_id(),
+            op: DataOp::SqlTemplate {
+                source: source_name.to_string(),
+                template: sql,
+            },
+            inputs: vec![],
+            estimate,
+        });
+        Ok(plan)
+    }
+
+    /// Plans the `PROFILER.CRITERIA ← USER.TEXT` transformation (§V-G):
+    /// an `extract` operator over the raw text.
+    pub fn plan_extract(&self, text: &str) -> DataPlan {
+        let mut plan = DataPlan::new(format!("extract criteria from: {text}"));
+        let lit = self.next_id();
+        plan.push(DataNode {
+            id: lit.clone(),
+            op: DataOp::Literal {
+                value: json!(text),
+            },
+            inputs: vec![],
+            estimate: CostEstimate::FREE,
+        });
+        let profile = self.llm.profile();
+        plan.push(DataNode {
+            id: self.next_id(),
+            op: DataOp::Extract,
+            inputs: vec![("text".into(), lit)],
+            estimate: CostEstimate {
+                cost_units: profile.call_cost(24, 12),
+                latency_micros: profile.call_latency_micros(12),
+                accuracy: profile.accuracy,
+            },
+        });
+        plan
+    }
+
+    /// Plans a summarize operator over a table value.
+    pub fn plan_summarize(&self, rows: Value) -> DataPlan {
+        let mut plan = DataPlan::new("summarize rows");
+        let lit = self.next_id();
+        plan.push(DataNode {
+            id: lit.clone(),
+            op: DataOp::Literal { value: rows },
+            inputs: vec![],
+            estimate: CostEstimate::FREE,
+        });
+        let profile = self.llm.profile();
+        plan.push(DataNode {
+            id: self.next_id(),
+            op: DataOp::Summarize,
+            inputs: vec![("rows".into(), lit)],
+            estimate: CostEstimate {
+                cost_units: profile.call_cost(64, 32),
+                latency_micros: profile.call_latency_micros(32),
+                accuracy: profile.accuracy,
+            },
+        });
+        plan
+    }
+
+    /// Satisfies a task-plan `FromData` binding (§V-H): the coordinator asks
+    /// for "the right data" described by `query`, in the context of the
+    /// original `utterance`. Routing:
+    ///
+    /// * job/listing-shaped requests → the Fig 7 decomposed job query over
+    ///   the utterance's criteria;
+    /// * otherwise, a ranked document search when a document source exists;
+    /// * otherwise the request is unsatisfiable.
+    pub fn satisfy(&self, query: &str, utterance: &str) -> Result<ExecutedPlan> {
+        let q = query.to_lowercase();
+        if q.contains("job") || q.contains("listing") || q.contains("posting") {
+            let plan = self.plan_job_query(utterance)?;
+            return self.execute(&plan);
+        }
+        if let Some(doc) = self.sources_by_modality("document").into_iter().next() {
+            let mut plan = DataPlan::new(query);
+            plan.push(DataNode {
+                id: self.next_id(),
+                op: DataOp::DocSearch {
+                    source: doc.name().to_string(),
+                    query: format!("{query} {utterance}"),
+                    limit: 10,
+                },
+                inputs: vec![],
+                estimate: doc.estimate(&SourceQuery::DocSearch {
+                    query: query.to_string(),
+                    limit: 10,
+                }),
+            });
+            return self.execute(&plan);
+        }
+        Err(PlanError::NoSourceFor(query.to_string()))
+    }
+
+    /// Executes a plan, returning the output value, actual QoS, and a trace.
+    pub fn execute(&self, plan: &DataPlan) -> Result<ExecutedPlan> {
+        plan.validate()?;
+        let mut values: HashMap<&str, Value> = HashMap::new();
+        let mut actual = CostProfile::FREE;
+        let mut trace = Vec::with_capacity(plan.nodes.len());
+
+        for node in &plan.nodes {
+            let get = |slot: &str| -> Result<&Value> {
+                node.inputs
+                    .iter()
+                    .find(|(s, _)| s == slot)
+                    .and_then(|(_, dep)| values.get(dep.as_str()))
+                    .ok_or_else(|| {
+                        PlanError::Execution(format!("node {} missing input slot {slot}", node.id))
+                    })
+            };
+            let value: Value = match &node.op {
+                DataOp::Literal { value } => value.clone(),
+                DataOp::Q2NL { fragment } => Value::String(q2nl(fragment)),
+                DataOp::Knowledge { source } => {
+                    let question = get("question")?
+                        .as_str()
+                        .ok_or_else(|| {
+                            PlanError::Execution("knowledge question must be text".into())
+                        })?
+                        .to_string();
+                    let src = self.source(source)?;
+                    let result = src
+                        .query(&SourceQuery::Knowledge(question))
+                        .map_err(|e| PlanError::Execution(e.to_string()))?;
+                    result.data
+                }
+                DataOp::GraphExpand {
+                    source,
+                    node: start,
+                    depth,
+                } => {
+                    let src = self.source(source)?;
+                    let result = src
+                        .query(&SourceQuery::GraphRelated {
+                            node: start.clone(),
+                            edge_type: None,
+                            depth: *depth,
+                        })
+                        .map_err(|e| PlanError::Execution(e.to_string()))?;
+                    // Include the start node's own name with its relatives.
+                    let mut names = vec![unslugify(start)];
+                    names.extend(name_list(&result.data));
+                    Value::Array(names.into_iter().map(Value::String).collect())
+                }
+                DataOp::SqlTemplate { source, template } => {
+                    let mut sql = template.clone();
+                    for (slot, dep) in &node.inputs {
+                        let list = values.get(dep.as_str()).ok_or_else(|| {
+                            PlanError::Execution(format!("missing dependency {dep}"))
+                        })?;
+                        let literals = sql_string_list(list);
+                        sql = sql.replace(&format!("{{{slot}}}"), &literals);
+                    }
+                    let src = self.source(source)?;
+                    let result = src
+                        .query(&SourceQuery::Sql(sql))
+                        .map_err(|e| PlanError::Execution(e.to_string()))?;
+                    result.data
+                }
+                DataOp::DocSearch {
+                    source,
+                    query,
+                    limit,
+                } => {
+                    let src = self.source(source)?;
+                    let result = src
+                        .query(&SourceQuery::DocSearch {
+                            query: query.clone(),
+                            limit: *limit,
+                        })
+                        .map_err(|e| PlanError::Execution(e.to_string()))?;
+                    result.data
+                }
+                DataOp::Extract => {
+                    let text = get("text")?
+                        .as_str()
+                        .ok_or_else(|| PlanError::Execution("extract input must be text".into()))?
+                        .to_string();
+                    let (criteria, _) = self.llm.extract_criteria(&text);
+                    criteria.to_json()
+                }
+                DataOp::Summarize => {
+                    let rows = get("rows")?.clone();
+                    let (summary, _) = self.llm.summarize_rows(&rows);
+                    Value::String(summary)
+                }
+            };
+            let rows = value.as_array().map(Vec::len).unwrap_or(1);
+            trace.push((node.id.clone(), node.op.name().to_string(), rows));
+            actual = actual.then(&CostProfile::new(
+                node.estimate.cost_units,
+                node.estimate.latency_micros,
+                node.estimate.accuracy,
+            ));
+            values.insert(node.id.as_str(), value);
+        }
+
+        let value = values
+            .remove(plan.output.as_str())
+            .ok_or_else(|| PlanError::Execution("plan has no output".into()))?;
+        Ok(ExecutedPlan {
+            value,
+            actual,
+            trace,
+        })
+    }
+}
+
+/// Q2NL: renders a structured fragment as a natural-language question.
+fn q2nl(fragment: &str) -> String {
+    // `city ∈ "SF bay area"` → `cities in the SF bay area`.
+    if let Some((attr, region)) = fragment.split_once('∈') {
+        let attr = pluralize(attr.trim());
+        let region = region.trim().trim_matches('"');
+        return format!("{attr} in the {region}").to_lowercase();
+    }
+    fragment.to_lowercase()
+}
+
+/// English pluralization good enough for attribute names (`city` →
+/// `cities`, `title` → `titles`, `class` → `classes`).
+fn pluralize(noun: &str) -> String {
+    let lower = noun.to_lowercase();
+    if let Some(stem) = lower.strip_suffix('y') {
+        if !stem.ends_with(['a', 'e', 'i', 'o', 'u']) {
+            return format!("{stem}ies");
+        }
+    }
+    if lower.ends_with('s') || lower.ends_with('x') || lower.ends_with("ch") || lower.ends_with("sh")
+    {
+        return format!("{lower}es");
+    }
+    format!("{lower}s")
+}
+
+fn slugify(name: &str) -> String {
+    name.to_lowercase()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn unslugify(slug: &str) -> String {
+    slug.replace('-', " ")
+}
+
+/// Extracts display names from a list of strings or node objects.
+fn name_list(value: &Value) -> Vec<String> {
+    value
+        .as_array()
+        .into_iter()
+        .flatten()
+        .filter_map(|item| match item {
+            Value::String(s) => Some(s.clone()),
+            Value::Object(o) => o
+                .get("props")
+                .and_then(|p| p.get("name"))
+                .or_else(|| o.get("name"))
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .or_else(|| o.get("id").and_then(Value::as_str).map(str::to_string)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Renders a JSON list as quoted SQL literals.
+fn sql_string_list(value: &Value) -> String {
+    let names = name_list(value);
+    if names.is_empty() {
+        // An empty IN list is invalid SQL; use an impossible literal.
+        return "''".to_string();
+    }
+    names
+        .iter()
+        .map(|n| format!("'{}'", n.replace('\'', "''")))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Samples distinct text values per column for data-aware NL2Q.
+fn sample_values(db: &RelationalDb) -> HashMap<String, Vec<String>> {
+    const CAP: usize = 200;
+    let mut out: HashMap<String, Vec<String>> = HashMap::new();
+    for table in db.table_names() {
+        let schema = db.schema_of(&table).expect("table exists");
+        for col in &schema.columns {
+            if col.ctype != blueprint_datastore::ColumnType::Text {
+                continue;
+            }
+            if let Ok(rs) = db.execute(&format!("SELECT DISTINCT {} FROM {}", col.name, table)) {
+                let entry = out.entry(col.name.clone()).or_default();
+                for row in rs.rows.iter().take(CAP) {
+                    if let Some(s) = row[0].as_str() {
+                        let lower = s.to_lowercase();
+                        if !entry.contains(&lower) {
+                            entry.push(lower);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_datastore::{
+        DocumentStore, GraphSource, KvSource, KvStore, PropertyGraph, RelationalSource,
+    };
+    use blueprint_llmsim::{ModelProfile, ParametricSource};
+    use blueprint_registry::DataRegistry;
+
+    const RUNNING_EXAMPLE: &str = "I am looking for a data scientist position in SF bay area.";
+
+    fn jobs_db() -> Arc<RelationalDb> {
+        let db = Arc::new(RelationalDb::new());
+        db.execute("CREATE TABLE jobs (id INT, title TEXT, city TEXT, salary FLOAT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO jobs VALUES \
+             (1, 'data scientist', 'san francisco', 180000.0), \
+             (2, 'machine learning engineer', 'oakland', 175000.0), \
+             (3, 'data scientist', 'new york', 160000.0), \
+             (4, 'data analyst', 'berkeley', 120000.0), \
+             (5, 'recruiter', 'san francisco', 90000.0)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn taxonomy() -> Arc<PropertyGraph> {
+        let g = Arc::new(PropertyGraph::new());
+        for (id, name) in [
+            ("data-scientist", "data scientist"),
+            ("machine-learning-engineer", "machine learning engineer"),
+            ("data-analyst", "data analyst"),
+        ] {
+            g.add_node(id, "title", json!({"name": name})).unwrap();
+        }
+        g.add_edge("machine-learning-engineer", "data-scientist", "related_to")
+            .unwrap();
+        g.add_edge("data-analyst", "data-scientist", "related_to")
+            .unwrap();
+        g
+    }
+
+    fn planner() -> (DataPlanner, Arc<RelationalDb>) {
+        let db = jobs_db();
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+        let mut p = DataPlanner::new(Arc::new(DataRegistry::new()), Arc::clone(&llm));
+        p.add_source(Arc::new(RelationalSource::new("hr-db", Arc::clone(&db))));
+        p.add_source(Arc::new(GraphSource::new("title-taxonomy", taxonomy())));
+        p.add_source(Arc::new(ParametricSource::new("gpt-large", llm)));
+        (p, db)
+    }
+
+    #[test]
+    fn fig7_decomposition_for_running_example() {
+        let (p, _) = planner();
+        let plan = p.plan_job_query(RUNNING_EXAMPLE).unwrap();
+        let ops: Vec<&str> = plan.nodes.iter().map(|n| n.op.name()).collect();
+        assert_eq!(ops, ["q2nl", "knowledge", "graph-expand", "sql"]);
+        let text = plan.render_text();
+        assert!(text.contains("knowledge[gpt-large]"));
+        assert!(text.contains("city IN ({cities})"));
+        assert!(text.contains("title IN ({titles})"));
+    }
+
+    #[test]
+    fn decomposed_plan_finds_bay_area_jobs() {
+        let (p, _) = planner();
+        let plan = p.plan_job_query(RUNNING_EXAMPLE).unwrap();
+        let result = p.execute(&plan).unwrap();
+        let rows = result.value.as_array().unwrap();
+        // Jobs 1 (ds, sf), 2 (mle, oakland), 4 (analyst, berkeley) match:
+        // bay-area cities × taxonomy-expanded titles. NY data scientist and
+        // SF recruiter do not.
+        let ids: Vec<i64> = rows.iter().map(|r| r["id"].as_i64().unwrap()).collect();
+        assert_eq!(ids, [1, 2, 4]);
+        assert!(result.actual.cost_per_call > 0.0);
+        assert_eq!(result.trace.len(), 4);
+    }
+
+    #[test]
+    fn direct_nl2q_misses_region_rows() {
+        // The §V-G claim: "SF bay area" won't match any city in the
+        // database, so direct NL2Q returns nothing while the decomposed
+        // plan succeeds.
+        let (p, db) = planner();
+        let plan = p
+            .plan_nl2q_direct(RUNNING_EXAMPLE, &db, "hr-db")
+            .unwrap();
+        let result = p.execute(&plan).unwrap();
+        let direct_rows = result.value.as_array().unwrap().len();
+        let decomposed = p
+            .execute(&p.plan_job_query(RUNNING_EXAMPLE).unwrap())
+            .unwrap();
+        let decomposed_rows = decomposed.value.as_array().unwrap().len();
+        assert!(
+            direct_rows < decomposed_rows,
+            "direct={direct_rows} decomposed={decomposed_rows}"
+        );
+    }
+
+    #[test]
+    fn literal_city_skips_knowledge_injection() {
+        let (p, _) = planner();
+        let plan = p
+            .plan_job_query("looking for a data scientist position in oakland")
+            .unwrap();
+        let ops: Vec<&str> = plan.nodes.iter().map(|n| n.op.name()).collect();
+        assert!(!ops.contains(&"knowledge"));
+        assert!(ops.contains(&"literal"));
+        let result = p.execute(&plan).unwrap();
+        // Oakland × expanded titles → job 2 only.
+        assert_eq!(result.value.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn missing_graph_source_falls_back_to_literal_title() {
+        let db = jobs_db();
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+        let mut p = DataPlanner::new(Arc::new(DataRegistry::new()), Arc::clone(&llm));
+        p.add_source(Arc::new(RelationalSource::new("hr-db", Arc::clone(&db))));
+        p.add_source(Arc::new(ParametricSource::new("gpt-large", llm)));
+        let plan = p.plan_job_query(RUNNING_EXAMPLE).unwrap();
+        let ops: Vec<&str> = plan.nodes.iter().map(|n| n.op.name()).collect();
+        assert!(ops.contains(&"literal"));
+        let result = p.execute(&plan).unwrap();
+        // Without taxonomy expansion only the exact title matches: job 1.
+        let ids: Vec<i64> = result
+            .value
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r["id"].as_i64().unwrap())
+            .collect();
+        assert_eq!(ids, [1]);
+    }
+
+    #[test]
+    fn missing_relational_source_fails() {
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+        let mut p = DataPlanner::new(Arc::new(DataRegistry::new()), Arc::clone(&llm));
+        p.add_source(Arc::new(ParametricSource::new("gpt-large", llm)));
+        assert!(matches!(
+            p.plan_job_query(RUNNING_EXAMPLE),
+            Err(PlanError::NoSourceFor(_))
+        ));
+    }
+
+    #[test]
+    fn parametric_choice_respects_constraints() {
+        let db = jobs_db();
+        let mut p = DataPlanner::new(
+            Arc::new(DataRegistry::new()),
+            Arc::new(SimLlm::new(ModelProfile::large())),
+        );
+        p.add_source(Arc::new(RelationalSource::new("hr-db", db)));
+        p.add_source(Arc::new(ParametricSource::new(
+            "gpt-large",
+            Arc::new(SimLlm::new(ModelProfile::large())),
+        )));
+        p.add_source(Arc::new(ParametricSource::new(
+            "gpt-tiny",
+            Arc::new(SimLlm::new(ModelProfile::tiny())),
+        )));
+        // Cost-min without constraints picks the tiny tier...
+        p.set_objective(Objective::MinCost);
+        let plan = p.plan_job_query(RUNNING_EXAMPLE).unwrap();
+        let knowledge = plan.nodes.iter().find(|n| n.op.name() == "knowledge").unwrap();
+        assert!(matches!(&knowledge.op, DataOp::Knowledge { source } if source == "gpt-tiny"));
+        // ...but an accuracy floor forces the large tier.
+        p.set_constraints(QosConstraints::none().with_min_accuracy(0.95));
+        let plan2 = p.plan_job_query(RUNNING_EXAMPLE).unwrap();
+        let knowledge2 = plan2.nodes.iter().find(|n| n.op.name() == "knowledge").unwrap();
+        assert!(matches!(&knowledge2.op, DataOp::Knowledge { source } if source == "gpt-large"));
+    }
+
+    #[test]
+    fn infeasible_constraints_error() {
+        let (mut p, _) = {
+            let (p, db) = planner();
+            (p, db)
+        };
+        p.set_constraints(QosConstraints::none().with_min_accuracy(0.999));
+        assert!(matches!(
+            p.plan_job_query(RUNNING_EXAMPLE),
+            Err(PlanError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn extract_plan_round_trip() {
+        let (p, _) = planner();
+        let plan = p.plan_extract(RUNNING_EXAMPLE);
+        let result = p.execute(&plan).unwrap();
+        assert_eq!(result.value["title"], json!("data scientist"));
+        assert_eq!(result.value["location"], json!("sf bay area"));
+    }
+
+    #[test]
+    fn summarize_plan_round_trip() {
+        let (p, _) = planner();
+        let plan = p.plan_summarize(json!([{"city": "sf", "n": 2}]));
+        let result = p.execute(&plan).unwrap();
+        assert!(result.value.as_str().unwrap().contains("1 row"));
+    }
+
+    #[test]
+    fn q2nl_renders_fragments() {
+        assert_eq!(q2nl("city ∈ \"SF bay area\""), "cities in the sf bay area");
+        assert_eq!(q2nl("title ∈ \"data roles\""), "titles in the data roles");
+        assert_eq!(q2nl("anything else"), "anything else");
+    }
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(pluralize("city"), "cities");
+        assert_eq!(pluralize("title"), "titles");
+        assert_eq!(pluralize("class"), "classes");
+        assert_eq!(pluralize("box"), "boxes");
+        assert_eq!(pluralize("day"), "days");
+    }
+
+    #[test]
+    fn sql_string_list_escapes_and_handles_empty() {
+        assert_eq!(sql_string_list(&json!(["a", "o'b"])), "'a', 'o''b'");
+        assert_eq!(sql_string_list(&json!([])), "''");
+    }
+
+    #[test]
+    fn doc_search_op_executes() {
+        let store = Arc::new(DocumentStore::new());
+        store
+            .put("p1", json!({"summary": "senior data scientist"}))
+            .unwrap();
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+        let mut p = DataPlanner::new(Arc::new(DataRegistry::new()), llm);
+        p.add_source(Arc::new(blueprint_datastore::source::DocumentSource::new(
+            "profiles", store,
+        )));
+        let mut plan = DataPlan::new("find data scientists");
+        plan.push(DataNode {
+            id: "d1".into(),
+            op: DataOp::DocSearch {
+                source: "profiles".into(),
+                query: "data scientist".into(),
+                limit: 5,
+            },
+            inputs: vec![],
+            estimate: CostEstimate::FREE,
+        });
+        let result = p.execute(&plan).unwrap();
+        assert_eq!(result.value.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn satisfy_routes_job_requests_to_decomposition() {
+        let (p, _) = planner();
+        let result = p.satisfy("available job listings", RUNNING_EXAMPLE).unwrap();
+        assert_eq!(result.value.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn satisfy_routes_other_requests_to_documents() {
+        let store = Arc::new(DocumentStore::new());
+        store
+            .put("p1", json!({"summary": "python data scientist"}))
+            .unwrap();
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+        let mut p = DataPlanner::new(Arc::new(DataRegistry::new()), llm);
+        p.add_source(Arc::new(blueprint_datastore::DocumentSource::new(
+            "profiles", store,
+        )));
+        let result = p
+            .satisfy("candidate profiles", "python data scientist")
+            .unwrap();
+        assert_eq!(result.value.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn satisfy_without_any_source_fails() {
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+        let p = DataPlanner::new(Arc::new(DataRegistry::new()), llm);
+        assert!(p.satisfy("candidate profiles", "x").is_err());
+    }
+
+    #[test]
+    fn kv_sources_are_listed() {
+        let (mut p, _) = planner();
+        p.add_source(Arc::new(KvSource::new("cache", Arc::new(KvStore::new()))));
+        assert_eq!(
+            p.source_names(),
+            ["cache", "gpt-large", "hr-db", "title-taxonomy"]
+        );
+    }
+
+    #[test]
+    fn execute_rejects_unknown_source() {
+        let (p, _) = planner();
+        let mut plan = DataPlan::new("r");
+        plan.push(DataNode {
+            id: "d1".into(),
+            op: DataOp::DocSearch {
+                source: "ghost".into(),
+                query: "q".into(),
+                limit: 1,
+            },
+            inputs: vec![],
+            estimate: CostEstimate::FREE,
+        });
+        assert!(matches!(
+            p.execute(&plan),
+            Err(PlanError::NoSourceFor(_))
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for planning.
+
+use std::fmt;
+
+/// Errors raised by the task and data planners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No agent in the registry covers a sub-task.
+    NoAgentFor(String),
+    /// No data source can answer a query shape.
+    NoSourceFor(String),
+    /// A plan failed structural validation (cycle, dangling edge, ...).
+    InvalidPlan(String),
+    /// Parameters could not be connected between two nodes.
+    UnboundParameter {
+        /// Node whose input is unbound.
+        node: String,
+        /// The parameter name.
+        param: String,
+    },
+    /// No feasible plan exists under the QoS constraints.
+    Infeasible(String),
+    /// An underlying component failed during plan execution.
+    Execution(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoAgentFor(task) => write!(f, "no agent found for sub-task: {task}"),
+            PlanError::NoSourceFor(q) => write!(f, "no data source for: {q}"),
+            PlanError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            PlanError::UnboundParameter { node, param } => {
+                write!(f, "unbound required parameter {param} on node {node}")
+            }
+            PlanError::Infeasible(msg) => write!(f, "no feasible plan: {msg}"),
+            PlanError::Execution(msg) => write!(f, "plan execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PlanError::NoAgentFor("x".into()).to_string().contains("no agent"));
+        assert!(PlanError::NoSourceFor("x".into()).to_string().contains("no data source"));
+        assert!(PlanError::InvalidPlan("c".into()).to_string().contains("invalid"));
+        let u = PlanError::UnboundParameter {
+            node: "n1".into(),
+            param: "jobs".into(),
+        };
+        assert_eq!(u.to_string(), "unbound required parameter jobs on node n1");
+        assert!(PlanError::Infeasible("i".into()).to_string().contains("feasible"));
+        assert!(PlanError::Execution("e".into()).to_string().contains("failed"));
+    }
+}

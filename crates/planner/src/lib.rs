@@ -1,0 +1,30 @@
+//! # blueprint-planner
+//!
+//! The blueprint's two planners (§V-F, §V-G):
+//!
+//! * the **task planner** — an agent that interprets a user utterance and
+//!   produces a [`TaskPlan`]: a DAG whose nodes are sub-tasks assigned to
+//!   registry agents with input/output parameters connected (Fig 6);
+//! * the **data planner** — invoked by agents and by the task coordinator
+//!   to "provide agents with the right data": it decomposes a data
+//!   retrieval/transformation request into a [`DataPlan`] over operators
+//!   (discover, select, join, extract, summarize, Q2NL, ...) spanning
+//!   sources of different modalities, injecting operators where needed —
+//!   e.g. routing "cities in the SF bay area" to an LLM-as-data-source and
+//!   splicing the answer into a relational query (Fig 7) — and optimizing
+//!   source choices under QoS constraints.
+
+pub mod data_plan;
+pub mod data_planner;
+pub mod error;
+pub mod plan;
+pub mod task_planner;
+
+pub use data_plan::{DataNode, DataOp, DataPlan};
+pub use data_planner::{DataPlanner, ExecutedPlan};
+pub use error::PlanError;
+pub use plan::{InputBinding, PlanEdge, PlanNode, TaskPlan};
+pub use task_planner::{PlanFeedback, TaskPlanner};
+
+/// Result alias for planner operations.
+pub type Result<T> = std::result::Result<T, PlanError>;

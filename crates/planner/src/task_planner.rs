@@ -1,0 +1,701 @@
+//! The task planner (§V-F): utterance → agentic-workflow DAG.
+//!
+//! The planner (1) interprets the utterance (via the simulated LLM's intent
+//! head), (2) decomposes it into sub-task descriptions, (3) maps each
+//! sub-task to the best agent in the registry by hybrid search, and
+//! (4) connects parameters: each required input binds to a type-compatible
+//! upstream output with the most similar name/description, falls back to
+//! the user utterance for text, to the *data planner* for tables/lists
+//! (`FromData`), or to the declared default.
+
+use std::sync::Arc;
+
+use serde_json::json;
+
+use blueprint_agents::{AgentSpec, DataType, ParamSpec};
+use blueprint_llmsim::{Intent, SimLlm};
+use blueprint_registry::{embed_text, AgentRegistry};
+
+use crate::error::PlanError;
+use crate::plan::{InputBinding, PlanNode, TaskPlan};
+use crate::Result;
+
+/// Minimum registry search score for a sub-task assignment to count.
+const MIN_ASSIGNMENT_SCORE: f32 = 0.05;
+
+/// User feedback on a proposed plan (§V-F: "the task planner can be
+/// interactive, initially presenting a plan to the user ... facilitating
+/// collaborative planning").
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanFeedback {
+    /// Drop the node executing this agent; consumers rebind to its upstream.
+    RemoveAgent(String),
+    /// Swap the agent assigned to a node for another registered agent.
+    ReplaceAgent {
+        /// Agent currently assigned.
+        from: String,
+        /// Replacement agent (must exist in the registry).
+        to: String,
+    },
+    /// Pin an input parameter to a literal value (e.g. the user fills in a
+    /// field the plan would otherwise gather interactively).
+    PinInput {
+        /// Agent whose input to pin.
+        agent: String,
+        /// Parameter name.
+        param: String,
+        /// The value.
+        value: serde_json::Value,
+    },
+}
+
+/// Plans agentic workflows over a registry.
+pub struct TaskPlanner {
+    registry: Arc<AgentRegistry>,
+    llm: Arc<SimLlm>,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+impl TaskPlanner {
+    /// Creates a planner over a registry, using the given LLM for
+    /// interpretation.
+    pub fn new(registry: Arc<AgentRegistry>, llm: Arc<SimLlm>) -> Self {
+        TaskPlanner {
+            registry,
+            llm,
+            counter: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// The registry this planner draws agents from.
+    pub fn registry(&self) -> &Arc<AgentRegistry> {
+        &self.registry
+    }
+
+    /// Decomposes an utterance into sub-task descriptions. This emulates the
+    /// LLM's planning role with a per-intent template — the "prewired"
+    /// planning style; `plan_subtasks` below accepts ad hoc decompositions.
+    pub fn decompose(&self, utterance: &str) -> (Intent, Vec<String>) {
+        let (intent, _confidence, _usage) = self.llm.classify_intent(utterance);
+        let subtasks: Vec<String> = match intent {
+            Intent::JobSearch => vec![
+                "collect job seeker profile information from the user".into(),
+                "match the job seeker profile with available job listings".into(),
+                "present the matched jobs to the end user".into(),
+            ],
+            Intent::OpenEndedQuery => vec![
+                "translate the natural language question into a database query".into(),
+                "execute the database query".into(),
+                "summarize and explain the query results".into(),
+            ],
+            Intent::SummarizeRequest => vec![
+                "summarize the given data concisely".into(),
+                "present the summary to the end user".into(),
+            ],
+            Intent::ListCommand => vec![
+                "update the user's candidate list per the command".into(),
+                "present the updated list to the end user".into(),
+            ],
+            Intent::ProfileInfo => {
+                vec!["collect job seeker profile information from the user".into()]
+            }
+            Intent::Greeting | Intent::Unknown => {
+                vec!["respond conversationally to the user".into()]
+            }
+        };
+        (intent, subtasks)
+    }
+
+    /// Plans a workflow for an utterance (decompose + assign + connect).
+    pub fn plan(&self, utterance: &str) -> Result<TaskPlan> {
+        let (_, subtasks) = self.decompose(utterance);
+        self.plan_subtasks(utterance, &subtasks, &[])
+    }
+
+    /// Replans excluding some agents (the coordinator's failure path, §V-H).
+    pub fn plan_excluding(&self, utterance: &str, exclude: &[String]) -> Result<TaskPlan> {
+        let (_, subtasks) = self.decompose(utterance);
+        self.plan_subtasks(utterance, &subtasks, exclude)
+    }
+
+    /// Plans from an explicit (ad hoc) sub-task decomposition.
+    pub fn plan_subtasks(
+        &self,
+        utterance: &str,
+        subtasks: &[String],
+        exclude: &[String],
+    ) -> Result<TaskPlan> {
+        let task_id = format!(
+            "t{}",
+            self.counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let mut plan = TaskPlan::new(task_id, utterance);
+        let mut upstream: Option<(String, AgentSpec)> = None;
+
+        for (i, subtask) in subtasks.iter().enumerate() {
+            let spec = self.assign(subtask, exclude)?;
+            self.registry
+                .record_usage(&spec.name, subtask)
+                .map_err(|e| PlanError::Execution(e.to_string()))?;
+            let node_id = format!("n{}", i + 1);
+            let mut node = PlanNode {
+                id: node_id.clone(),
+                agent: spec.name.clone(),
+                task: subtask.clone(),
+                inputs: Default::default(),
+                profile: spec.profile,
+            };
+            for input in &spec.inputs {
+                if let Some(binding) = self.bind(input, upstream.as_ref()) {
+                    node.inputs.insert(input.name.clone(), binding);
+                } else if input.required {
+                    return Err(PlanError::UnboundParameter {
+                        node: node_id,
+                        param: input.name.clone(),
+                    });
+                }
+            }
+            upstream = Some((node_id, spec));
+            plan.push(node);
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Applies user feedback to a plan, returning the refined plan
+    /// (collaborative planning, §V-F). The original plan is untouched.
+    pub fn refine(&self, plan: &TaskPlan, feedback: &PlanFeedback) -> Result<TaskPlan> {
+        let mut refined = plan.clone();
+        match feedback {
+            PlanFeedback::RemoveAgent(agent) => {
+                let Some(pos) = refined.nodes.iter().position(|n| &n.agent == agent) else {
+                    return Err(PlanError::InvalidPlan(format!(
+                        "plan has no node for agent {agent}"
+                    )));
+                };
+                let removed = refined.nodes.remove(pos);
+                // The removed node's primary upstream (if any) adopts its
+                // consumers.
+                let upstream: Option<(String, String)> =
+                    removed.inputs.values().find_map(|b| match b {
+                        InputBinding::FromNode { node, output } => {
+                            Some((node.clone(), output.clone()))
+                        }
+                        _ => None,
+                    });
+                for node in &mut refined.nodes {
+                    for binding in node.inputs.values_mut() {
+                        if let InputBinding::FromNode { node: from, .. } = binding {
+                            if from == &removed.id {
+                                *binding = match &upstream {
+                                    Some((n, o)) => InputBinding::FromNode {
+                                        node: n.clone(),
+                                        output: o.clone(),
+                                    },
+                                    None => InputBinding::FromUser,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            PlanFeedback::ReplaceAgent { from, to } => {
+                let spec = self.registry.get_spec(to).map_err(|e| {
+                    PlanError::InvalidPlan(format!("replacement agent unknown: {e}"))
+                })?;
+                let Some(pos) = refined.nodes.iter().position(|n| &n.agent == from) else {
+                    return Err(PlanError::InvalidPlan(format!(
+                        "plan has no node for agent {from}"
+                    )));
+                };
+                // Rebind the node's inputs against its upstream (previous
+                // node in plan order, matching the planner's chaining).
+                let upstream = if pos > 0 {
+                    let up = &refined.nodes[pos - 1];
+                    self.registry
+                        .get_spec(&up.agent)
+                        .ok()
+                        .map(|s| (up.id.clone(), s))
+                } else {
+                    None
+                };
+                let node = &mut refined.nodes[pos];
+                node.agent = spec.name.clone();
+                node.profile = spec.profile;
+                node.inputs.clear();
+                for input in &spec.inputs {
+                    if let Some(binding) = self.bind(input, upstream.as_ref()) {
+                        node.inputs.insert(input.name.clone(), binding);
+                    } else if input.required {
+                        return Err(PlanError::UnboundParameter {
+                            node: node.id.clone(),
+                            param: input.name.clone(),
+                        });
+                    }
+                }
+                // Downstream consumers rebind to the new agent's outputs.
+                let node_id = refined.nodes[pos].id.clone();
+                for later in refined.nodes.iter_mut().skip(pos + 1) {
+                    for binding in later.inputs.values_mut() {
+                        if let InputBinding::FromNode { node: from_id, output } = binding {
+                            if from_id == &node_id && spec.output(output).is_none() {
+                                if let Some(first_out) = spec.outputs.first() {
+                                    *output = first_out.name.clone();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            PlanFeedback::PinInput { agent, param, value } => {
+                let Some(node) = refined.nodes.iter_mut().find(|n| &n.agent == agent) else {
+                    return Err(PlanError::InvalidPlan(format!(
+                        "plan has no node for agent {agent}"
+                    )));
+                };
+                node.inputs
+                    .insert(param.clone(), InputBinding::Literal(value.clone()));
+            }
+        }
+        refined.validate()?;
+        Ok(refined)
+    }
+
+    /// Incremental (dynamic) planning (§V-F: the plan "evolves step by step
+    /// rather than being predetermined in its entirety"): returns the next
+    /// single-node plan given how many sub-tasks have already completed, or
+    /// `None` when the decomposition is exhausted.
+    pub fn plan_step(&self, utterance: &str, completed_steps: usize) -> Result<Option<TaskPlan>> {
+        let (_, subtasks) = self.decompose(utterance);
+        if completed_steps >= subtasks.len() {
+            return Ok(None);
+        }
+        let step = &subtasks[completed_steps];
+        let plan = self.plan_subtasks(utterance, std::slice::from_ref(step), &[])?;
+        Ok(Some(plan))
+    }
+
+    /// Picks the best non-excluded agent for a sub-task.
+    fn assign(&self, subtask: &str, exclude: &[String]) -> Result<AgentSpec> {
+        let hits = self.registry.search(subtask, 8);
+        for hit in hits {
+            if hit.score < MIN_ASSIGNMENT_SCORE {
+                break;
+            }
+            if exclude.iter().any(|e| e == &hit.name) {
+                continue;
+            }
+            if let Ok(spec) = self.registry.get_spec(&hit.name) {
+                return Ok(spec);
+            }
+        }
+        Err(PlanError::NoAgentFor(subtask.to_string()))
+    }
+
+    /// Connects one input parameter (Fig 6's parameter matching).
+    fn bind(
+        &self,
+        input: &ParamSpec,
+        upstream: Option<&(String, AgentSpec)>,
+    ) -> Option<InputBinding> {
+        // 1. Best type-compatible upstream output by name/description
+        //    similarity.
+        if let Some((node_id, spec)) = upstream {
+            let ie = embed_text(&format!("{} {}", input.name, input.description));
+            let mut best: Option<(f32, &ParamSpec)> = None;
+            for out in &spec.outputs {
+                if !out.data_type.compatible_with(input.data_type) {
+                    continue;
+                }
+                let oe = embed_text(&format!("{} {}", out.name, out.description));
+                let score = ie.cosine(&oe);
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, out));
+                }
+            }
+            if let Some((_, out)) = best {
+                return Some(InputBinding::FromNode {
+                    node: node_id.clone(),
+                    output: out.name.clone(),
+                });
+            }
+        }
+        // 2. Text inputs read the user stream.
+        if input.data_type == DataType::Text {
+            return Some(InputBinding::FromUser);
+        }
+        // 3. Tables/lists are satisfied by the data planner at run time.
+        if matches!(input.data_type, DataType::Table | DataType::List) {
+            return Some(InputBinding::FromData {
+                query: input.description.clone(),
+            });
+        }
+        // 4. Required JSON inputs with no upstream read the user utterance;
+        //    the task coordinator injects the data planner's `extract`
+        //    transformation (PROFILER.CRITERIA ← USER.TEXT, §V-H).
+        if input.required && input.data_type == DataType::Json {
+            return Some(InputBinding::FromUser);
+        }
+        // 5. Declared default, else a null literal for Any-typed inputs.
+        input.default.clone().map(InputBinding::Literal).or({
+            if input.data_type == DataType::Json || input.data_type == DataType::Any {
+                Some(InputBinding::Literal(json!(null)))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_agents::{CostProfile, ParamSpec};
+    use blueprint_llmsim::ModelProfile;
+
+    /// The YourJourney agents from the paper's Fig 6.
+    fn registry() -> Arc<AgentRegistry> {
+        let r = AgentRegistry::new();
+        r.register(
+            AgentSpec::new(
+                "profiler",
+                "collect job seeker profile information from the user via a form",
+            )
+            .with_input(ParamSpec::required("text", "the user utterance", DataType::Text))
+            .with_output(ParamSpec::required(
+                "profile",
+                "the collected job seeker profile",
+                DataType::Json,
+            ))
+            .with_profile(CostProfile::new(0.5, 50_000, 0.95)),
+        )
+        .unwrap();
+        r.register(
+            AgentSpec::new(
+                "job-matcher",
+                "match the job seeker profile against available job listings and rank them",
+            )
+            .with_input(ParamSpec::required(
+                "job_seeker_data",
+                "the job seeker profile to match",
+                DataType::Json,
+            ))
+            .with_input(ParamSpec::required(
+                "jobs",
+                "available job listings",
+                DataType::Table,
+            ))
+            .with_input(ParamSpec::optional(
+                "criteria",
+                "additional matching conditions",
+                DataType::Text,
+            ))
+            .with_output(ParamSpec::required(
+                "matches",
+                "ranked matched jobs",
+                DataType::Table,
+            ))
+            .with_profile(CostProfile::new(2.0, 120_000, 0.9)),
+        )
+        .unwrap();
+        r.register(
+            AgentSpec::new("presenter", "present results and content to the end user")
+                .with_input(ParamSpec::required(
+                    "content",
+                    "the content to present",
+                    DataType::Any,
+                ))
+                .with_output(ParamSpec::required(
+                    "rendered",
+                    "the rendered presentation",
+                    DataType::Text,
+                ))
+                .with_profile(CostProfile::new(0.1, 10_000, 1.0)),
+        )
+        .unwrap();
+        r.register(
+            AgentSpec::new(
+                "nl2q",
+                "translate a natural language question into a database query such as SQL",
+            )
+            .with_input(ParamSpec::required("question", "the question", DataType::Text))
+            .with_output(ParamSpec::required("query", "the database query", DataType::Text))
+            .with_profile(CostProfile::new(1.0, 80_000, 0.9)),
+        )
+        .unwrap();
+        r.register(
+            AgentSpec::new("sql-executor", "execute a database query against the warehouse")
+                .with_input(ParamSpec::required("query", "the SQL query text", DataType::Text))
+                .with_output(ParamSpec::required("rows", "the result rows", DataType::Table))
+                .with_profile(CostProfile::new(0.01, 5_000, 1.0)),
+        )
+        .unwrap();
+        r.register(
+            AgentSpec::new(
+                "query-summarizer",
+                "summarize and explain database query results in natural language",
+            )
+            .with_input(ParamSpec::required(
+                "rows",
+                "the query result rows to explain",
+                DataType::Table,
+            ))
+            .with_output(ParamSpec::required("summary", "the explanation", DataType::Text))
+            .with_profile(CostProfile::new(1.0, 90_000, 0.92)),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+
+    fn planner() -> TaskPlanner {
+        TaskPlanner::new(registry(), Arc::new(SimLlm::new(ModelProfile::large())))
+    }
+
+    const RUNNING_EXAMPLE: &str = "I am looking for a data scientist position in SF bay area.";
+
+    #[test]
+    fn running_example_produces_fig6_plan() {
+        let plan = planner().plan(RUNNING_EXAMPLE).unwrap();
+        let agents: Vec<&str> = plan.nodes.iter().map(|n| n.agent.as_str()).collect();
+        assert_eq!(agents, ["profiler", "job-matcher", "presenter"]);
+        // Parameter connections of Fig 6.
+        let n2 = plan.node("n2").unwrap();
+        assert_eq!(
+            n2.inputs["job_seeker_data"],
+            InputBinding::FromNode {
+                node: "n1".into(),
+                output: "profile".into()
+            }
+        );
+        assert!(matches!(n2.inputs["jobs"], InputBinding::FromData { .. }));
+        let n3 = plan.node("n3").unwrap();
+        assert_eq!(
+            n3.inputs["content"],
+            InputBinding::FromNode {
+                node: "n2".into(),
+                output: "matches".into()
+            }
+        );
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn open_query_plans_nl2q_pipeline() {
+        let plan = planner()
+            .plan("How many applicants have machine learning skills?")
+            .unwrap();
+        let agents: Vec<&str> = plan.nodes.iter().map(|n| n.agent.as_str()).collect();
+        assert_eq!(agents, ["nl2q", "sql-executor", "query-summarizer"]);
+        // query flows nl2q → sql-executor, rows flow executor → summarizer.
+        assert_eq!(
+            plan.node("n2").unwrap().inputs["query"],
+            InputBinding::FromNode {
+                node: "n1".into(),
+                output: "query".into()
+            }
+        );
+        assert_eq!(
+            plan.node("n3").unwrap().inputs["rows"],
+            InputBinding::FromNode {
+                node: "n2".into(),
+                output: "rows".into()
+            }
+        );
+    }
+
+    #[test]
+    fn planning_records_usage() {
+        let p = planner();
+        let before = p.registry().get("profiler").unwrap().usage_count;
+        p.plan(RUNNING_EXAMPLE).unwrap();
+        assert_eq!(p.registry().get("profiler").unwrap().usage_count, before + 1);
+    }
+
+    #[test]
+    fn task_ids_are_unique() {
+        let p = planner();
+        let a = p.plan(RUNNING_EXAMPLE).unwrap();
+        let b = p.plan(RUNNING_EXAMPLE).unwrap();
+        assert_ne!(a.task_id, b.task_id);
+    }
+
+    #[test]
+    fn excluding_agent_reassigns_or_fails() {
+        let p = planner();
+        match p.plan_excluding(RUNNING_EXAMPLE, &["job-matcher".to_string()]) {
+            // A substitute assignment is acceptable — but never the
+            // excluded agent.
+            Ok(plan) => {
+                assert!(plan.nodes.iter().all(|n| n.agent != "job-matcher"));
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, PlanError::NoAgentFor(_))
+                        || matches!(e, PlanError::UnboundParameter { .. })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_registry_cannot_plan() {
+        let p = TaskPlanner::new(
+            Arc::new(AgentRegistry::new()),
+            Arc::new(SimLlm::new(ModelProfile::large())),
+        );
+        assert!(matches!(
+            p.plan(RUNNING_EXAMPLE),
+            Err(PlanError::NoAgentFor(_))
+        ));
+    }
+
+    #[test]
+    fn ad_hoc_subtasks_plan() {
+        let p = planner();
+        let plan = p
+            .plan_subtasks(
+                "summarize the applicants",
+                &["summarize and explain the query results".to_string()],
+                &[],
+            )
+            .unwrap();
+        assert_eq!(plan.nodes.len(), 1);
+        assert_eq!(plan.nodes[0].agent, "query-summarizer");
+        // A Table input with no upstream becomes a data-planner binding.
+        assert!(matches!(
+            plan.nodes[0].inputs["rows"],
+            InputBinding::FromData { .. }
+        ));
+    }
+
+    #[test]
+    fn projected_profile_reflects_assigned_agents() {
+        let plan = planner().plan(RUNNING_EXAMPLE).unwrap();
+        let profile = plan.projected_profile();
+        // profiler 0.5 + matcher 2.0 + presenter 0.1.
+        assert!((profile.cost_per_call - 2.6).abs() < 1e-9);
+        assert_eq!(profile.latency_micros, 180_000);
+    }
+
+    #[test]
+    fn refine_remove_rewires_consumers() {
+        let p = planner();
+        let plan = p.plan(RUNNING_EXAMPLE).unwrap();
+        // "skip profiling" — the matcher's profile input falls back to user.
+        let refined = p
+            .refine(&plan, &PlanFeedback::RemoveAgent("profiler".into()))
+            .unwrap();
+        assert_eq!(refined.nodes.len(), 2);
+        assert!(refined.nodes.iter().all(|n| n.agent != "profiler"));
+        let matcher = refined.nodes.iter().find(|n| n.agent == "job-matcher").unwrap();
+        assert_eq!(matcher.inputs["job_seeker_data"], InputBinding::FromUser);
+        refined.validate().unwrap();
+        // Original plan untouched.
+        assert_eq!(plan.nodes.len(), 3);
+    }
+
+    #[test]
+    fn refine_remove_middle_rebinds_to_upstream() {
+        let p = planner();
+        let plan = p.plan(RUNNING_EXAMPLE).unwrap();
+        let refined = p
+            .refine(&plan, &PlanFeedback::RemoveAgent("job-matcher".into()))
+            .unwrap();
+        // Presenter now consumes the profiler's output directly.
+        let presenter = refined.nodes.iter().find(|n| n.agent == "presenter").unwrap();
+        assert_eq!(
+            presenter.inputs["content"],
+            InputBinding::FromNode {
+                node: "n1".into(),
+                output: "profile".into()
+            }
+        );
+    }
+
+    #[test]
+    fn refine_replace_swaps_agent_and_rebinds() {
+        let p = planner();
+        let plan = p.plan("How many applicants have ml skills?").unwrap();
+        // Swap the query summarizer for the presenter.
+        let refined = p
+            .refine(
+                &plan,
+                &PlanFeedback::ReplaceAgent {
+                    from: "query-summarizer".into(),
+                    to: "presenter".into(),
+                },
+            )
+            .unwrap();
+        let last = refined.nodes.last().unwrap();
+        assert_eq!(last.agent, "presenter");
+        assert_eq!(
+            last.inputs["content"],
+            InputBinding::FromNode {
+                node: "n2".into(),
+                output: "rows".into()
+            }
+        );
+    }
+
+    #[test]
+    fn refine_pin_input() {
+        let p = planner();
+        let plan = p.plan(RUNNING_EXAMPLE).unwrap();
+        let refined = p
+            .refine(
+                &plan,
+                &PlanFeedback::PinInput {
+                    agent: "job-matcher".into(),
+                    param: "criteria".into(),
+                    value: serde_json::json!("remote only"),
+                },
+            )
+            .unwrap();
+        let matcher = refined.nodes.iter().find(|n| n.agent == "job-matcher").unwrap();
+        assert_eq!(
+            matcher.inputs["criteria"],
+            InputBinding::Literal(serde_json::json!("remote only"))
+        );
+    }
+
+    #[test]
+    fn refine_unknown_targets_error() {
+        let p = planner();
+        let plan = p.plan(RUNNING_EXAMPLE).unwrap();
+        assert!(p
+            .refine(&plan, &PlanFeedback::RemoveAgent("ghost".into()))
+            .is_err());
+        assert!(p
+            .refine(
+                &plan,
+                &PlanFeedback::ReplaceAgent {
+                    from: "profiler".into(),
+                    to: "ghost".into()
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn incremental_planning_steps_through_decomposition() {
+        let p = planner();
+        let mut steps = Vec::new();
+        let mut completed = 0usize;
+        while let Some(step) = p.plan_step(RUNNING_EXAMPLE, completed).unwrap() {
+            assert_eq!(step.nodes.len(), 1);
+            steps.push(step.nodes[0].agent.clone());
+            completed += 1;
+        }
+        assert_eq!(steps, ["profiler", "job-matcher", "presenter"]);
+        assert!(p.plan_step(RUNNING_EXAMPLE, completed).unwrap().is_none());
+    }
+
+    #[test]
+    fn greeting_plans_conversational_response() {
+        // With no conversational agent registered, planning fails cleanly.
+        let p = planner();
+        let result = p.plan("hello!");
+        assert!(matches!(result, Err(PlanError::NoAgentFor(_))) || result.is_ok());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for task-plan DAG invariants.
+
+use std::collections::BTreeMap;
+
+use blueprint_agents::CostProfile;
+use blueprint_planner::{InputBinding, PlanNode, TaskPlan};
+use proptest::prelude::*;
+
+/// Generates a random DAG as a chain-with-skips: node i may read from any
+/// earlier node j < i (guaranteeing acyclicity), with shuffled insertion.
+fn dag_strategy() -> impl Strategy<Value = TaskPlan> {
+    (2usize..10)
+        .prop_flat_map(|n| {
+            let deps = prop::collection::vec(prop::option::of(0usize..n.max(1)), n);
+            let perm = Just((0..n).collect::<Vec<usize>>()).prop_shuffle();
+            (Just(n), deps, perm)
+        })
+        .prop_map(|(n, deps, perm)| {
+            let mut nodes: Vec<PlanNode> = (0..n)
+                .map(|i| {
+                    let mut inputs = BTreeMap::new();
+                    match deps[i] {
+                        Some(j) if j < i => {
+                            inputs.insert(
+                                "in".to_string(),
+                                InputBinding::FromNode {
+                                    node: format!("n{j}"),
+                                    output: "out".to_string(),
+                                },
+                            );
+                        }
+                        _ => {
+                            inputs.insert("in".to_string(), InputBinding::FromUser);
+                        }
+                    }
+                    PlanNode {
+                        id: format!("n{i}"),
+                        agent: format!("agent-{i}"),
+                        task: format!("task {i}"),
+                        inputs,
+                        profile: CostProfile::new(0.5 + i as f64 * 0.1, 1_000 + i as u64, 0.95),
+                    }
+                })
+                .collect();
+            // Shuffle insertion order; the plan must still topo-sort.
+            let mut plan = TaskPlan::new("t", "utterance");
+            for &i in &perm {
+                plan.push(nodes[i].clone());
+            }
+            nodes.clear();
+            plan
+        })
+}
+
+proptest! {
+    /// Valid DAGs validate, and every edge goes forward in the topo order.
+    #[test]
+    fn topo_order_respects_edges(plan in dag_strategy()) {
+        plan.validate().unwrap();
+        let order = plan.topo_order().unwrap();
+        prop_assert_eq!(order.len(), plan.nodes.len());
+        let pos: std::collections::HashMap<&str, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.as_str(), i))
+            .collect();
+        for e in plan.edges() {
+            prop_assert!(
+                pos[e.from.as_str()] < pos[e.to.as_str()],
+                "edge {}→{} violated by order {:?}",
+                e.from,
+                e.to,
+                order
+            );
+        }
+    }
+
+    /// Projected profile equals the fold of node profiles (cost sums,
+    /// accuracy multiplies).
+    #[test]
+    fn projected_profile_is_fold(plan in dag_strategy()) {
+        let p = plan.projected_profile();
+        let cost: f64 = plan.nodes.iter().map(|n| n.profile.cost_per_call).sum();
+        let latency: u64 = plan.nodes.iter().map(|n| n.profile.latency_micros).sum();
+        let accuracy: f64 = plan.nodes.iter().map(|n| n.profile.accuracy).product();
+        prop_assert!((p.cost_per_call - cost).abs() < 1e-9);
+        prop_assert_eq!(p.latency_micros, latency);
+        prop_assert!((p.accuracy - accuracy).abs() < 1e-9);
+    }
+
+    /// Message round trip preserves the plan exactly.
+    #[test]
+    fn message_round_trip(plan in dag_strategy()) {
+        let msg = plan.clone().into_message();
+        let back = TaskPlan::from_message(&msg).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+
+    /// render_text mentions every node and every agent.
+    #[test]
+    fn render_mentions_everything(plan in dag_strategy()) {
+        let text = plan.render_text();
+        for n in &plan.nodes {
+            prop_assert!(text.contains(&n.id));
+            prop_assert!(text.contains(&n.agent.to_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The agent registry: mapping enterprise APIs and models to agents (§V-C).
+//!
+//! Stores [`AgentSpec`]s together with learned representations and usage
+//! logs. Supports registration, update, derivation of new agents from
+//! existing ones, keyword/vector search, and usage recording that feeds the
+//! "enhanced embeddings" used for ranking.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use blueprint_agents::AgentSpec;
+
+use crate::embedding::{embed_text, Embedding};
+use crate::error::RegistryError;
+use crate::search::{rank_entries, SearchHit};
+use crate::Result;
+
+/// A registered agent: its spec plus registry-side metadata.
+#[derive(Debug, Clone)]
+pub struct AgentEntry {
+    /// The declarative agent description.
+    pub spec: AgentSpec,
+    /// Representation derived from name + description (+ usage queries).
+    pub embedding: Embedding,
+    /// Times this agent was selected for a task.
+    pub usage_count: u64,
+    /// Recent queries that led to this agent (bounded log).
+    pub usage_queries: Vec<String>,
+}
+
+impl AgentEntry {
+    fn new(spec: AgentSpec) -> Self {
+        let embedding = embed_text(&format!("{} {}", spec.name, spec.description));
+        AgentEntry {
+            spec,
+            embedding,
+            usage_count: 0,
+            usage_queries: Vec::new(),
+        }
+    }
+
+    /// Recomputes the embedding, folding in usage queries with weight
+    /// proportional to their frequency (the paper's log-derived
+    /// representations).
+    fn refresh_embedding(&mut self) {
+        let base = embed_text(&format!("{} {}", self.spec.name, self.spec.description));
+        if self.usage_queries.is_empty() {
+            self.embedding = base;
+            return;
+        }
+        let mut parts = vec![(base, 2.0f32)];
+        for q in &self.usage_queries {
+            parts.push((embed_text(q), 1.0));
+        }
+        self.embedding = Embedding::blend(&parts);
+    }
+}
+
+const MAX_USAGE_QUERIES: usize = 32;
+
+/// Thread-safe registry of agents.
+#[derive(Default)]
+pub struct AgentRegistry {
+    entries: RwLock<HashMap<String, AgentEntry>>,
+}
+
+impl AgentRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new agent. Fails on duplicate names or invalid specs.
+    pub fn register(&self, spec: AgentSpec) -> Result<()> {
+        spec.validate()
+            .map_err(|e| RegistryError::Invalid(e.to_string()))?;
+        let mut entries = self.entries.write();
+        if entries.contains_key(&spec.name) {
+            return Err(RegistryError::Duplicate(spec.name));
+        }
+        entries.insert(spec.name.clone(), AgentEntry::new(spec));
+        Ok(())
+    }
+
+    /// Replaces an existing agent's spec (metadata update), preserving its
+    /// usage history.
+    pub fn update(&self, spec: AgentSpec) -> Result<()> {
+        spec.validate()
+            .map_err(|e| RegistryError::Invalid(e.to_string()))?;
+        let mut entries = self.entries.write();
+        let entry = entries
+            .get_mut(&spec.name)
+            .ok_or_else(|| RegistryError::NotFound(spec.name.clone()))?;
+        entry.spec = spec;
+        entry.refresh_embedding();
+        Ok(())
+    }
+
+    /// Derives a new agent from an existing one: clones the spec, renames
+    /// it, and applies `customize`. Mirrors the registry web interface's
+    /// "derive new agents from existing ones".
+    pub fn derive(
+        &self,
+        base: &str,
+        new_name: &str,
+        customize: impl FnOnce(&mut AgentSpec),
+    ) -> Result<()> {
+        let mut spec = self.get(base)?.spec;
+        spec.name = new_name.to_string();
+        customize(&mut spec);
+        if spec.name != new_name {
+            return Err(RegistryError::Invalid(
+                "customize must not rename the derived agent".into(),
+            ));
+        }
+        self.register(spec)
+    }
+
+    /// Fetches an entry by name (cloned snapshot).
+    pub fn get(&self, name: &str) -> Result<AgentEntry> {
+        self.entries
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Fetches just the spec by name.
+    pub fn get_spec(&self, name: &str) -> Result<AgentSpec> {
+        self.get(name).map(|e| e.spec)
+    }
+
+    /// True if the agent exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.read().contains_key(name)
+    }
+
+    /// Removes an agent.
+    pub fn unregister(&self, name: &str) -> Result<()> {
+        self.entries
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// All agent names, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered agents.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if no agents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Hybrid keyword+vector+usage search over agents.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let entries = self.entries.read();
+        let max_usage = entries
+            .values()
+            .map(|e| e.usage_count)
+            .max()
+            .unwrap_or(0)
+            .max(1) as f32;
+        rank_entries(
+            query,
+            entries.values().map(|e| {
+                (
+                    e.spec.name.as_str(),
+                    e.spec.description.as_str(),
+                    &e.embedding,
+                    e.usage_count as f32 / max_usage,
+                )
+            }),
+            limit,
+        )
+    }
+
+    /// Records that `query` was routed to `agent`, boosting its future
+    /// ranking and refreshing its log-derived embedding.
+    pub fn record_usage(&self, agent: &str, query: &str) -> Result<()> {
+        let mut entries = self.entries.write();
+        let entry = entries
+            .get_mut(agent)
+            .ok_or_else(|| RegistryError::NotFound(agent.to_string()))?;
+        entry.usage_count += 1;
+        entry.usage_queries.push(query.to_string());
+        if entry.usage_queries.len() > MAX_USAGE_QUERIES {
+            entry.usage_queries.remove(0);
+        }
+        entry.refresh_embedding();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blueprint_agents::{DataType, ParamSpec};
+
+    fn spec(name: &str, description: &str) -> AgentSpec {
+        AgentSpec::new(name, description)
+            .with_input(ParamSpec::required("input", "input", DataType::Any))
+            .with_output(ParamSpec::required("output", "output", DataType::Any))
+    }
+
+    fn seeded() -> AgentRegistry {
+        let r = AgentRegistry::new();
+        r.register(spec(
+            "job-matcher",
+            "assess the match quality between a job seeker profile and jobs",
+        ))
+        .unwrap();
+        r.register(spec("profiler", "collect job seeker profile information via a form"))
+            .unwrap();
+        r.register(spec("summarizer", "summarize documents into concise text"))
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn register_get_list() {
+        let r = seeded();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.list(), ["job-matcher", "profiler", "summarizer"]);
+        assert_eq!(r.get_spec("profiler").unwrap().name, "profiler");
+        assert!(r.contains("summarizer"));
+        assert!(!r.contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let r = seeded();
+        assert!(matches!(
+            r.register(spec("profiler", "again")),
+            Err(RegistryError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let r = AgentRegistry::new();
+        assert!(matches!(
+            r.register(AgentSpec::new("", "no name")),
+            Err(RegistryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn update_preserves_usage() {
+        let r = seeded();
+        r.record_usage("profiler", "collect my profile").unwrap();
+        r.update(spec("profiler", "collect profiles with a UI form"))
+            .unwrap();
+        let e = r.get("profiler").unwrap();
+        assert_eq!(e.usage_count, 1);
+        assert!(e.spec.description.contains("UI form"));
+    }
+
+    #[test]
+    fn update_unknown_fails() {
+        let r = AgentRegistry::new();
+        assert!(r.update(spec("ghost", "d")).is_err());
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let r = seeded();
+        r.unregister("summarizer").unwrap();
+        assert!(!r.contains("summarizer"));
+        assert!(r.unregister("summarizer").is_err());
+    }
+
+    #[test]
+    fn search_finds_relevant_agent() {
+        let r = seeded();
+        let hits = r.search("match my profile against available jobs", 2);
+        assert_eq!(hits[0].name, "job-matcher");
+    }
+
+    #[test]
+    fn usage_boosts_ranking() {
+        let r = AgentRegistry::new();
+        // Two agents with identical descriptions: usage breaks the tie.
+        r.register(spec("ranker-a", "rank applicants for a job post"))
+            .unwrap();
+        r.register(spec("ranker-b", "rank applicants for a job post"))
+            .unwrap();
+        for _ in 0..5 {
+            r.record_usage("ranker-b", "rank the applicants").unwrap();
+        }
+        let hits = r.search("rank applicants", 2);
+        assert_eq!(hits[0].name, "ranker-b");
+    }
+
+    #[test]
+    fn usage_log_is_bounded() {
+        let r = seeded();
+        for i in 0..100 {
+            r.record_usage("profiler", &format!("q{i}")).unwrap();
+        }
+        let e = r.get("profiler").unwrap();
+        assert_eq!(e.usage_queries.len(), MAX_USAGE_QUERIES);
+        assert_eq!(e.usage_count, 100);
+        // Oldest queries were evicted.
+        assert_eq!(e.usage_queries[0], "q68");
+    }
+
+    #[test]
+    fn derive_clones_and_customizes() {
+        let r = seeded();
+        r.derive("summarizer", "query-summarizer", |s| {
+            s.description = "explain SQL query results in natural language".into();
+        })
+        .unwrap();
+        let d = r.get_spec("query-summarizer").unwrap();
+        assert!(d.description.contains("SQL"));
+        // Base is untouched.
+        assert!(r.get_spec("summarizer").unwrap().description.contains("documents"));
+    }
+
+    #[test]
+    fn derive_rejects_rename_in_customize() {
+        let r = seeded();
+        let err = r
+            .derive("summarizer", "x", |s| {
+                s.name = "sneaky".into();
+            })
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Invalid(_)));
+    }
+
+    #[test]
+    fn derive_from_unknown_fails() {
+        let r = AgentRegistry::new();
+        assert!(r.derive("ghost", "new", |_| {}).is_err());
+    }
+
+    #[test]
+    fn record_usage_unknown_fails() {
+        let r = AgentRegistry::new();
+        assert!(r.record_usage("ghost", "q").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for registry operations.
+
+use std::fmt;
+
+/// Errors raised by the agent and data registries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No entry with the given name exists.
+    NotFound(String),
+    /// An entry with this name already exists.
+    Duplicate(String),
+    /// The entry is malformed (empty name, parent cycle, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::NotFound(name) => write!(f, "registry entry not found: {name}"),
+            RegistryError::Duplicate(name) => write!(f, "registry entry already exists: {name}"),
+            RegistryError::Invalid(msg) => write!(f, "invalid registry entry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            RegistryError::NotFound("jobs".into()).to_string(),
+            "registry entry not found: jobs"
+        );
+        assert_eq!(
+            RegistryError::Duplicate("jobs".into()).to_string(),
+            "registry entry already exists: jobs"
+        );
+        assert_eq!(
+            RegistryError::Invalid("x".into()).to_string(),
+            "invalid registry entry: x"
+        );
+    }
+}

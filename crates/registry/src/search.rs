@@ -1,0 +1,132 @@
+//! Shared search machinery for both registries.
+//!
+//! Entries expose a name, a description, and an embedding; searches combine
+//! keyword overlap, cosine similarity, and a usage-frequency prior.
+
+use serde::{Deserialize, Serialize};
+
+use crate::embedding::{embed_text, tokenize, Embedding};
+
+/// A scored search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Entry name.
+    pub name: String,
+    /// Combined relevance score (higher is better).
+    pub score: f32,
+}
+
+/// Keyword relevance: fraction of query tokens found in the entry text,
+/// weighted toward name matches.
+pub fn keyword_score(query: &str, name: &str, description: &str) -> f32 {
+    let q = tokenize(query);
+    if q.is_empty() {
+        return 0.0;
+    }
+    let name_tokens = tokenize(name);
+    let desc_tokens = tokenize(description);
+    let mut hits = 0.0f32;
+    for t in &q {
+        if name_tokens.contains(t) {
+            hits += 2.0; // name matches are stronger signals
+        } else if desc_tokens.contains(t) {
+            hits += 1.0;
+        }
+    }
+    hits / (q.len() as f32 * 2.0)
+}
+
+/// Ranks `(name, description, embedding, usage_weight)` entries against a
+/// query: `score = α·vector + β·keyword + γ·usage_prior`.
+///
+/// `usage_weight` should be a normalized frequency in `[0, 1]`.
+pub fn rank_entries<'a, I>(query: &str, entries: I, limit: usize) -> Vec<SearchHit>
+where
+    I: IntoIterator<Item = (&'a str, &'a str, &'a Embedding, f32)>,
+{
+    const ALPHA: f32 = 0.6;
+    const BETA: f32 = 0.3;
+    const GAMMA: f32 = 0.1;
+    let qe = embed_text(query);
+    let mut hits: Vec<SearchHit> = entries
+        .into_iter()
+        .map(|(name, description, embedding, usage)| SearchHit {
+            name: name.to_string(),
+            score: ALPHA * qe.cosine(embedding)
+                + BETA * keyword_score(query, name, description)
+                + GAMMA * usage.clamp(0.0, 1.0),
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    hits.truncate(limit);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_score_prefers_name_matches() {
+        let in_name = keyword_score("matcher", "job-matcher", "assess quality");
+        let in_desc = keyword_score("matcher", "ranker", "a matcher of things");
+        assert!(in_name > in_desc);
+        assert!(in_desc > 0.0);
+    }
+
+    #[test]
+    fn keyword_score_empty_query_is_zero() {
+        assert_eq!(keyword_score("", "a", "b"), 0.0);
+    }
+
+    #[test]
+    fn rank_entries_orders_by_relevance() {
+        let matcher = embed_text("assess the match quality between a job seeker profile and jobs");
+        let weather = embed_text("report today's weather");
+        let entries = vec![
+            ("weather", "report today's weather", &weather, 0.0),
+            (
+                "job-matcher",
+                "assess the match quality between a job seeker profile and jobs",
+                &matcher,
+                0.0,
+            ),
+        ];
+        let hits = rank_entries("match job seeker to jobs", entries, 10);
+        assert_eq!(hits[0].name, "job-matcher");
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn rank_entries_limit_truncates() {
+        let e = embed_text("x");
+        let entries: Vec<(&str, &str, &Embedding, f32)> =
+            vec![("a", "x", &e, 0.0), ("b", "x", &e, 0.0), ("c", "x", &e, 0.0)];
+        assert_eq!(rank_entries("x", entries, 2).len(), 2);
+    }
+
+    #[test]
+    fn usage_prior_breaks_ties() {
+        let e1 = embed_text("summarize text");
+        let e2 = embed_text("summarize text");
+        let entries = vec![
+            ("cold", "summarize text", &e1, 0.0),
+            ("hot", "summarize text", &e2, 1.0),
+        ];
+        let hits = rank_entries("summarize", entries, 10);
+        assert_eq!(hits[0].name, "hot");
+    }
+
+    #[test]
+    fn ties_resolve_by_name() {
+        let e = embed_text("same");
+        let entries = vec![("b", "same", &e, 0.0), ("a", "same", &e, 0.0)];
+        let hits = rank_entries("same", entries, 10);
+        assert_eq!(hits[0].name, "a");
+    }
+}

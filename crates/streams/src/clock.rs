@@ -1,0 +1,125 @@
+//! Simulated clock shared by the whole runtime.
+//!
+//! The blueprint accounts for quality-of-service (latency budgets, projected
+//! costs) deterministically: components charge simulated time to a shared
+//! [`SimClock`] instead of reading the wall clock. This keeps every test and
+//! figure-regeneration run bit-for-bit reproducible while still letting the
+//! Criterion benches measure real wall time where that is the point.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically advancing virtual clock measured in microseconds.
+///
+/// Cloning a `SimClock` yields a handle onto the same underlying instant, so
+/// a single clock can be threaded through agents, planners, and the budget.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at the given microsecond offset.
+    pub fn starting_at(micros: u64) -> Self {
+        Self {
+            micros: Arc::new(AtomicU64::new(micros)),
+        }
+    }
+
+    /// Returns the current simulated time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+
+    /// Returns the current simulated time in milliseconds (truncated).
+    pub fn now_millis(&self) -> u64 {
+        self.now_micros() / 1_000
+    }
+
+    /// Advances the clock by `delta` microseconds and returns the new time.
+    pub fn advance_micros(&self, delta: u64) -> u64 {
+        self.micros.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+
+    /// Advances the clock by `delta` milliseconds and returns the new time in
+    /// microseconds.
+    pub fn advance_millis(&self, delta: u64) -> u64 {
+        self.advance_micros(delta.saturating_mul(1_000))
+    }
+
+    /// Elapsed microseconds since `earlier_micros` (saturating at zero).
+    pub fn elapsed_since(&self, earlier_micros: u64) -> u64 {
+        self.now_micros().saturating_sub(earlier_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now_micros(), 0);
+    }
+
+    #[test]
+    fn starting_at_offsets() {
+        assert_eq!(SimClock::starting_at(42).now_micros(), 42);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_micros(10), 10);
+        assert_eq!(c.advance_micros(5), 15);
+        assert_eq!(c.now_micros(), 15);
+    }
+
+    #[test]
+    fn advance_millis_scales() {
+        let c = SimClock::new();
+        c.advance_millis(3);
+        assert_eq!(c.now_micros(), 3_000);
+        assert_eq!(c.now_millis(), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_micros(7);
+        assert_eq!(b.now_micros(), 7);
+    }
+
+    #[test]
+    fn elapsed_since_saturates() {
+        let c = SimClock::new();
+        c.advance_micros(5);
+        assert_eq!(c.elapsed_since(2), 3);
+        assert_eq!(c.elapsed_since(100), 0);
+    }
+
+    #[test]
+    fn advance_from_many_threads_is_consistent() {
+        let c = SimClock::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        c.advance_micros(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now_micros(), 8_000);
+    }
+}

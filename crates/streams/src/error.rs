@@ -1,0 +1,74 @@
+//! Error type for stream operations.
+
+use std::fmt;
+
+use crate::stream::StreamId;
+
+/// Errors raised by the streams subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The referenced stream does not exist in the store.
+    NotFound(StreamId),
+    /// A stream with this identifier already exists.
+    Duplicate(StreamId),
+    /// The stream has been closed; no further messages may be appended.
+    Closed(StreamId),
+    /// The subscription channel was disconnected (subscriber dropped).
+    Disconnected,
+    /// No message was available within the requested timeout.
+    Timeout,
+    /// A malformed identifier or payload was supplied.
+    Invalid(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::NotFound(id) => write!(f, "stream not found: {id}"),
+            StreamError::Duplicate(id) => write!(f, "stream already exists: {id}"),
+            StreamError::Closed(id) => write!(f, "stream is closed: {id}"),
+            StreamError::Disconnected => write!(f, "subscription disconnected"),
+            StreamError::Timeout => write!(f, "timed out waiting for message"),
+            StreamError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        let id = StreamId::new("s1");
+        assert_eq!(
+            StreamError::NotFound(id.clone()).to_string(),
+            "stream not found: s1"
+        );
+        assert_eq!(
+            StreamError::Duplicate(id.clone()).to_string(),
+            "stream already exists: s1"
+        );
+        assert_eq!(StreamError::Closed(id).to_string(), "stream is closed: s1");
+        assert_eq!(
+            StreamError::Disconnected.to_string(),
+            "subscription disconnected"
+        );
+        assert_eq!(
+            StreamError::Timeout.to_string(),
+            "timed out waiting for message"
+        );
+        assert_eq!(
+            StreamError::Invalid("x".into()).to_string(),
+            "invalid argument: x"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&StreamError::Disconnected);
+    }
+}

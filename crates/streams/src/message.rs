@@ -1,0 +1,248 @@
+//! Messages: the unit of data and control exchanged over streams.
+//!
+//! A stream is a sequence of messages. Each message carries either **data**
+//! (text, structured JSON values, tokens of LLM output, UI events) or a
+//! **control** instruction (e.g. "execute the SUMMARIZER agent with these
+//! inputs"). Control messages are what let the task coordinator drive an
+//! agentic workflow entirely *through* the streams database, keeping the
+//! orchestration observable (§V-A, §V-H).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::tag::Tag;
+
+/// Globally unique message identifier (store-assigned, monotonically
+/// increasing across all streams).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Whether a message carries data or a control instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Payload is data shared between components.
+    Data,
+    /// Payload is an instruction for one or more components.
+    Control,
+    /// End-of-stream marker: the producer signals it is done.
+    Eos,
+}
+
+/// A single message on a stream.
+///
+/// Messages are immutable once published; the store wraps them in `Arc` so
+/// fan-out to many subscribers never copies the payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Message {
+    /// Store-assigned unique id (0 until published).
+    pub id: MessageId,
+    /// Position within the owning stream (0-based; assigned on publish).
+    pub seq: u64,
+    /// Data vs. control.
+    pub kind: MessageKind,
+    /// Tags enabling selective consumption (e.g. `nlq`, `sql`, `plan`).
+    pub tags: BTreeSet<Tag>,
+    /// The payload: arbitrary JSON value.
+    pub payload: Value,
+    /// Component that produced the message (agent name, "user", ...).
+    pub producer: String,
+    /// Simulated time of publication in microseconds.
+    pub published_at_micros: u64,
+}
+
+impl Message {
+    /// Creates an unpublished data message with a string payload.
+    pub fn data(text: impl Into<String>) -> Self {
+        Self::from_value(MessageKind::Data, Value::String(text.into()))
+    }
+
+    /// Creates an unpublished data message with a JSON payload.
+    pub fn data_json(value: Value) -> Self {
+        Self::from_value(MessageKind::Data, value)
+    }
+
+    /// Creates an unpublished control message.
+    ///
+    /// `op` names the instruction (e.g. `execute-agent`) and `args` carries
+    /// its parameters. The op is also added as a tag so components can
+    /// subscribe to specific instructions.
+    pub fn control(op: impl AsRef<str>, args: Value) -> Self {
+        let op = op.as_ref();
+        let mut msg = Self::from_value(
+            MessageKind::Control,
+            serde_json::json!({ "op": op, "args": args }),
+        );
+        msg.tags.insert(Tag::new(op));
+        msg
+    }
+
+    /// Creates an end-of-stream marker.
+    pub fn eos() -> Self {
+        Self::from_value(MessageKind::Eos, Value::Null)
+    }
+
+    fn from_value(kind: MessageKind, payload: Value) -> Self {
+        Message {
+            id: MessageId(0),
+            seq: 0,
+            kind,
+            tags: BTreeSet::new(),
+            payload,
+            producer: String::new(),
+            published_at_micros: 0,
+        }
+    }
+
+    /// Builder-style: adds a tag.
+    pub fn with_tag(mut self, tag: impl Into<Tag>) -> Self {
+        self.tags.insert(tag.into());
+        self
+    }
+
+    /// Builder-style: adds several tags.
+    pub fn with_tags<I, T>(mut self, tags: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tag>,
+    {
+        self.tags.extend(tags.into_iter().map(Into::into));
+        self
+    }
+
+    /// Builder-style: sets the producer.
+    pub fn from_producer(mut self, producer: impl Into<String>) -> Self {
+        self.producer = producer.into();
+        self
+    }
+
+    /// True if this is a control message.
+    pub fn is_control(&self) -> bool {
+        self.kind == MessageKind::Control
+    }
+
+    /// True if this is the end-of-stream marker.
+    pub fn is_eos(&self) -> bool {
+        self.kind == MessageKind::Eos
+    }
+
+    /// For control messages, returns the operation name.
+    pub fn control_op(&self) -> Option<&str> {
+        if self.kind != MessageKind::Control {
+            return None;
+        }
+        self.payload.get("op").and_then(Value::as_str)
+    }
+
+    /// For control messages, returns the instruction arguments.
+    pub fn control_args(&self) -> Option<&Value> {
+        if self.kind != MessageKind::Control {
+            return None;
+        }
+        self.payload.get("args")
+    }
+
+    /// True if the message carries the given tag.
+    pub fn has_tag(&self, tag: &Tag) -> bool {
+        self.tags.contains(tag)
+    }
+
+    /// Text content, if the payload is a JSON string.
+    pub fn text(&self) -> Option<&str> {
+        self.payload.as_str()
+    }
+
+    /// Rough payload size in bytes: used by budget accounting and the
+    /// streams-throughput bench.
+    pub fn payload_size(&self) -> usize {
+        match &self.payload {
+            Value::String(s) => s.len(),
+            Value::Null => 0,
+            other => serde_json::to_string(other).map(|s| s.len()).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_message_has_text() {
+        let m = Message::data("hello");
+        assert_eq!(m.kind, MessageKind::Data);
+        assert_eq!(m.text(), Some("hello"));
+        assert!(!m.is_control());
+    }
+
+    #[test]
+    fn control_message_exposes_op_and_args() {
+        let m = Message::control("execute-agent", serde_json::json!({"agent": "summarizer"}));
+        assert!(m.is_control());
+        assert_eq!(m.control_op(), Some("execute-agent"));
+        assert_eq!(
+            m.control_args().unwrap()["agent"],
+            Value::String("summarizer".into())
+        );
+        // op is auto-tagged
+        assert!(m.has_tag(&Tag::new("execute-agent")));
+    }
+
+    #[test]
+    fn data_message_has_no_control_op() {
+        let m = Message::data_json(serde_json::json!({"op": "fake"}));
+        assert_eq!(m.control_op(), None);
+        assert_eq!(m.control_args(), None);
+    }
+
+    #[test]
+    fn eos_marker() {
+        let m = Message::eos();
+        assert!(m.is_eos());
+        assert_eq!(m.payload, Value::Null);
+    }
+
+    #[test]
+    fn builder_tags_and_producer() {
+        let m = Message::data("x")
+            .with_tag("NLQ")
+            .with_tags(["sql", "SQL"])
+            .from_producer("user");
+        assert!(m.has_tag(&Tag::new("nlq")));
+        assert!(m.has_tag(&Tag::new("sql")));
+        assert_eq!(m.tags.len(), 2); // duplicate normalized away
+        assert_eq!(m.producer, "user");
+    }
+
+    #[test]
+    fn payload_size_estimates() {
+        assert_eq!(Message::data("abcd").payload_size(), 4);
+        assert_eq!(Message::eos().payload_size(), 0);
+        let m = Message::data_json(serde_json::json!({"k": 1}));
+        assert!(m.payload_size() >= 7); // {"k":1}
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Message::control("plan", serde_json::json!([1, 2, 3])).with_tag("plan");
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Message = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.control_op(), Some("plan"));
+        assert!(back.has_tag(&Tag::new("plan")));
+    }
+
+    #[test]
+    fn message_id_display() {
+        assert_eq!(MessageId(17).to_string(), "m17");
+    }
+}

@@ -1,0 +1,644 @@
+//! The stream store: the paper's "streams database".
+//!
+//! A [`StreamStore`] owns every stream in the system, assigns globally unique
+//! message ids, fans published messages out to matching subscriptions, and
+//! exposes observability counters. It is the single shared data resource
+//! through which *all* data and control flows — which is precisely what makes
+//! the architecture observable and controllable (§V-A).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+
+use crate::clock::SimClock;
+use crate::error::StreamError;
+use crate::message::{Message, MessageId};
+use crate::monitor::FlowMonitor;
+use crate::stream::{Stream, StreamId, StreamState};
+use crate::subscription::{Selector, Subscription, TagFilter};
+use crate::tag::Tag;
+use crate::Result;
+
+/// Counters describing store activity (observability surface).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Streams created since startup.
+    pub streams_created: u64,
+    /// Messages published across all streams.
+    pub messages_published: u64,
+    /// Message deliveries to subscriptions (one message fanned out to three
+    /// subscribers counts three deliveries).
+    pub deliveries: u64,
+    /// Total payload bytes published.
+    pub bytes_published: u64,
+    /// Currently registered subscriptions.
+    pub active_subscriptions: u64,
+}
+
+#[derive(Debug)]
+struct SubEntry {
+    id: u64,
+    selector: Selector,
+    filter: TagFilter,
+    tx: Sender<Arc<Message>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    streams: HashMap<StreamId, Stream>,
+    subs: Vec<SubEntry>,
+}
+
+/// Thread-safe store of all streams plus the pub/sub fabric over them.
+///
+/// Cloning the store yields another handle onto the same shared state, so a
+/// single store can be handed to every agent, planner, and coordinator.
+#[derive(Clone)]
+pub struct StreamStore {
+    inner: Arc<RwLock<Inner>>,
+    next_msg_id: Arc<AtomicU64>,
+    next_sub_id: Arc<AtomicU64>,
+    stats: Arc<RwLock<StoreStats>>,
+    clock: SimClock,
+    monitor: FlowMonitor,
+}
+
+impl Default for StreamStore {
+    fn default() -> Self {
+        Self::with_clock(SimClock::new())
+    }
+}
+
+impl StreamStore {
+    /// Creates an empty store with its own simulated clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store sharing the given clock.
+    pub fn with_clock(clock: SimClock) -> Self {
+        StreamStore {
+            inner: Arc::new(RwLock::new(Inner::default())),
+            next_msg_id: Arc::new(AtomicU64::new(1)),
+            next_sub_id: Arc::new(AtomicU64::new(1)),
+            stats: Arc::new(RwLock::new(StoreStats::default())),
+            clock,
+            monitor: FlowMonitor::new(),
+        }
+    }
+
+    /// The simulated clock shared with the rest of the runtime.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The flow monitor recording producer→stream→consumer edges.
+    pub fn monitor(&self) -> &FlowMonitor {
+        &self.monitor
+    }
+
+    /// Creates a new stream with the given id and stream-level tags.
+    pub fn create_stream<I, T>(&self, id: impl Into<StreamId>, tags: I) -> Result<StreamId>
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tag>,
+    {
+        let id = id.into();
+        if id.as_str().is_empty() {
+            return Err(StreamError::Invalid("empty stream id".into()));
+        }
+        let mut inner = self.inner.write();
+        if inner.streams.contains_key(&id) {
+            return Err(StreamError::Duplicate(id));
+        }
+        let stream = Stream::new(id.clone(), tags, self.clock.now_micros());
+        inner.streams.insert(id.clone(), stream);
+        self.stats.write().streams_created += 1;
+        Ok(id)
+    }
+
+    /// Creates the stream if absent; returns the id either way.
+    pub fn ensure_stream<I, T>(&self, id: impl Into<StreamId>, tags: I) -> Result<StreamId>
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tag>,
+    {
+        let id = id.into();
+        match self.create_stream(id.clone(), tags) {
+            Ok(id) => Ok(id),
+            Err(StreamError::Duplicate(_)) => Ok(id),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True if the stream exists.
+    pub fn contains(&self, id: &StreamId) -> bool {
+        self.inner.read().streams.contains_key(id)
+    }
+
+    /// Adds a stream-level tag (retagging), waking up tag-based subscribers
+    /// for *future* messages.
+    pub fn tag_stream(&self, id: &StreamId, tag: impl Into<Tag>) -> Result<()> {
+        let mut inner = self.inner.write();
+        let stream = inner
+            .streams
+            .get_mut(id)
+            .ok_or_else(|| StreamError::NotFound(id.clone()))?;
+        stream.add_tag(tag);
+        Ok(())
+    }
+
+    /// Publishes a message onto a stream, fanning it out to every matching
+    /// subscription. Returns the stored message (with id/seq/time assigned).
+    pub fn publish(&self, id: &StreamId, mut msg: Message) -> Result<Arc<Message>> {
+        msg.id = MessageId(self.next_msg_id.fetch_add(1, Ordering::Relaxed));
+        msg.published_at_micros = self.clock.now_micros();
+
+        // Append, deliver, and prune under one critical section: delivering
+        // outside the lock would let two concurrent publishers hand a
+        // subscriber seq 1 before seq 0 (the channels are unbounded, so the
+        // sends never block), and pruning by positions captured under an
+        // earlier lock could remove the wrong subscription.
+        let (arc, delivered, sub_count) = {
+            let mut inner = self.inner.write();
+            let stream = inner
+                .streams
+                .get_mut(id)
+                .ok_or_else(|| StreamError::NotFound(id.clone()))?;
+            let stream_tags = stream.tags().clone();
+            let arc = stream.append(msg)?;
+            let mut delivered = 0u64;
+            let mut dead_ids: Vec<u64> = Vec::new();
+            for s in &inner.subs {
+                if s.selector.matches(id, &stream_tags) && s.filter.matches(&arc) {
+                    if s.tx.send(Arc::clone(&arc)).is_ok() {
+                        delivered += 1;
+                    } else {
+                        dead_ids.push(s.id);
+                    }
+                }
+            }
+            if !dead_ids.is_empty() {
+                // Prune by subscription id (stable under concurrent
+                // subscribe/unsubscribe), never by position.
+                inner.subs.retain(|s| !dead_ids.contains(&s.id));
+            }
+            (arc, delivered, inner.subs.len() as u64)
+        };
+
+        {
+            let mut stats = self.stats.write();
+            stats.messages_published += 1;
+            stats.deliveries += delivered;
+            stats.bytes_published += arc.payload_size() as u64;
+            stats.active_subscriptions = sub_count;
+        }
+        self.monitor.record_publish(&arc.producer, id, &arc);
+        Ok(arc)
+    }
+
+    /// Convenience: ensure the stream exists, then publish.
+    pub fn publish_to<I, T>(
+        &self,
+        id: impl Into<StreamId>,
+        tags: I,
+        msg: Message,
+    ) -> Result<Arc<Message>>
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tag>,
+    {
+        let id = self.ensure_stream(id, tags)?;
+        self.publish(&id, msg)
+    }
+
+    /// Registers a subscription. Matching messages published *after* this
+    /// call are delivered in publish order.
+    pub fn subscribe(&self, selector: Selector, filter: TagFilter) -> Result<Subscription> {
+        let (tx, rx) = unbounded();
+        let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.inner.write();
+            inner.subs.push(SubEntry {
+                id,
+                selector: selector.clone(),
+                filter: filter.clone(),
+                tx,
+            });
+            self.stats.write().active_subscriptions = inner.subs.len() as u64;
+        }
+        Ok(Subscription {
+            id,
+            rx,
+            selector,
+            filter,
+        })
+    }
+
+    /// Registers a subscription and immediately replays the existing history
+    /// of every currently matching stream (catch-up semantics).
+    pub fn subscribe_with_replay(
+        &self,
+        selector: Selector,
+        filter: TagFilter,
+    ) -> Result<Subscription> {
+        let (tx, rx) = unbounded();
+        let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write();
+        // Replay under the lock so no published message is missed or duplicated.
+        let mut history: Vec<Arc<Message>> = Vec::new();
+        for stream in inner.streams.values() {
+            if selector.matches(stream.id(), stream.tags()) {
+                history.extend(
+                    stream
+                        .read_from(0)
+                        .into_iter()
+                        .filter(|m| filter.matches(m)),
+                );
+            }
+        }
+        history.sort_by_key(|m| m.id);
+        for m in history {
+            let _ = tx.send(m);
+        }
+        inner.subs.push(SubEntry {
+            id,
+            selector: selector.clone(),
+            filter: filter.clone(),
+            tx,
+        });
+        self.stats.write().active_subscriptions = inner.subs.len() as u64;
+        Ok(Subscription {
+            id,
+            rx,
+            selector,
+            filter,
+        })
+    }
+
+    /// Removes a subscription by id. Unknown ids are ignored.
+    pub fn unsubscribe(&self, sub_id: u64) {
+        let mut inner = self.inner.write();
+        inner.subs.retain(|s| s.id != sub_id);
+        self.stats.write().active_subscriptions = inner.subs.len() as u64;
+    }
+
+    /// Reads a stream's history starting at `from` (replay; does not consume).
+    pub fn read(&self, id: &StreamId, from: u64) -> Result<Vec<Arc<Message>>> {
+        let inner = self.inner.read();
+        let stream = inner
+            .streams
+            .get(id)
+            .ok_or_else(|| StreamError::NotFound(id.clone()))?;
+        Ok(stream.read_from(from))
+    }
+
+    /// The most recent message on a stream.
+    pub fn last(&self, id: &StreamId) -> Result<Option<Arc<Message>>> {
+        let inner = self.inner.read();
+        let stream = inner
+            .streams
+            .get(id)
+            .ok_or_else(|| StreamError::NotFound(id.clone()))?;
+        Ok(stream.last())
+    }
+
+    /// Lifecycle state of a stream.
+    pub fn state(&self, id: &StreamId) -> Result<StreamState> {
+        let inner = self.inner.read();
+        let stream = inner
+            .streams
+            .get(id)
+            .ok_or_else(|| StreamError::NotFound(id.clone()))?;
+        Ok(stream.state())
+    }
+
+    /// Closes a stream by publishing an EOS marker.
+    pub fn close(&self, id: &StreamId) -> Result<()> {
+        self.publish(id, Message::eos()).map(|_| ())
+    }
+
+    /// Lists all stream ids, optionally restricted to a session scope.
+    pub fn list_streams(&self, scope: Option<&str>) -> Vec<StreamId> {
+        let inner = self.inner.read();
+        let mut ids: Vec<StreamId> = inner
+            .streams
+            .keys()
+            .filter(|id| scope.is_none_or(|p| id.is_scoped_under(p)))
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Snapshot of the observability counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn create_and_duplicate() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s1", ["a"]).unwrap();
+        assert!(store.contains(&id));
+        assert!(matches!(
+            store.create_stream("s1", ["a"]),
+            Err(StreamError::Duplicate(_))
+        ));
+        assert_eq!(store.ensure_stream("s1", ["a"]).unwrap(), id);
+    }
+
+    #[test]
+    fn empty_stream_id_rejected() {
+        let store = StreamStore::new();
+        assert!(matches!(
+            store.create_stream("", ["a"]),
+            Err(StreamError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn publish_assigns_global_ids_and_time() {
+        let store = StreamStore::new();
+        store.clock().advance_micros(50);
+        let a = store.create_stream("a", Vec::<Tag>::new()).unwrap();
+        let b = store.create_stream("b", Vec::<Tag>::new()).unwrap();
+        let m1 = store.publish(&a, Message::data("1")).unwrap();
+        let m2 = store.publish(&b, Message::data("2")).unwrap();
+        assert!(m2.id > m1.id);
+        assert_eq!(m1.published_at_micros, 50);
+    }
+
+    #[test]
+    fn publish_to_missing_stream_errors() {
+        let store = StreamStore::new();
+        let err = store
+            .publish(&StreamId::new("nope"), Message::data("x"))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::NotFound(_)));
+    }
+
+    #[test]
+    fn subscription_receives_in_order() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        for i in 0..10 {
+            store.publish(&id, Message::data(format!("{i}"))).unwrap();
+        }
+        for i in 0..10 {
+            let m = sub.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.text(), Some(format!("{i}").as_str()));
+            assert_eq!(m.seq, i);
+        }
+        assert_eq!(sub.queued(), 0);
+    }
+
+    #[test]
+    fn tag_based_decentralized_activation() {
+        // A message tagged SQL reaches the SQL subscriber only.
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let sql_sub = store
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["sql"]))
+            .unwrap();
+        let nlq_sub = store
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["nlq"]))
+            .unwrap();
+        store
+            .publish(&id, Message::data("SELECT 1").with_tag("SQL"))
+            .unwrap();
+        assert!(sql_sub.try_recv().unwrap().is_some());
+        assert!(nlq_sub.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_tag_selector_sees_new_streams() {
+        let store = StreamStore::new();
+        let sub = store
+            .subscribe(Selector::StreamTagged(Tag::new("user-text")), TagFilter::all())
+            .unwrap();
+        // Stream created after the subscription still matches.
+        let id = store.create_stream("later", ["user-text"]).unwrap();
+        store.publish(&id, Message::data("hi")).unwrap();
+        assert_eq!(sub.recv().unwrap().text(), Some("hi"));
+    }
+
+    #[test]
+    fn scope_selector_isolates_sessions() {
+        let store = StreamStore::new();
+        let s1 = store.create_stream("session:1:user", Vec::<Tag>::new()).unwrap();
+        let s2 = store.create_stream("session:2:user", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::Scope("session:1".into()), TagFilter::all())
+            .unwrap();
+        store.publish(&s1, Message::data("mine")).unwrap();
+        store.publish(&s2, Message::data("other")).unwrap();
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].text(), Some("mine"));
+    }
+
+    #[test]
+    fn replay_subscription_catches_up_then_continues() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        store.publish(&id, Message::data("old1")).unwrap();
+        store.publish(&id, Message::data("old2")).unwrap();
+        let sub = store
+            .subscribe_with_replay(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        store.publish(&id, Message::data("new")).unwrap();
+        let got: Vec<_> = (0..3).map(|_| sub.recv().unwrap()).collect();
+        let texts: Vec<_> = got.iter().map(|m| m.text().unwrap()).collect();
+        assert_eq!(texts, ["old1", "old2", "new"]);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        store.unsubscribe(sub.id());
+        store.publish(&id, Message::data("x")).unwrap();
+        // The store dropped its sender, so the channel reports disconnection
+        // with nothing buffered.
+        assert_eq!(sub.try_recv().unwrap_err(), StreamError::Disconnected);
+        assert_eq!(store.stats().active_subscriptions, 0);
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned_on_publish() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        drop(sub);
+        store.publish(&id, Message::data("x")).unwrap();
+        assert_eq!(store.stats().active_subscriptions, 0);
+    }
+
+    #[test]
+    fn pruning_dead_subscriptions_keeps_live_ones() {
+        // Interleave dropped and live subscriptions; after a publish prunes
+        // the dead ones, the live ones must still receive messages.
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let live1 = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        let dead1 = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        let live2 = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        let dead2 = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        drop(dead1);
+        drop(dead2);
+        store.publish(&id, Message::data("first")).unwrap();
+        assert_eq!(store.stats().active_subscriptions, 2);
+        store.publish(&id, Message::data("second")).unwrap();
+        for live in [&live1, &live2] {
+            let texts: Vec<String> = live
+                .drain()
+                .iter()
+                .map(|m| m.text().unwrap().to_string())
+                .collect();
+            assert_eq!(texts, ["first", "second"]);
+        }
+    }
+
+    #[test]
+    fn retagging_stream_enables_future_matches() {
+        let store = StreamStore::new();
+        let id = store.create_stream("q", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::StreamTagged(Tag::new("nlq")), TagFilter::all())
+            .unwrap();
+        store.publish(&id, Message::data("before")).unwrap();
+        store.tag_stream(&id, "NLQ").unwrap();
+        store.publish(&id, Message::data("after")).unwrap();
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].text(), Some("after"));
+    }
+
+    #[test]
+    fn close_publishes_eos_and_blocks_appends() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        store.close(&id).unwrap();
+        assert_eq!(store.state(&id).unwrap(), StreamState::Closed);
+        assert!(store.publish(&id, Message::data("late")).is_err());
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let _sub1 = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        let _sub2 = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        store.publish(&id, Message::data("abcd")).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.streams_created, 1);
+        assert_eq!(stats.messages_published, 1);
+        assert_eq!(stats.deliveries, 2);
+        assert_eq!(stats.bytes_published, 4);
+        assert_eq!(stats.active_subscriptions, 2);
+    }
+
+    #[test]
+    fn list_streams_respects_scope() {
+        let store = StreamStore::new();
+        store.create_stream("session:1:a", Vec::<Tag>::new()).unwrap();
+        store.create_stream("session:1:b", Vec::<Tag>::new()).unwrap();
+        store.create_stream("session:2:a", Vec::<Tag>::new()).unwrap();
+        assert_eq!(store.list_streams(None).len(), 3);
+        assert_eq!(store.list_streams(Some("session:1")).len(), 2);
+    }
+
+    #[test]
+    fn concurrent_publishers_deliver_to_subscribers_in_seq_order() {
+        // Delivery happens under the same critical section as the append,
+        // so a subscriber must observe strictly increasing sequence numbers
+        // even with racing publishers.
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = store.clone();
+                let id = id.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        store.publish(&id, Message::data("x")).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut last = None;
+        let mut count = 0;
+        while let Ok(Some(m)) = sub.try_recv() {
+            if let Some(prev) = last {
+                assert!(m.seq > prev, "delivery out of order: {} after {prev}", m.seq);
+            }
+            last = Some(m.seq);
+            count += 1;
+        }
+        assert_eq!(count, 1_000);
+    }
+
+    #[test]
+    fn concurrent_publishers_preserve_per_stream_order() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let store = store.clone();
+                let id = id.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        store
+                            .publish(&id, Message::data(format!("{t}-{i}")))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let history = store.read(&id, 0).unwrap();
+        assert_eq!(history.len(), 400);
+        // Sequence numbers are dense and strictly increasing.
+        for (i, m) in history.iter().enumerate() {
+            assert_eq!(m.seq, i as u64);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The stream itself: an append-only, tagged, replayable message log.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StreamError;
+use crate::message::Message;
+use crate::tag::Tag;
+use crate::Result;
+
+/// Identifies a stream within the store.
+///
+/// By convention identifiers are hierarchical, colon-separated paths scoped
+/// under a session, e.g. `session:42:user` or `session:42:profile:criteria`
+/// — mirroring the paper's `SESSION:ID:PROFILE` scoping (§V-E).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(String);
+
+impl StreamId {
+    /// Creates a stream id from a path-like name.
+    pub fn new(name: impl Into<String>) -> Self {
+        StreamId(name.into())
+    }
+
+    /// The full textual id.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if this id is scoped under the given prefix, respecting the
+    /// colon hierarchy (`session:1` matches `session:1:user` but not
+    /// `session:10:user`).
+    pub fn is_scoped_under(&self, prefix: &str) -> bool {
+        if self.0 == prefix {
+            return true;
+        }
+        self.0.len() > prefix.len()
+            && self.0.starts_with(prefix)
+            && self.0.as_bytes()[prefix.len()] == b':'
+    }
+
+    /// Extends the id with a child segment.
+    pub fn child(&self, segment: &str) -> StreamId {
+        StreamId(format!("{}:{}", self.0, segment))
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for StreamId {
+    fn from(s: &str) -> Self {
+        StreamId::new(s)
+    }
+}
+
+impl From<String> for StreamId {
+    fn from(s: String) -> Self {
+        StreamId::new(s)
+    }
+}
+
+/// Lifecycle state of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamState {
+    /// Accepting messages.
+    Open,
+    /// Closed by an EOS marker or explicitly; append is rejected.
+    Closed,
+}
+
+/// An append-only log of messages with metadata.
+///
+/// Streams are first-class data resources: they persist every message so any
+/// late subscriber (or an observability tool) can replay from the beginning.
+#[derive(Debug)]
+pub struct Stream {
+    id: StreamId,
+    tags: BTreeSet<Tag>,
+    state: StreamState,
+    log: Vec<Arc<Message>>,
+    created_at_micros: u64,
+}
+
+impl Stream {
+    /// Creates a new open stream.
+    pub fn new<I, T>(id: StreamId, tags: I, created_at_micros: u64) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tag>,
+    {
+        Stream {
+            id,
+            tags: tags.into_iter().map(Into::into).collect(),
+            state: StreamState::Open,
+            log: Vec::new(),
+            created_at_micros,
+        }
+    }
+
+    /// The stream's identifier.
+    pub fn id(&self) -> &StreamId {
+        &self.id
+    }
+
+    /// Tags attached to the stream itself.
+    pub fn tags(&self) -> &BTreeSet<Tag> {
+        &self.tags
+    }
+
+    /// Adds a tag to the stream (streams may be re-tagged as a workflow
+    /// evolves, e.g. the Agentic Employer tagging a query stream `NLQ`).
+    pub fn add_tag(&mut self, tag: impl Into<Tag>) {
+        self.tags.insert(tag.into());
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> StreamState {
+        self.state
+    }
+
+    /// Creation time on the simulated clock.
+    pub fn created_at_micros(&self) -> u64 {
+        self.created_at_micros
+    }
+
+    /// Number of messages in the log.
+    pub fn len(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// True if no messages have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Appends a message, assigning its sequence number.
+    ///
+    /// Returns the stored `Arc<Message>`. Appending an EOS marker closes the
+    /// stream; appending to a closed stream is an error.
+    pub fn append(&mut self, mut msg: Message) -> Result<Arc<Message>> {
+        if self.state == StreamState::Closed {
+            return Err(StreamError::Closed(self.id.clone()));
+        }
+        msg.seq = self.log.len() as u64;
+        if msg.is_eos() {
+            self.state = StreamState::Closed;
+        }
+        let arc = Arc::new(msg);
+        self.log.push(Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Reads messages starting from sequence number `from` (inclusive).
+    pub fn read_from(&self, from: u64) -> Vec<Arc<Message>> {
+        let from = from.min(self.log.len() as u64) as usize;
+        self.log[from..].to_vec()
+    }
+
+    /// Returns the message at `seq`, if present.
+    pub fn get(&self, seq: u64) -> Option<Arc<Message>> {
+        self.log.get(seq as usize).cloned()
+    }
+
+    /// The most recent message, if any.
+    pub fn last(&self) -> Option<Arc<Message>> {
+        self.log.last().cloned()
+    }
+
+    /// Closes the stream without an EOS marker.
+    pub fn close(&mut self) {
+        self.state = StreamState::Closed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+
+    fn mk() -> Stream {
+        Stream::new(StreamId::new("session:1:user"), ["user-text"], 0)
+    }
+
+    #[test]
+    fn scoping_respects_hierarchy() {
+        let id = StreamId::new("session:1:user");
+        assert!(id.is_scoped_under("session:1"));
+        assert!(id.is_scoped_under("session:1:user"));
+        assert!(!id.is_scoped_under("session:10"));
+        assert!(!id.is_scoped_under("session:1:use"));
+        assert!(!id.is_scoped_under("session:2"));
+    }
+
+    #[test]
+    fn child_extends_path() {
+        let id = StreamId::new("session:1");
+        assert_eq!(id.child("profile").as_str(), "session:1:profile");
+    }
+
+    #[test]
+    fn append_assigns_sequence_numbers() {
+        let mut s = mk();
+        let a = s.append(Message::data("a")).unwrap();
+        let b = s.append(Message::data("b")).unwrap();
+        assert_eq!(a.seq, 0);
+        assert_eq!(b.seq, 1);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn eos_closes_stream() {
+        let mut s = mk();
+        s.append(Message::data("a")).unwrap();
+        let eos = s.append(Message::eos()).unwrap();
+        assert_eq!(eos.kind, MessageKind::Eos);
+        assert_eq!(s.state(), StreamState::Closed);
+        let err = s.append(Message::data("late")).unwrap_err();
+        assert!(matches!(err, StreamError::Closed(_)));
+    }
+
+    #[test]
+    fn explicit_close_rejects_append() {
+        let mut s = mk();
+        s.close();
+        assert!(s.append(Message::data("x")).is_err());
+    }
+
+    #[test]
+    fn read_from_replays_suffix() {
+        let mut s = mk();
+        for i in 0..5 {
+            s.append(Message::data(format!("m{i}"))).unwrap();
+        }
+        let tail = s.read_from(3);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].text(), Some("m3"));
+        // Reading past the end yields nothing rather than panicking.
+        assert!(s.read_from(99).is_empty());
+    }
+
+    #[test]
+    fn get_and_last() {
+        let mut s = mk();
+        assert!(s.last().is_none());
+        s.append(Message::data("a")).unwrap();
+        s.append(Message::data("b")).unwrap();
+        assert_eq!(s.get(0).unwrap().text(), Some("a"));
+        assert!(s.get(5).is_none());
+        assert_eq!(s.last().unwrap().text(), Some("b"));
+    }
+
+    #[test]
+    fn add_tag_retags_stream() {
+        let mut s = mk();
+        s.add_tag("NLQ");
+        assert!(s.tags().contains(&Tag::new("nlq")));
+        assert!(s.tags().contains(&Tag::new("user-text")));
+    }
+}

@@ -1,0 +1,105 @@
+//! Tags: lightweight labels attached to streams and messages.
+//!
+//! Tags drive *decentralized* activation (§V-B of the paper): an agent
+//! declares inclusion/exclusion rules over tags (see
+//! [`TagFilter`](crate::subscription::TagFilter)) and is triggered whenever a
+//! matching message appears — e.g. a message tagged `SQL` triggers the
+//! `SQLExecutor` agent. Tags are case-insensitive and interned behind an
+//! `Arc<str>` so cloning them is cheap on the publish hot path.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::de::Deserializer;
+use serde::ser::Serializer;
+use serde::{Deserialize, Serialize};
+
+/// A case-insensitive label attached to a stream or message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(Arc<str>);
+
+impl Tag {
+    /// Creates a tag, normalizing to lowercase.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let normalized = name.as_ref().trim().to_ascii_lowercase();
+        Tag(Arc::from(normalized.as_str()))
+    }
+
+    /// Returns the normalized tag text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Tag {
+    fn from(s: &str) -> Self {
+        Tag::new(s)
+    }
+}
+
+impl From<String> for Tag {
+    fn from(s: String) -> Self {
+        Tag::new(s)
+    }
+}
+
+impl Serialize for Tag {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Tag {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Tag::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_case_and_whitespace() {
+        assert_eq!(Tag::new("  SQL "), Tag::new("sql"));
+        assert_eq!(Tag::new("NLQ").as_str(), "nlq");
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        let t = Tag::new("Plan");
+        assert_eq!(t.to_string(), "plan");
+        assert_eq!(t.as_str(), "plan");
+    }
+
+    #[test]
+    fn from_conversions() {
+        let a: Tag = "abc".into();
+        let b: Tag = String::from("ABC").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tag::new("Summary");
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "\"summary\"");
+        let back: Tag = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut tags = [Tag::new("b"), Tag::new("a"), Tag::new("c")];
+        tags.sort();
+        let names: Vec<_> = tags.iter().map(Tag::as_str).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+}

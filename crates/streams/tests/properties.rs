@@ -1,0 +1,124 @@
+//! Property-based tests for core stream invariants.
+
+use blueprint_streams::{Message, Selector, StreamStore, Tag, TagFilter};
+use proptest::prelude::*;
+
+fn tag_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "sql".to_string(),
+        "nlq".to_string(),
+        "plan".to_string(),
+        "summary".to_string(),
+        "ui-event".to_string(),
+    ])
+}
+
+proptest! {
+    /// Sequence numbers on a stream are always dense: 0..n.
+    #[test]
+    fn seq_numbers_are_dense(payloads in prop::collection::vec(".{0,16}", 0..50)) {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        for p in &payloads {
+            store.publish(&id, Message::data(p.clone())).unwrap();
+        }
+        let history = store.read(&id, 0).unwrap();
+        prop_assert_eq!(history.len(), payloads.len());
+        for (i, m) in history.iter().enumerate() {
+            prop_assert_eq!(m.seq, i as u64);
+        }
+    }
+
+    /// A subscriber receives exactly the messages its filter matches, in order.
+    #[test]
+    fn filter_delivery_is_exact_and_ordered(
+        msgs in prop::collection::vec((tag_strategy(), ".{0,8}"), 0..60),
+        wanted in tag_strategy(),
+    ) {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::any_of([wanted.as_str()]))
+            .unwrap();
+        let mut expected = Vec::new();
+        for (tag, text) in &msgs {
+            store
+                .publish(&id, Message::data(text.clone()).with_tag(tag.as_str()))
+                .unwrap();
+            if tag == &wanted {
+                expected.push(text.clone());
+            }
+        }
+        let got: Vec<String> = sub
+            .drain()
+            .into_iter()
+            .map(|m| m.text().unwrap().to_string())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Exclusion always wins over inclusion.
+    #[test]
+    fn exclusion_dominates(include in tag_strategy(), exclude in tag_strategy()) {
+        let filter = TagFilter::any_of([include.as_str()]).excluding([exclude.as_str()]);
+        let msg = Message::data("x").with_tag(include.as_str()).with_tag(exclude.as_str());
+        prop_assert!(!filter.matches(&msg));
+    }
+
+    /// Replay returns the same history regardless of read offset stitching.
+    #[test]
+    fn replay_is_prefix_consistent(n in 0u64..40, split in 0u64..40) {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        for i in 0..n {
+            store.publish(&id, Message::data(format!("{i}"))).unwrap();
+        }
+        let full = store.read(&id, 0).unwrap();
+        let head = store.read(&id, 0).unwrap();
+        let split = split.min(n);
+        let stitched: Vec<_> = head
+            .iter()
+            .take(split as usize)
+            .chain(store.read(&id, split).unwrap().iter())
+            .map(|m| m.id)
+            .collect();
+        let full_ids: Vec<_> = full.iter().map(|m| m.id).collect();
+        prop_assert_eq!(stitched, full_ids);
+    }
+
+    /// Global message ids strictly increase across streams.
+    #[test]
+    fn global_ids_strictly_increase(n in 1usize..30) {
+        let store = StreamStore::new();
+        let a = store.create_stream("a", Vec::<Tag>::new()).unwrap();
+        let b = store.create_stream("b", Vec::<Tag>::new()).unwrap();
+        let mut last = 0u64;
+        for i in 0..n {
+            let target = if i % 2 == 0 { &a } else { &b };
+            let m = store.publish(target, Message::data("x")).unwrap();
+            prop_assert!(m.id.0 > last);
+            last = m.id.0;
+        }
+    }
+
+    /// Scope selectors never leak across sessions.
+    #[test]
+    fn scope_never_leaks(session_a in 0u32..50, session_b in 0u32..50) {
+        prop_assume!(session_a != session_b);
+        let store = StreamStore::new();
+        let a = store
+            .create_stream(format!("session:{session_a}:user"), Vec::<Tag>::new())
+            .unwrap();
+        let b = store
+            .create_stream(format!("session:{session_b}:user"), Vec::<Tag>::new())
+            .unwrap();
+        let sub = store
+            .subscribe(Selector::Scope(format!("session:{session_a}")), TagFilter::all())
+            .unwrap();
+        store.publish(&a, Message::data("mine")).unwrap();
+        store.publish(&b, Message::data("theirs")).unwrap();
+        let got = sub.drain();
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(got[0].text(), Some("mine"));
+    }
+}

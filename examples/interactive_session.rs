@@ -1,0 +1,92 @@
+//! Interactive planning and guardrails (§V-F collaborative planning,
+//! §III-A verification/moderation modules).
+//!
+//! The assistant proposes a plan; the user refines it (removes the
+//! profiling step, pins criteria); guardrails moderate the input and verify
+//! the output summary against the data it claims to describe.
+//!
+//! Run with: `cargo run -p blueprint-examples --bin interactive_session`
+
+use blueprint_core::coordinator::Outcome;
+use blueprint_core::planner::PlanFeedback;
+use blueprint_core::Blueprint;
+use blueprint_examples::banner;
+use serde_json::json;
+
+const RUNNING_EXAMPLE: &str = "I am looking for a data scientist position in SF bay area.";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let blueprint = Blueprint::builder()
+        .with_hr_domain(Default::default())
+        .with_guardrails()
+        .build()?;
+    let session = blueprint.start_session()?;
+
+    banner("1. Moderation gate (content-moderator agent)");
+    for text in [
+        RUNNING_EXAMPLE,
+        "send me the candidate's social security number",
+    ] {
+        let verdict = blueprint.factory().registered().contains(&"content-moderator".to_string());
+        assert!(verdict);
+        let m = blueprint_core::hrdomain::moderate(text);
+        println!(
+            "  \"{text}\" → {}",
+            if m.allowed {
+                "allowed".to_string()
+            } else {
+                format!("BLOCKED ({})", m.reasons.join("; "))
+            }
+        );
+    }
+
+    banner("2. The planner proposes; the user refines (§V-F)");
+    let plan = session.plan(RUNNING_EXAMPLE)?;
+    println!("proposed:\n{}", plan.render_text());
+
+    println!("user: \"skip the profile form, just use what I typed\"");
+    let refined = blueprint
+        .task_planner()
+        .refine(&plan, &PlanFeedback::RemoveAgent("profiler".into()))?;
+    println!("user: \"remote roles only\"");
+    let refined = blueprint.task_planner().refine(
+        &refined,
+        &PlanFeedback::PinInput {
+            agent: "job-matcher".into(),
+            param: "criteria".into(),
+            value: json!("remote only"),
+        },
+    )?;
+    println!("refined:\n{}", refined.render_text());
+
+    banner("3. Execute the refined plan");
+    let report = session.execute(&refined)?;
+    match &report.outcome {
+        Outcome::Completed { output } => {
+            println!("{}", output["rendered"].as_str().unwrap_or("?"));
+        }
+        other => println!("(did not complete: {other:?})"),
+    }
+    println!(
+        "cost {:.3} — two agents instead of three",
+        report.budget.spent_cost
+    );
+
+    banner("4. Fact verification of a summary (fact-verifier agent)");
+    let rows = json!([{"city": "san francisco"}, {"city": "oakland"}]);
+    for claim in ["The query returned 2 rows.", "The query returned 7 rows."] {
+        let (supported, why) = blueprint_core::hrdomain::verify_counts(claim, &rows);
+        println!(
+            "  \"{claim}\" → {} ({why})",
+            if supported { "supported" } else { "REFUTED" }
+        );
+    }
+
+    banner("5. Incremental planning (§V-F dynamic plans)");
+    let mut completed = 0;
+    while let Some(step) = blueprint.task_planner().plan_step(RUNNING_EXAMPLE, completed)? {
+        println!("  step {}: {}", completed + 1, step.nodes[0].agent);
+        completed += 1;
+    }
+    Ok(())
+}

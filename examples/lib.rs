@@ -1,0 +1,19 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each binary in this crate exercises the blueprint public API on one of
+//! the paper's scenarios:
+//!
+//! * `quickstart` — boot the runtime, plan and execute the running example;
+//! * `career_assistant` — Scenario I (§II-A): conversational career
+//!   assistance with centralized planning;
+//! * `agentic_employer` — Scenario II / §VI case study: UI events and
+//!   conversation driving decentralized agent chains (Figs 8–10);
+//! * `qos_optimization` — the QoS machinery: objectives, constraints,
+//!   model-tier selection, and budget-driven aborts.
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "═".repeat(72));
+    println!("  {title}");
+    println!("{}", "═".repeat(72));
+}

@@ -1,0 +1,91 @@
+//! QoS optimization (§V-G, §V-H): objectives, constraints, model-tier
+//! selection, and budget-driven aborts.
+//!
+//! Run with: `cargo run -p blueprint-examples --bin qos_optimization`
+
+use blueprint_core::coordinator::Outcome;
+use blueprint_core::llmsim::ModelProfile;
+use blueprint_core::optimizer::{
+    optimize_choices, pareto_frontier, Candidate, CostProfile, Objective, QosConstraints,
+};
+use blueprint_core::Blueprint;
+use blueprint_examples::banner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. The tier trade-off space and its Pareto frontier");
+    let tiers = ModelProfile::tiers();
+    let candidates: Vec<Candidate<String>> = tiers
+        .iter()
+        .map(|t| {
+            Candidate::new(
+                t.name.clone(),
+                CostProfile::new(t.call_cost(50, 50), t.call_latency_micros(50), t.accuracy),
+            )
+        })
+        .collect();
+    for c in &candidates {
+        println!(
+            "  {:<10} cost {:>6.3}  latency {:>7} µs  accuracy {:.2}",
+            c.item, c.profile.cost_per_call, c.profile.latency_micros, c.profile.accuracy
+        );
+    }
+    let frontier = pareto_frontier(&candidates);
+    println!(
+        "Pareto-optimal tiers: {:?}",
+        frontier.iter().map(|&i| &candidates[i].item).collect::<Vec<_>>()
+    );
+
+    banner("2. Per-operator tier assignment under an accuracy floor");
+    let per_node: Vec<CostProfile> = candidates.iter().map(|c| c.profile).collect();
+    let pipeline = vec![per_node.clone(), per_node.clone(), per_node];
+    for floor in [0.0, 0.5, 0.7, 0.9] {
+        let constraints = QosConstraints::none().with_min_accuracy(floor);
+        match optimize_choices(&pipeline, Objective::MinCost, &constraints) {
+            Some(choice) => {
+                let names: Vec<&str> = choice.iter().map(|&i| tiers[i].name.as_str()).collect();
+                let total = choice
+                    .iter()
+                    .enumerate()
+                    .fold(CostProfile::FREE, |acc, (n, &c)| acc.then(&pipeline[n][c]));
+                println!(
+                    "  floor {floor:.1} → {:?} (cost {:.2}, accuracy {:.3})",
+                    names, total.cost_per_call, total.accuracy
+                );
+            }
+            None => println!("  floor {floor:.1} → infeasible"),
+        }
+    }
+
+    banner("3. Budget enforcement on a live task (§V-H)");
+    for max_cost in [0.001, 10.0] {
+        let blueprint = Blueprint::builder()
+            .with_hr_domain(Default::default())
+            .with_constraints(QosConstraints::none().with_max_cost(max_cost))
+            .build()?;
+        let session = blueprint.start_session()?;
+        let report =
+            session.handle("I am looking for a data scientist position in SF bay area.")?;
+        let verdict = match &report.outcome {
+            Outcome::Completed { .. } => "completed".to_string(),
+            Outcome::Aborted { reason } => format!("aborted ({reason})"),
+            other => format!("{other:?}"),
+        };
+        println!(
+            "  max_cost {max_cost:>6.3} → {verdict}; spent {:.3}",
+            report.budget.spent_cost
+        );
+    }
+
+    banner("4. Accuracy enacted: cheap tiers lose knowledge items");
+    for profile in ModelProfile::tiers() {
+        let llm = blueprint_core::llmsim::SimLlm::new(profile.clone());
+        let (cities, usage) = llm.knowledge("cities in the sf bay area");
+        println!(
+            "  {:<10} returned {} cities (cost {:.4})",
+            profile.name,
+            cities.len(),
+            usage.cost
+        );
+    }
+    Ok(())
+}

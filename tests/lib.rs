@@ -1,0 +1,23 @@
+//! Shared fixtures for the cross-crate integration tests (in `tests/`).
+
+use blueprint_core::hrdomain::HrConfig;
+use blueprint_core::Blueprint;
+
+/// A small deterministic HR configuration for fast integration tests.
+pub fn small_hr() -> HrConfig {
+    HrConfig {
+        seed: 99,
+        jobs: 80,
+        applicants: 60,
+        companies: 10,
+        applications: 150,
+    }
+}
+
+/// A fully wired runtime over the small HR domain.
+pub fn hr_blueprint() -> Blueprint {
+    Blueprint::builder()
+        .with_hr_domain(small_hr())
+        .build()
+        .expect("blueprint assembles")
+}

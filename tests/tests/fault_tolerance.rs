@@ -1,0 +1,198 @@
+//! Integration: reliability behaviors (§VII "Reliability") — panic
+//! containment, restart-on-failure, replanning, and timeouts.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use blueprint_core::agents::{
+    AgentContext, AgentSpec, CostProfile, DataType, FnProcessor, Inputs, Outputs, ParamSpec,
+    Processor,
+};
+use blueprint_core::coordinator::{Outcome, TaskCoordinator};
+use blueprint_core::llmsim::{ModelProfile, SimLlm};
+use blueprint_core::optimizer::QosConstraints;
+use blueprint_core::planner::TaskPlanner;
+use blueprint_core::registry::AgentRegistry;
+use blueprint_core::streams::StreamStore;
+use integration_tests::hr_blueprint;
+use serde_json::json;
+
+#[test]
+fn panicking_agent_does_not_kill_the_runtime() {
+    let bp = hr_blueprint();
+    let factory = bp.factory();
+    // Register a bomb agent alongside the HR suite.
+    let spec = AgentSpec::new("bomb", "panics on every input to test containment")
+        .with_input(ParamSpec::required("text", "t", DataType::Text))
+        .with_profile(CostProfile::new(0.1, 100, 1.0));
+    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        |_: &Inputs, _: &AgentContext| -> blueprint_core::agents::Result<Outputs> {
+            panic!("intentional test panic")
+        },
+    ));
+    factory.register(spec.clone(), proc).unwrap();
+    bp.agent_registry().register(spec).unwrap();
+
+    let session = bp.start_session().unwrap();
+    let scope = session.session().scope().to_string();
+    factory.spawn("bomb", &scope).unwrap();
+
+    // Drive the bomb through an explicit plan; the coordinator reports a
+    // clean failure and the rest of the session still works.
+    let mut plan = blueprint_core::planner::TaskPlan::new("bomb-task", "boom");
+    let mut inputs = std::collections::BTreeMap::new();
+    inputs.insert(
+        "text".to_string(),
+        blueprint_core::planner::InputBinding::FromUser,
+    );
+    plan.push(blueprint_core::planner::PlanNode {
+        id: "n1".into(),
+        agent: "bomb".into(),
+        task: "explode".into(),
+        inputs,
+        profile: CostProfile::new(0.1, 100, 1.0),
+    });
+    let report = session.execute(&plan).unwrap();
+    // Either a clean failure, or — since the registry now contains a
+    // conversational fallback agent — a replan around the bomb. Never a
+    // crash, and the bomb never "succeeds".
+    match &report.outcome {
+        Outcome::Failed { node, .. } => assert_eq!(node, "n1"),
+        Outcome::Replanned { reason, inner } => {
+            assert!(reason.contains("bomb"));
+            assert!(inner.node_results.iter().all(|n| n.agent != "bomb"));
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+
+    // The session still completes normal work afterwards.
+    let ok = session
+        .handle("I am looking for a data scientist position in SF bay area.")
+        .unwrap();
+    assert!(ok.outcome.succeeded());
+}
+
+#[test]
+fn flaky_agent_is_replanned_around() {
+    // Two interchangeable services; the first fails a few times. The
+    // coordinator replans onto the backup and the task still succeeds.
+    let store = StreamStore::new();
+    let factory = blueprint_core::agents::AgentFactory::new(store.clone());
+    let registry = Arc::new(AgentRegistry::new());
+
+    let failures = Arc::new(AtomicU32::new(0));
+    let flaky_failures = Arc::clone(&failures);
+    let flaky_spec = AgentSpec::new("flaky-renderer", "render content into display text")
+        .with_input(ParamSpec::required("content", "c", DataType::Any))
+        .with_output(ParamSpec::required("rendered", "r", DataType::Text))
+        .with_profile(CostProfile::new(0.1, 100, 0.9));
+    let flaky_proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        move |_: &Inputs, _: &AgentContext| -> blueprint_core::agents::Result<Outputs> {
+            flaky_failures.fetch_add(1, Ordering::Relaxed);
+            Err(blueprint_core::agents::AgentError::ProcessorFailed(
+                "render backend down".into(),
+            ))
+        },
+    ));
+    factory.register(flaky_spec.clone(), flaky_proc).unwrap();
+    registry.register(flaky_spec).unwrap();
+
+    let good_spec = AgentSpec::new("stable-renderer", "render content into display text")
+        .with_input(ParamSpec::required("content", "c", DataType::Any))
+        .with_output(ParamSpec::required("rendered", "r", DataType::Text))
+        .with_profile(CostProfile::new(0.1, 100, 0.9));
+    let good_proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        |inputs: &Inputs, _: &AgentContext| {
+            Ok(Outputs::new().with("rendered", json!(inputs.require("content")?.to_string())))
+        },
+    ));
+    factory.register(good_spec.clone(), good_proc).unwrap();
+    registry.register(good_spec).unwrap();
+
+    factory.spawn("flaky-renderer", "session:1").unwrap();
+    factory.spawn("stable-renderer", "session:1").unwrap();
+
+    // Bias planning toward the flaky agent.
+    registry
+        .record_usage("flaky-renderer", "render content into display text")
+        .unwrap();
+
+    let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+    let planner = Arc::new(TaskPlanner::new(Arc::clone(&registry), llm));
+    let coordinator = TaskCoordinator::new(store, "session:1", registry)
+        .with_task_planner(Arc::clone(&planner))
+        .with_report_timeout(Duration::from_secs(5));
+
+    let plan = planner
+        .plan_subtasks(
+            "show me the results",
+            &["render content into display text".to_string()],
+            &[],
+        )
+        .unwrap();
+    assert_eq!(plan.nodes[0].agent, "flaky-renderer");
+    let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+    assert!(report.outcome.succeeded());
+    match &report.outcome {
+        Outcome::Replanned { inner, .. } => {
+            assert_eq!(inner.node_results[0].agent, "stable-renderer");
+        }
+        other => panic!("expected replan, got {other:?}"),
+    }
+    assert_eq!(failures.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn factory_restart_resets_instance_state() {
+    let bp = hr_blueprint();
+    let session = bp.start_session().unwrap();
+    let scope = session.session().scope().to_string();
+    let id = bp.factory().spawn("profiler", &scope).unwrap();
+    let new_id = bp.factory().restart(id).unwrap();
+    assert_ne!(id, new_id);
+    // The restarted instance serves inline execution.
+    let out = bp
+        .factory()
+        .with_instance(new_id, |h| {
+            h.host()
+                .execute_now(Inputs::new().with("text", json!("data scientist in oakland")))
+        })
+        .unwrap()
+        .unwrap();
+    assert_eq!(out.get("profile").unwrap()["title"], json!("data scientist"));
+}
+
+#[test]
+fn timeout_on_unresponsive_agent_is_a_clean_failure() {
+    let bp = hr_blueprint();
+    let session = bp.start_session().unwrap();
+    // A plan naming an agent that is registered nowhere: no host answers.
+    let mut plan = blueprint_core::planner::TaskPlan::new("ghost-task", "hello");
+    let mut inputs = std::collections::BTreeMap::new();
+    inputs.insert(
+        "text".to_string(),
+        blueprint_core::planner::InputBinding::FromUser,
+    );
+    plan.push(blueprint_core::planner::PlanNode {
+        id: "n1".into(),
+        agent: "ghost".into(),
+        task: "haunt".into(),
+        inputs,
+        profile: CostProfile::FREE,
+    });
+    let coordinator = TaskCoordinator::new(
+        bp.store().clone(),
+        session.session().scope(),
+        Arc::clone(bp.agent_registry()),
+    )
+    .with_report_timeout(Duration::from_millis(300));
+    let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+    match report.outcome {
+        Outcome::Failed { node, error } => {
+            assert_eq!(node, "n1");
+            assert!(error.contains("timed out"));
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}
