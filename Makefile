@@ -1,0 +1,22 @@
+.PHONY: all build test lint bench chaos
+
+all: build lint test
+
+build:
+	cargo build --workspace
+
+test:
+	cargo test --workspace
+
+# Clippy gate: the whole workspace, all targets, warnings are errors.
+lint:
+	cargo clippy --all-targets -- -D warnings
+
+bench:
+	cargo bench --workspace
+
+# Chaos suite: both interaction flows under three pinned fault seeds,
+# gated on a clean clippy run. Seeds are fixed so CI failures reproduce
+# locally with the exact same injected faults.
+chaos: lint
+	CHAOS_SEEDS="7 21 42" cargo test -p integration-tests --test chaos -- --nocapture

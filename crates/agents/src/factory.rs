@@ -13,13 +13,49 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use blueprint_resilience::{BreakerRegistry, FaultInjector, InjectedFault};
 use blueprint_streams::StreamStore;
 
+use crate::context::AgentContext;
 use crate::error::AgentError;
 use crate::host::{AgentHost, HostStats};
+use crate::param::{Inputs, Outputs};
 use crate::processor::Processor;
 use crate::spec::AgentSpec;
 use crate::Result;
+
+/// Wraps a registered processor with fault injection: each invocation asks
+/// the injector (keyed by agent name + call ordinal) whether to panic or run
+/// slow before delegating. Panics are caught by the host's crash recovery,
+/// so injected panics exercise the same path as real processor bugs.
+struct FaultedProcessor {
+    inner: Arc<dyn Processor>,
+    injector: Arc<FaultInjector>,
+    agent: String,
+    calls: AtomicU64,
+}
+
+impl Processor for FaultedProcessor {
+    fn process(&self, inputs: &Inputs, ctx: &AgentContext) -> Result<Outputs> {
+        if !self.injector.processor_armed() {
+            return self.inner.process(inputs, ctx);
+        }
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        match self.injector.processor_fault(&format!("{}#{}", self.agent, n)) {
+            Some(InjectedFault::PanicProcessor) => {
+                panic!("injected fault: processor panic in agent `{}`", self.agent)
+            }
+            Some(InjectedFault::SlowProcessor { micros }) => {
+                // Real sleep (capped) so timeouts actually fire, plus the
+                // simulated latency charge so QoS accounting sees the stall.
+                std::thread::sleep(std::time::Duration::from_micros(micros.min(250_000)));
+                ctx.charge_latency_micros(micros);
+            }
+            _ => {}
+        }
+        self.inner.process(inputs, ctx)
+    }
+}
 
 /// Aggregated statistics for a factory ("container").
 #[derive(Debug, Clone, Default)]
@@ -67,6 +103,8 @@ pub struct AgentFactory {
     instances: Mutex<HashMap<u64, InstanceHandle>>,
     next_instance: AtomicU64,
     restarts: AtomicU64,
+    faults: Mutex<Option<Arc<FaultInjector>>>,
+    breakers: Mutex<Option<Arc<BreakerRegistry>>>,
 }
 
 impl AgentFactory {
@@ -78,7 +116,26 @@ impl AgentFactory {
             instances: Mutex::new(HashMap::new()),
             next_instance: AtomicU64::new(1),
             restarts: AtomicU64::new(0),
+            faults: Mutex::new(None),
+            breakers: Mutex::new(None),
         }
+    }
+
+    /// Attaches a fault injector: processors of instances spawned *after*
+    /// this call are wrapped with panic/slowdown injection.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.lock() = Some(injector);
+    }
+
+    /// Attaches a circuit-breaker registry; restarted instances re-enter the
+    /// breaker's half-open state instead of being trusted blindly.
+    pub fn set_breakers(&self, breakers: Arc<BreakerRegistry>) {
+        *self.breakers.lock() = Some(breakers);
+    }
+
+    /// The attached breaker registry, if any.
+    pub fn breakers(&self) -> Option<Arc<BreakerRegistry>> {
+        self.breakers.lock().clone()
     }
 
     /// The stream store this factory deploys against.
@@ -111,6 +168,15 @@ impl AgentFactory {
                 .get(agent)
                 .ok_or_else(|| AgentError::UnknownAgent(agent.to_string()))?;
             (reg.spec.clone(), Arc::clone(&reg.processor))
+        };
+        let processor = match self.faults.lock().as_ref() {
+            Some(injector) => Arc::new(FaultedProcessor {
+                inner: processor,
+                injector: Arc::clone(injector),
+                agent: agent.to_string(),
+                calls: AtomicU64::new(0),
+            }) as Arc<dyn Processor>,
+            None => processor,
         };
         let host = AgentHost::start(spec, processor, self.store.clone(), scope)?;
         let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
@@ -154,6 +220,12 @@ impl AgentFactory {
         self.stop(instance_id);
         let new_id = self.spawn(&agent, &scope)?;
         self.restarts.fetch_add(1, Ordering::Relaxed);
+        // A replacement instance is probed, not trusted: if the agent's
+        // circuit is open, the restart moves it to half-open so the next
+        // call is a trial rather than a flood.
+        if let Some(breakers) = self.breakers.lock().as_ref() {
+            breakers.on_restart(&agent);
+        }
         Ok(new_id)
     }
 
@@ -365,6 +437,117 @@ mod tests {
             .with_instance(restarted[0], |h| h.stats().failures)
             .unwrap();
         assert_eq!(fresh_failures, 0);
+    }
+
+    #[test]
+    fn restart_moves_open_breaker_to_half_open() {
+        use blueprint_resilience::{BreakerConfig, BreakerState};
+        let f = factory();
+        f.register(echo_spec("echo"), echo_proc()).unwrap();
+        let breakers = Arc::new(BreakerRegistry::new(BreakerConfig {
+            min_samples: 2,
+            ..BreakerConfig::default()
+        }));
+        f.set_breakers(Arc::clone(&breakers));
+        let id = f.spawn("echo", "session:1").unwrap();
+
+        breakers.record("echo", false, 0);
+        breakers.record("echo", false, 0);
+        assert_eq!(breakers.state("echo"), BreakerState::Open);
+
+        let new_id = f.restart(id).unwrap();
+        assert_ne!(id, new_id);
+        // Restarted agent re-enters half-open, not closed: the replacement
+        // must earn its way back with a successful probe.
+        assert_eq!(breakers.state("echo"), BreakerState::HalfOpen);
+        assert!(breakers.allow("echo", 1));
+        breakers.record("echo", true, 2);
+        assert_eq!(breakers.state("echo"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn reap_failed_probes_restarted_agent_breaker() {
+        use blueprint_resilience::{BreakerConfig, BreakerState};
+        let f = factory();
+        let mut spec = echo_spec("flaky");
+        spec.deployment.max_restarts = 1;
+        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            |_: &Inputs, _: &AgentContext| -> crate::Result<Outputs> {
+                Err(AgentError::ProcessorFailed("always".into()))
+            },
+        ));
+        f.register(spec, proc).unwrap();
+        let breakers = Arc::new(BreakerRegistry::new(BreakerConfig {
+            min_samples: 2,
+            ..BreakerConfig::default()
+        }));
+        f.set_breakers(Arc::clone(&breakers));
+        f.spawn("flaky", "session:1").unwrap();
+
+        // The coordinator tripped the breaker while the instance thrashed.
+        breakers.record("flaky", false, 0);
+        breakers.record("flaky", false, 0);
+        assert_eq!(breakers.state("flaky"), BreakerState::Open);
+
+        let store = f.store().clone();
+        let report_sub = store
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["agent-report"]))
+            .unwrap();
+        let instr = ExecuteAgent {
+            agent: "flaky".into(),
+            inputs: Inputs::new().with("text", json!("x")),
+            output_stream: "session:1:out".into(),
+            task_id: "t".into(),
+            node_id: "n".into(),
+        };
+        store
+            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .unwrap();
+        report_sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        let mut restarted = Vec::new();
+        for _ in 0..100 {
+            restarted = f.reap_failed().unwrap();
+            if !restarted.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(restarted.len(), 1);
+        // Reaping goes through restart(), so the breaker is half-open too.
+        assert_eq!(breakers.state("flaky"), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn fault_injector_panics_are_contained_and_counted() {
+        use blueprint_resilience::{FaultPlan, FaultSite};
+        let f = factory();
+        f.register(echo_spec("echo"), echo_proc()).unwrap();
+        // 100% panic rate: every fire crashes, the host must survive.
+        let injector = Arc::new(FaultInjector::new(FaultPlan::none(1).with_panic_rate(1.0)));
+        f.set_fault_injector(Arc::clone(&injector));
+        let id = f.spawn("echo", "session:1").unwrap();
+
+        let store = f.store().clone();
+        let report_sub = store
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["agent-report"]))
+            .unwrap();
+        let instr = ExecuteAgent {
+            agent: "echo".into(),
+            inputs: Inputs::new().with("text", json!("boom")),
+            output_stream: "session:1:out".into(),
+            task_id: "t".into(),
+            node_id: "n".into(),
+        };
+        store
+            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .unwrap();
+        let report = report_sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        // The report marks the failure, the host stays up, and the injector
+        // log names the fault that fired.
+        let parsed = crate::protocol::AgentReport::from_message(&report).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(injector.count(FaultSite::Processor), 1);
+        assert_eq!(f.with_instance(id, |h| h.stats().failures), Some(1));
     }
 
     #[test]

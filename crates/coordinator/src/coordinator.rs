@@ -9,7 +9,8 @@ use blueprint_agents::{AgentReport, DataType, ExecuteAgent, Inputs};
 use blueprint_optimizer::{Budget, BudgetStatus, QosConstraints};
 use blueprint_planner::{DataPlanner, InputBinding, TaskPlan, TaskPlanner};
 use blueprint_registry::AgentRegistry;
-use blueprint_streams::{Message, Selector, StreamStore, Tag, TagFilter};
+use blueprint_resilience::{BreakerRegistry, DegradationLadder, DegradationNote, RetryPolicy};
+use blueprint_streams::{DeadLetterQueue, Message, Selector, StreamStore, Tag, TagFilter};
 
 /// Hard failures of the coordination machinery itself (stream plumbing);
 /// task-level problems are reported through [`Outcome`] instead.
@@ -53,6 +54,9 @@ pub struct NodeResult {
     pub latency_micros: u64,
     /// Error text on failure.
     pub error: Option<String>,
+    /// How many invocation attempts the node took (0 when it never ran:
+    /// skipped under pressure, or rejected by an open circuit).
+    pub attempts: u32,
 }
 
 /// Terminal state of a task execution.
@@ -106,6 +110,8 @@ pub struct ExecutionReport {
     pub budget: Budget,
     /// Per-node records in execution order.
     pub node_results: Vec<NodeResult>,
+    /// Degradation decisions taken during execution (fallbacks, skips).
+    pub degradations: Vec<DegradationNote>,
 }
 
 /// Executes task plans over the streams fabric.
@@ -117,6 +123,20 @@ pub struct TaskCoordinator {
     task_planner: Option<Arc<TaskPlanner>>,
     policy: OverrunPolicy,
     report_timeout: Duration,
+    retry: RetryPolicy,
+    breakers: Option<Arc<BreakerRegistry>>,
+    ladder: DegradationLadder,
+    epoch: std::time::Instant,
+}
+
+/// Outcome of driving one node, possibly across several attempts.
+struct NodeAttempt {
+    /// The last report received (None on timeout or open circuit).
+    report: Option<AgentReport>,
+    /// Attempts consumed.
+    attempts: u32,
+    /// Set when the node ultimately failed.
+    error: Option<String>,
 }
 
 impl TaskCoordinator {
@@ -135,6 +155,10 @@ impl TaskCoordinator {
             task_planner: None,
             policy: OverrunPolicy::default(),
             report_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::none(),
+            breakers: None,
+            ladder: DegradationLadder::new(),
+            epoch: std::time::Instant::now(),
         }
     }
 
@@ -161,6 +185,33 @@ impl TaskCoordinator {
     pub fn with_report_timeout(mut self, timeout: Duration) -> Self {
         self.report_timeout = timeout;
         self
+    }
+
+    /// Sets the retry policy for failed or timed-out agent invocations.
+    /// Backoff delays are debited from the task's latency budget.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches per-agent circuit breakers: open circuits fail fast and are
+    /// excluded from replans.
+    pub fn with_breakers(mut self, breakers: Arc<BreakerRegistry>) -> Self {
+        self.breakers = Some(breakers);
+        self
+    }
+
+    /// Attaches a degradation ladder: failed agents fall back to cheaper
+    /// substitutes at a recorded accuracy penalty, and skippable nodes are
+    /// dropped under budget pressure.
+    pub fn with_degradation(mut self, ladder: DegradationLadder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Micros since this coordinator was built (drives breaker cooldowns).
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
     }
 
     /// Executes a plan under the given constraints.
@@ -197,10 +248,39 @@ impl TaskCoordinator {
             .map_err(|e| ExecutionError(e.to_string()))?;
 
         let mut node_results: Vec<NodeResult> = Vec::with_capacity(order.len());
+        let mut degradations: Vec<DegradationNote> = Vec::new();
         let mut final_output = Value::Null;
 
         for node_id in &order {
             let node = plan.node(node_id).expect("topo order references plan nodes");
+
+            // Graceful degradation: a skippable node (e.g. an optional
+            // guardrail check) is dropped outright once the budget is under
+            // pressure, trading its contribution for headroom.
+            if self.ladder.is_skippable(&node.agent) && budget.status() != BudgetStatus::Healthy {
+                budget.consume_projection(&node.profile);
+                degradations.push(DegradationNote {
+                    from: node.agent.clone(),
+                    to: None,
+                    accuracy_penalty: 0.0,
+                    reason: format!("skipped node {node_id} under budget pressure"),
+                });
+                self.publish_status(
+                    plan,
+                    "node-skipped",
+                    json!({"node": node_id, "agent": node.agent}),
+                );
+                node_results.push(NodeResult {
+                    node: node_id.clone(),
+                    agent: node.agent.clone(),
+                    ok: true,
+                    cost: 0.0,
+                    latency_micros: 0,
+                    error: None,
+                    attempts: 0,
+                });
+                continue;
+            }
 
             // Resolve inputs, applying transformations.
             let mut inputs = Inputs::new();
@@ -208,57 +288,92 @@ impl TaskCoordinator {
                 let value = match self.resolve_input(plan, node, param, binding, &mut budget) {
                     Ok(v) => v,
                     Err(reason) => {
-                        return self.finish_failed(plan, budget, node_results, node_id, reason);
+                        return self.finish_failed(
+                            plan,
+                            budget,
+                            node_results,
+                            degradations,
+                            node_id,
+                            reason,
+                        );
                     }
                 };
                 inputs.insert(param.clone(), value);
             }
 
-            // Issue the instruction.
-            let output_stream = format!("{}:task:{}:{}", self.scope, plan.task_id, node_id);
-            let instruction = ExecuteAgent {
-                agent: node.agent.clone(),
-                inputs,
-                output_stream,
-                task_id: plan.task_id.clone(),
-                node_id: node_id.clone(),
-            };
-            self.store
-                .publish_to(
-                    format!("{}:instructions", self.scope),
-                    ["instructions"],
-                    instruction.into_message().from_producer("task-coordinator"),
-                )
-                .map_err(|e| ExecutionError(e.to_string()))?;
+            // Drive the node: breaker gate, instruction publish, report
+            // await, retries with budget-debited backoff.
+            let mut attempt =
+                self.run_node(plan, node_id, &node.agent, &inputs, &report_sub, &mut budget)?;
+            let mut executing_agent = node.agent.clone();
 
-            // Await this node's report.
-            let report = match self.await_report(&report_sub, &plan.task_id, node_id) {
-                Some(r) => r,
-                None => {
-                    return self.finish_failed(
-                        plan,
-                        budget,
-                        node_results,
-                        node_id,
-                        format!("timed out waiting for agent {}", node.agent),
-                    );
+            // Graceful degradation: a failed agent falls back once to its
+            // configured substitute at a recorded accuracy penalty.
+            if attempt.error.is_some() {
+                if let Some((fallback, penalty)) = self.ladder.fallback_for(&node.agent) {
+                    let fallback = fallback.to_string();
+                    if self.registry.get_spec(&fallback).is_ok() {
+                        let second = self.run_node(
+                            plan,
+                            node_id,
+                            &fallback,
+                            &inputs,
+                            &report_sub,
+                            &mut budget,
+                        )?;
+                        if second.error.is_none() {
+                            degradations.push(DegradationNote {
+                                from: node.agent.clone(),
+                                to: Some(fallback.clone()),
+                                accuracy_penalty: penalty,
+                                reason: attempt
+                                    .error
+                                    .clone()
+                                    .unwrap_or_else(|| "primary agent failed".into()),
+                            });
+                            self.publish_status(
+                                plan,
+                                "node-degraded",
+                                json!({"node": node_id, "from": node.agent, "to": fallback}),
+                            );
+                            // The fallback answers with degraded quality.
+                            budget.charge(0.0, 0, 1.0 - penalty);
+                            executing_agent = fallback;
+                            attempt = NodeAttempt {
+                                attempts: attempt.attempts + second.attempts,
+                                ..second
+                            };
+                        }
+                    }
                 }
-            };
+            }
 
-            budget.charge(report.cost, report.latency_micros, node.profile.accuracy);
-            budget.consume_projection(&node.profile);
-            node_results.push(NodeResult {
-                node: node_id.clone(),
-                agent: node.agent.clone(),
-                ok: report.ok,
-                cost: report.cost,
-                latency_micros: report.latency_micros,
-                error: report.error.clone(),
-            });
+            let attempts = attempt.attempts;
+            if let Some(error) = attempt.error {
+                // Charge whatever the final failed attempt reported.
+                let (cost, latency) = attempt
+                    .report
+                    .as_ref()
+                    .map(|r| (r.cost, r.latency_micros))
+                    .unwrap_or((0.0, 0));
+                budget.charge(cost, latency, node.profile.accuracy);
+                budget.consume_projection(&node.profile);
+                node_results.push(NodeResult {
+                    node: node_id.clone(),
+                    agent: node.agent.clone(),
+                    ok: false,
+                    cost,
+                    latency_micros: latency,
+                    error: Some(error.clone()),
+                    attempts,
+                });
 
-            if !report.ok {
-                let error = report.error.unwrap_or_else(|| "agent failed".into());
-                // Replan once, excluding the failed agent (§V-H).
+                // Quarantine the instruction that exhausted its attempts so
+                // operators can inspect and replay it once the fault clears.
+                self.quarantine_instruction(plan, node_id, node, &inputs, &error, attempts);
+
+                // Replan once, excluding the failed agent and every agent
+                // whose circuit is currently open (§V-H).
                 if depth == 0 {
                     if let Some(tp) = &self.task_planner {
                         // Replan the same decomposition, excluding the
@@ -266,11 +381,17 @@ impl TaskCoordinator {
                         // assignment changes).
                         let subtasks: Vec<String> =
                             plan.nodes.iter().map(|n| n.task.clone()).collect();
-                        if let Ok(new_plan) = tp.plan_subtasks(
-                            &plan.utterance,
-                            &subtasks,
-                            std::slice::from_ref(&node.agent),
-                        ) {
+                        let mut excluded = vec![node.agent.clone()];
+                        if let Some(b) = &self.breakers {
+                            for open in b.open_circuits() {
+                                if !excluded.contains(&open) {
+                                    excluded.push(open);
+                                }
+                            }
+                        }
+                        if let Ok(new_plan) =
+                            tp.plan_subtasks(&plan.utterance, &subtasks, &excluded)
+                        {
                             let inner = self.execute_inner(&new_plan, budget.clone(), depth + 1)?;
                             return Ok(ExecutionReport {
                                 task_id: plan.task_id.clone(),
@@ -280,12 +401,33 @@ impl TaskCoordinator {
                                 },
                                 budget,
                                 node_results,
+                                degradations,
                             });
                         }
                     }
                 }
-                return self.finish_failed(plan, budget, node_results, node_id, error);
+                return self.finish_failed(
+                    plan,
+                    budget,
+                    node_results,
+                    degradations,
+                    node_id,
+                    error,
+                );
             }
+
+            let report = attempt.report.expect("successful attempt carries a report");
+            budget.charge(report.cost, report.latency_micros, node.profile.accuracy);
+            budget.consume_projection(&node.profile);
+            node_results.push(NodeResult {
+                node: node_id.clone(),
+                agent: executing_agent,
+                ok: true,
+                cost: report.cost,
+                latency_micros: report.latency_micros,
+                error: None,
+                attempts,
+            });
 
             // Downstream bindings read outputs back off the task's output
             // streams (resolve_input); only the latest outputs are kept here
@@ -302,6 +444,7 @@ impl TaskCoordinator {
                         plan,
                         budget,
                         node_results,
+                        degradations,
                         "budget exceeded by actual costs".into(),
                     );
                 }
@@ -312,6 +455,7 @@ impl TaskCoordinator {
                             plan,
                             budget,
                             node_results,
+                            degradations,
                             "projected costs exceed the budget".into(),
                         );
                     }
@@ -335,6 +479,7 @@ impl TaskCoordinator {
                                         },
                                         budget,
                                         node_results,
+                                        degradations,
                                     });
                                 }
                             }
@@ -354,7 +499,127 @@ impl TaskCoordinator {
             },
             budget,
             node_results,
+            degradations,
         })
+    }
+
+    /// Drives one node to a terminal attempt outcome: checks the circuit
+    /// breaker, publishes the instruction, awaits the report, and retries
+    /// per the retry policy with backoff debited from the latency budget.
+    fn run_node(
+        &self,
+        plan: &TaskPlan,
+        node_id: &str,
+        agent: &str,
+        inputs: &Inputs,
+        report_sub: &blueprint_streams::Subscription,
+        budget: &mut Budget,
+    ) -> Result<NodeAttempt, ExecutionError> {
+        // An open circuit fails fast: no instruction is issued, so the
+        // struggling agent gets no more traffic until its cooldown elapses.
+        if let Some(b) = &self.breakers {
+            if !b.allow(agent, self.now_micros()) {
+                return Ok(NodeAttempt {
+                    report: None,
+                    attempts: 0,
+                    error: Some(format!("circuit open for agent {agent}")),
+                });
+            }
+        }
+
+        let mut attempts: u32 = 0;
+        let mut spent_delay: u64 = 0;
+        loop {
+            attempts += 1;
+            let instruction = ExecuteAgent {
+                agent: agent.to_string(),
+                inputs: inputs.clone(),
+                output_stream: format!("{}:task:{}:{}", self.scope, plan.task_id, node_id),
+                task_id: plan.task_id.clone(),
+                node_id: node_id.to_string(),
+            };
+            self.store
+                .publish_to(
+                    format!("{}:instructions", self.scope),
+                    ["instructions"],
+                    instruction.into_message().from_producer("task-coordinator"),
+                )
+                .map_err(|e| ExecutionError(e.to_string()))?;
+
+            let report = self.await_report(report_sub, &plan.task_id, node_id);
+            let ok = report.as_ref().is_some_and(|r| r.ok);
+            if let Some(b) = &self.breakers {
+                b.record(agent, ok, self.now_micros());
+            }
+            if ok {
+                return Ok(NodeAttempt {
+                    report,
+                    attempts,
+                    error: None,
+                });
+            }
+
+            let error = report
+                .as_ref()
+                .map(|r| r.error.clone().unwrap_or_else(|| "agent failed".into()))
+                .unwrap_or_else(|| format!("timed out waiting for agent {agent}"));
+
+            // Retrying against a tripped breaker is pointless; otherwise ask
+            // the policy whether another attempt fits the retry budget.
+            let circuit_open = self
+                .breakers
+                .as_ref()
+                .is_some_and(|b| !b.allow(agent, self.now_micros()));
+            if !circuit_open {
+                if let Some(delay) = self.retry.delay_before(attempts, spent_delay) {
+                    // The failed attempt's cost and the backoff are real
+                    // spend the caller experienced (accuracy-neutral: the
+                    // retry supersedes the failed answer).
+                    if let Some(r) = &report {
+                        budget.charge(r.cost, r.latency_micros, 1.0);
+                    }
+                    budget.charge(0.0, delay, 1.0);
+                    spent_delay += delay;
+                    std::thread::sleep(Duration::from_micros(delay.min(100_000)));
+                    continue;
+                }
+            }
+            return Ok(NodeAttempt {
+                report,
+                attempts,
+                error: Some(error),
+            });
+        }
+    }
+
+    /// Best-effort quarantine of a failed instruction onto the scope's
+    /// dead-letter stream; failure to quarantine never masks the original
+    /// error.
+    fn quarantine_instruction(
+        &self,
+        plan: &TaskPlan,
+        node_id: &str,
+        node: &blueprint_planner::PlanNode,
+        inputs: &Inputs,
+        error: &str,
+        attempts: u32,
+    ) {
+        let Ok(dlq) = DeadLetterQueue::for_scope(&self.store, &self.scope) else {
+            return;
+        };
+        let instruction = ExecuteAgent {
+            agent: node.agent.clone(),
+            inputs: inputs.clone(),
+            output_stream: format!("{}:task:{}:{}", self.scope, plan.task_id, node_id),
+            task_id: plan.task_id.clone(),
+            node_id: node_id.to_string(),
+        };
+        let _ = dlq.quarantine(
+            &instruction.into_message().from_producer("task-coordinator"),
+            error,
+            u64::from(attempts),
+            "task-coordinator",
+        );
     }
 
     /// Resolves one input binding, charging any data-plan costs to the
@@ -437,14 +702,25 @@ impl TaskCoordinator {
     ) -> Option<AgentReport> {
         let deadline = std::time::Instant::now() + self.report_timeout;
         loop {
-            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
-            let msg = sub.recv_timeout(remaining).ok()?;
-            if let Some(report) = AgentReport::from_message(&msg) {
-                if report.task_id == task_id && report.node_id == node_id {
+            // Drain already-queued messages before any deadline arithmetic:
+            // a report that arrived in time must not be lost just because
+            // the deadline has since passed (nor with a zero timeout, where
+            // `checked_duration_since` is None from the very first loop).
+            while let Ok(Some(msg)) = sub.try_recv() {
+                if let Some(report) = Self::matching_report(&msg, task_id, node_id) {
                     return Some(report);
                 }
             }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let msg = sub.recv_timeout(remaining).ok()?;
+            if let Some(report) = Self::matching_report(&msg, task_id, node_id) {
+                return Some(report);
+            }
         }
+    }
+
+    fn matching_report(msg: &Message, task_id: &str, node_id: &str) -> Option<AgentReport> {
+        AgentReport::from_message(msg).filter(|r| r.task_id == task_id && r.node_id == node_id)
     }
 
     fn publish_status(&self, plan: &TaskPlan, op: &str, args: Value) {
@@ -462,6 +738,7 @@ impl TaskCoordinator {
         plan: &TaskPlan,
         budget: Budget,
         node_results: Vec<NodeResult>,
+        degradations: Vec<DegradationNote>,
         reason: String,
     ) -> Result<ExecutionReport, ExecutionError> {
         self.publish_status(plan, "task-aborted", json!({"reason": reason}));
@@ -470,6 +747,7 @@ impl TaskCoordinator {
             outcome: Outcome::Aborted { reason },
             budget,
             node_results,
+            degradations,
         })
     }
 
@@ -478,6 +756,7 @@ impl TaskCoordinator {
         plan: &TaskPlan,
         budget: Budget,
         node_results: Vec<NodeResult>,
+        degradations: Vec<DegradationNote>,
         node_id: &str,
         error: String,
     ) -> Result<ExecutionReport, ExecutionError> {
@@ -494,6 +773,7 @@ impl TaskCoordinator {
             },
             budget,
             node_results,
+            degradations,
         })
     }
 }
@@ -849,6 +1129,196 @@ mod tests {
             other => panic!("expected replan, got {other:?}"),
         }
         assert!(report.outcome.succeeded());
+    }
+
+    fn failing_agent(factory: &AgentFactory, registry: &AgentRegistry, name: &str) {
+        let spec = AgentSpec::new(name, format!("{name} uppercases text"))
+            .with_input(ParamSpec::required("text", "input", DataType::Text))
+            .with_output(ParamSpec::required("out", "output", DataType::Text))
+            .with_profile(CostProfile::new(1.0, 1_000, 0.95));
+        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            |_: &Inputs, ctx: &AgentContext| -> blueprint_agents::Result<Outputs> {
+                ctx.charge_latency_micros(1_000);
+                Err(blueprint_agents::AgentError::ProcessorFailed(
+                    "service down".into(),
+                ))
+            },
+        ));
+        factory.register(spec.clone(), proc).unwrap();
+        registry.register(spec).unwrap();
+        factory.spawn(name, "session:1").unwrap();
+    }
+
+    #[test]
+    fn await_report_sees_report_queued_at_exact_deadline() {
+        // Regression: a zero report timeout puts the deadline exactly at
+        // "now", so the old deadline-first arithmetic returned None without
+        // ever looking at the subscription — losing reports that had
+        // already arrived in time.
+        let (factory, coordinator, _) = setup(&["alpha"]);
+        let coordinator = coordinator.with_report_timeout(Duration::from_millis(0));
+        let sub = factory
+            .store()
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["task:tz"]))
+            .unwrap();
+        let queued = AgentReport {
+            agent: "alpha".into(),
+            task_id: "tz".into(),
+            node_id: "n1".into(),
+            ok: true,
+            error: None,
+            cost: 0.1,
+            latency_micros: 10,
+            outputs: json!({"out": "X"}),
+        };
+        factory
+            .store()
+            .publish_to(
+                "session:1:reports",
+                ["agent-report"],
+                queued.into_message().from_producer("alpha"),
+            )
+            .unwrap();
+        let got = coordinator.await_report(&sub, "tz", "n1");
+        assert!(got.is_some_and(|r| r.ok && r.node_id == "n1"));
+    }
+
+    #[test]
+    fn await_report_zero_timeout_returns_none_when_nothing_queued() {
+        // The zero-timeout path must still terminate immediately (no hang)
+        // when no report has arrived.
+        let (factory, coordinator, _) = setup(&["alpha"]);
+        let coordinator = coordinator.with_report_timeout(Duration::from_millis(0));
+        let sub = factory
+            .store()
+            .subscribe(Selector::AllStreams, TagFilter::any_of(["task:tq"]))
+            .unwrap();
+        assert!(coordinator.await_report(&sub, "tq", "n1").is_none());
+    }
+
+    #[test]
+    fn retries_transient_failure_until_success() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let (factory, coordinator, registry) = setup(&["alpha"]);
+        // An agent that fails its first two calls, then recovers.
+        let spec = AgentSpec::new("flaky-up", "flaky uppercaser")
+            .with_input(ParamSpec::required("text", "input", DataType::Text))
+            .with_output(ParamSpec::required("out", "output", DataType::Text))
+            .with_profile(CostProfile::new(1.0, 1_000, 0.95));
+        let calls = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&calls);
+        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                ctx.charge_latency_micros(1_000);
+                if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+                    return Err(blueprint_agents::AgentError::ProcessorFailed(
+                        "transient glitch".into(),
+                    ));
+                }
+                Ok(Outputs::new().with("out", json!(inputs.require_str("text")?.to_uppercase())))
+            },
+        ));
+        factory.register(spec.clone(), proc).unwrap();
+        registry.register(spec).unwrap();
+        factory.spawn("flaky-up", "session:1").unwrap();
+
+        let coordinator = coordinator.with_retry_policy(RetryPolicy::standard(7));
+        let plan = chain_plan("tr", &["flaky-up"]);
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        assert!(report.outcome.succeeded());
+        assert_eq!(report.node_results[0].attempts, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        // Two backoff delays (~5ms and ~10ms, ±10% jitter) were debited
+        // from the latency budget on top of the per-attempt agent latency.
+        assert!(
+            report.budget.spent_latency_micros >= 13_000,
+            "backoff not charged: {}",
+            report.budget.spent_latency_micros
+        );
+    }
+
+    #[test]
+    fn open_circuit_fails_fast_and_quarantines_to_dead_letter() {
+        use blueprint_resilience::BreakerConfig;
+
+        let (factory, coordinator, registry) = setup(&["alpha"]);
+        failing_agent(&factory, &registry, "always-down");
+        let breakers = Arc::new(BreakerRegistry::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            cooldown_micros: 600_000_000, // stays open for the whole test
+            half_open_probes: 1,
+        }));
+        let coordinator = coordinator.with_breakers(Arc::clone(&breakers));
+
+        // Two failing executions trip the breaker ...
+        for task in ["tc1", "tc2"] {
+            let plan = chain_plan(task, &["always-down"]);
+            let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+            assert!(matches!(report.outcome, Outcome::Failed { .. }));
+            assert_eq!(report.node_results[0].attempts, 1);
+        }
+        assert!(breakers.is_open("always-down"));
+
+        // ... so the third fails fast without ever invoking the agent.
+        let plan = chain_plan("tc3", &["always-down"]);
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        match &report.outcome {
+            Outcome::Failed { error, .. } => assert!(error.contains("circuit open")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(report.node_results[0].attempts, 0);
+
+        // Every exhausted instruction was quarantined with metadata.
+        let dlq = DeadLetterQueue::for_scope(factory.store(), "session:1").unwrap();
+        let entries = dlq.entries().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().all(|e| e.source == "task-coordinator"));
+        assert!(entries[2].reason.contains("circuit open"));
+    }
+
+    #[test]
+    fn failed_agent_falls_back_down_the_degradation_ladder() {
+        let (factory, coordinator, registry) = setup(&["econ-up"]);
+        failing_agent(&factory, &registry, "premium-up");
+        let coordinator = coordinator.with_degradation(
+            DegradationLadder::new().with_fallback("premium-up", "econ-up", 0.1),
+        );
+        let plan = chain_plan("tf", &["premium-up"]);
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        match &report.outcome {
+            Outcome::Completed { output } => assert_eq!(output["out"], json!("HELLO WORLD")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(report.node_results[0].agent, "econ-up");
+        assert_eq!(report.node_results[0].attempts, 2); // primary + fallback
+        assert_eq!(report.degradations.len(), 1);
+        assert_eq!(report.degradations[0].from, "premium-up");
+        assert_eq!(report.degradations[0].to.as_deref(), Some("econ-up"));
+        assert!((report.degradations[0].accuracy_penalty - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skippable_node_is_dropped_under_budget_pressure() {
+        let (_factory, coordinator, _) = setup(&["alpha", "guardrail"]);
+        let coordinator = coordinator
+            .with_policy(OverrunPolicy::Continue)
+            .with_degradation(DegradationLadder::new().with_skippable("guardrail"));
+        let plan = chain_plan("tg", &["alpha", "guardrail"]);
+        // Cap 1.2 with 1.0 projected per node: after node 1 the projection
+        // overruns, so the optional guardrail node is skipped.
+        let report = coordinator
+            .execute(&plan, QosConstraints::none().with_max_cost(1.2))
+            .unwrap();
+        assert!(report.outcome.succeeded());
+        assert_eq!(report.node_results.len(), 2);
+        assert!(report.node_results[1].ok);
+        assert_eq!(report.node_results[1].attempts, 0);
+        assert_eq!(report.degradations.len(), 1);
+        assert_eq!(report.degradations[0].from, "guardrail");
+        assert_eq!(report.degradations[0].to, None);
     }
 
     #[test]

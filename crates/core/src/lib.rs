@@ -39,5 +39,6 @@ pub use blueprint_llmsim as llmsim;
 pub use blueprint_optimizer as optimizer;
 pub use blueprint_planner as planner;
 pub use blueprint_registry as registry;
+pub use blueprint_resilience as resilience;
 pub use blueprint_session as session;
 pub use blueprint_streams as streams;

@@ -9,13 +9,16 @@ use blueprint_coordinator::{
     CoordinatorDaemon, ExecutionError, ExecutionReport, OverrunPolicy, TaskCoordinator,
 };
 use blueprint_datastore::{
-    DocumentSource, GraphSource, KvSource, RelationalSource,
+    DataSource, DocumentSource, FaultInjectedSource, GraphSource, KvSource, RelationalSource,
 };
 use blueprint_hrdomain::{register_guardrails, register_hr_agents, HrConfig, HrDataset};
 use blueprint_llmsim::{ModelProfile, ParametricSource, SimLlm};
 use blueprint_optimizer::{Objective, QosConstraints};
 use blueprint_planner::{DataPlanner, PlanError, TaskPlan, TaskPlanner};
 use blueprint_registry::{AgentRegistry, DataRegistry};
+use blueprint_resilience::{
+    BreakerConfig, BreakerRegistry, DegradationLadder, FaultInjector, FaultPlan, RetryPolicy,
+};
 use blueprint_session::{Session, SessionManager};
 use blueprint_streams::{Message, StreamStore};
 
@@ -73,6 +76,10 @@ pub struct BlueprintBuilder {
     constraints: QosConstraints,
     policy: OverrunPolicy,
     report_timeout: Duration,
+    fault_plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    breaker_config: Option<BreakerConfig>,
+    ladder: DegradationLadder,
 }
 
 impl Default for BlueprintBuilder {
@@ -86,6 +93,10 @@ impl Default for BlueprintBuilder {
             constraints: QosConstraints::none(),
             policy: OverrunPolicy::default(),
             report_timeout: Duration::from_secs(10),
+            fault_plan: None,
+            retry: RetryPolicy::none(),
+            breaker_config: None,
+            ladder: DegradationLadder::new(),
         }
     }
 }
@@ -141,13 +152,65 @@ impl BlueprintBuilder {
         self
     }
 
+    /// Arms deterministic fault injection across the whole runtime: stream
+    /// fan-out, agent processors, model calls, and data sources.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the coordinator's retry policy for failed agent invocations.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms per-agent circuit breakers, shared by the factory (restart
+    /// probing), the registry (routing), and every session's coordinator.
+    pub fn with_circuit_breakers(mut self, config: BreakerConfig) -> Self {
+        self.breaker_config = Some(config);
+        self
+    }
+
+    /// Sets the degradation ladder (fallback agents, skippable nodes).
+    pub fn with_degradation(mut self, ladder: DegradationLadder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
     /// Assembles the runtime.
     pub fn build(self) -> Result<Blueprint, CoreError> {
         let store = StreamStore::new();
         let factory = Arc::new(AgentFactory::new(store.clone()));
         let agent_registry = Arc::new(AgentRegistry::new());
         let data_registry = Arc::new(DataRegistry::new());
-        let llm = Arc::new(SimLlm::new(self.model.clone()));
+
+        let injector = self.fault_plan.map(|p| Arc::new(FaultInjector::new(p)));
+        if let Some(inj) = &injector {
+            store.set_fault_injector(Arc::clone(inj));
+            factory.set_fault_injector(Arc::clone(inj));
+        }
+        let breakers = self
+            .breaker_config
+            .map(|cfg| Arc::new(BreakerRegistry::new(cfg)));
+        if let Some(b) = &breakers {
+            agent_registry.set_breakers(Arc::clone(b));
+            factory.set_breakers(Arc::clone(b));
+        }
+        // Storage-backed sources get their faults at the data-query site;
+        // the primary model carries its own model-call faults.
+        let wrap_source = |src: Arc<dyn DataSource>| -> Arc<dyn DataSource> {
+            match &injector {
+                Some(inj) => Arc::new(FaultInjectedSource::wrap(src, Arc::clone(inj))),
+                None => src,
+            }
+        };
+
+        let mut sim = SimLlm::new(self.model.clone());
+        if let Some(inj) = &injector {
+            sim = sim.with_faults(Arc::clone(inj));
+        }
+        let llm = Arc::new(sim);
 
         let mut data_planner = DataPlanner::new(Arc::clone(&data_registry), Arc::clone(&llm));
         data_planner.set_objective(self.objective);
@@ -160,16 +223,22 @@ impl BlueprintBuilder {
                 .map_err(|e| CoreError::Setup(e.to_string()))?;
             register_hr_agents(&factory, &agent_registry, Arc::clone(&ds), Arc::clone(&llm))
                 .map_err(|e| CoreError::Setup(e.to_string()))?;
-            data_planner.add_source(Arc::new(RelationalSource::new("hr-db", Arc::clone(&ds.db))));
-            data_planner.add_source(Arc::new(DocumentSource::new(
+            data_planner.add_source(wrap_source(Arc::new(RelationalSource::new(
+                "hr-db",
+                Arc::clone(&ds.db),
+            ))));
+            data_planner.add_source(wrap_source(Arc::new(DocumentSource::new(
                 "profiles",
                 Arc::clone(&ds.profiles),
-            )));
-            data_planner.add_source(Arc::new(GraphSource::new(
+            ))));
+            data_planner.add_source(wrap_source(Arc::new(GraphSource::new(
                 "title-taxonomy",
                 Arc::clone(&ds.taxonomy),
-            )));
-            data_planner.add_source(Arc::new(KvSource::new("hr-kv", Arc::clone(&ds.kv))));
+            ))));
+            data_planner.add_source(wrap_source(Arc::new(KvSource::new(
+                "hr-kv",
+                Arc::clone(&ds.kv),
+            ))));
             dataset = Some(ds);
         }
         if self.guardrails {
@@ -203,6 +272,10 @@ impl BlueprintBuilder {
             constraints: self.constraints,
             policy: self.policy,
             report_timeout: self.report_timeout,
+            fault_injector: injector,
+            breakers,
+            retry: self.retry,
+            ladder: self.ladder,
         })
     }
 }
@@ -221,6 +294,10 @@ pub struct Blueprint {
     constraints: QosConstraints,
     policy: OverrunPolicy,
     report_timeout: Duration,
+    fault_injector: Option<Arc<FaultInjector>>,
+    breakers: Option<Arc<BreakerRegistry>>,
+    retry: RetryPolicy,
+    ladder: DegradationLadder,
 }
 
 impl Blueprint {
@@ -269,6 +346,16 @@ impl Blueprint {
         self.dataset.as_ref()
     }
 
+    /// The armed fault injector, when fault injection was requested.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault_injector.as_ref()
+    }
+
+    /// The shared circuit-breaker registry, when breakers were armed.
+    pub fn breakers(&self) -> Option<&Arc<BreakerRegistry>> {
+        self.breakers.as_ref()
+    }
+
     /// Starts a session: creates its scope, spawns an instance of every
     /// registered agent into it, and attaches a coordinator + daemon.
     pub fn start_session(&self) -> Result<BlueprintSession, CoreError> {
@@ -283,13 +370,18 @@ impl Blueprint {
             session.add_agent(&name)?;
             instances.push(id);
         }
-        let coordinator = Arc::new(
+        let mut coordinator =
             TaskCoordinator::new(self.store.clone(), scope.clone(), Arc::clone(&self.agent_registry))
                 .with_data_planner(Arc::clone(&self.data_planner))
                 .with_task_planner(Arc::clone(&self.task_planner))
                 .with_policy(self.policy)
-                .with_report_timeout(self.report_timeout),
-        );
+                .with_report_timeout(self.report_timeout)
+                .with_retry_policy(self.retry.clone())
+                .with_degradation(self.ladder.clone());
+        if let Some(b) = &self.breakers {
+            coordinator = coordinator.with_breakers(Arc::clone(b));
+        }
+        let coordinator = Arc::new(coordinator);
         let daemon =
             CoordinatorDaemon::spawn(Arc::clone(&coordinator), self.store.clone(), self.constraints)?;
         Ok(BlueprintSession {
@@ -541,6 +633,30 @@ mod tests {
         // A session spawns them like any other agent and they serve work.
         let session = bp.start_session().unwrap();
         assert!(session.session().participants().contains(&"content-moderator".to_string()));
+    }
+
+    #[test]
+    fn resilience_wiring_reaches_every_layer() {
+        let bp = Blueprint::builder()
+            .with_hr_domain(small_hr())
+            .with_fault_plan(FaultPlan::none(42))
+            .with_circuit_breakers(BreakerConfig::default())
+            .with_retry_policy(RetryPolicy::standard(42))
+            .build()
+            .unwrap();
+        assert!(bp.fault_injector().is_some());
+        assert!(bp.breakers().is_some());
+        assert!(bp.store().fault_injector().is_some());
+        assert!(bp.llm().fault_injector().is_some());
+        // A zero-rate plan perturbs nothing: the running example completes
+        // and the injector log stays empty.
+        let session = bp.start_session().unwrap();
+        let report = session
+            .handle("I am looking for a data scientist position in SF bay area.")
+            .unwrap();
+        assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+        assert!(report.degradations.is_empty());
+        assert_eq!(bp.fault_injector().unwrap().total(), 0);
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum DataError {
     NotFound(String),
     /// Schema-level violation (duplicate table, arity mismatch, ...).
     Schema(String),
+    /// The source is transiently unreachable (outage, injected fault);
+    /// retrying or falling back to another source may succeed.
+    Unavailable(String),
 }
 
 impl fmt::Display for DataError {
@@ -31,6 +34,7 @@ impl fmt::Display for DataError {
             DataError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             DataError::NotFound(what) => write!(f, "not found: {what}"),
             DataError::Schema(msg) => write!(f, "schema error: {msg}"),
+            DataError::Unavailable(msg) => write!(f, "source unavailable: {msg}"),
         }
     }
 }
@@ -59,5 +63,9 @@ mod tests {
         assert!(DataError::Eval("e".into()).to_string().contains("evaluation"));
         assert!(DataError::NotFound("n".into()).to_string().contains("not found"));
         assert!(DataError::Schema("s".into()).to_string().contains("schema"));
+        assert_eq!(
+            DataError::Unavailable("hr-db offline".into()).to_string(),
+            "source unavailable: hr-db offline"
+        );
     }
 }

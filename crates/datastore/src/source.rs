@@ -386,6 +386,68 @@ impl DataSource for KvSource {
     }
 }
 
+/// Decorator injecting transient outages into any [`DataSource`].
+///
+/// Queries consult the attached fault injector (keyed by source name, query
+/// op, and a call ordinal); a fired fault surfaces as
+/// [`DataError::Unavailable`], which the data planner treats as a signal to
+/// retry or fall back to a sibling source — estimates and capability checks
+/// pass through untouched so planning still sees the real source.
+pub struct FaultInjectedSource {
+    inner: Arc<dyn DataSource>,
+    injector: Arc<blueprint_resilience::FaultInjector>,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl FaultInjectedSource {
+    /// Wraps `inner` with fault injection.
+    pub fn wrap(
+        inner: Arc<dyn DataSource>,
+        injector: Arc<blueprint_resilience::FaultInjector>,
+    ) -> Self {
+        FaultInjectedSource {
+            inner,
+            injector,
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl DataSource for FaultInjectedSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn modality(&self) -> &'static str {
+        self.inner.modality()
+    }
+
+    fn supports(&self, query: &SourceQuery) -> bool {
+        self.inner.supports(query)
+    }
+
+    fn estimate(&self, query: &SourceQuery) -> CostEstimate {
+        self.inner.estimate(query)
+    }
+
+    fn query(&self, query: &SourceQuery) -> Result<SourceResult> {
+        if !self.injector.query_armed() {
+            return self.inner.query(query);
+        }
+        let n = self
+            .calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let key = format!("{}:{}#{}", self.inner.name(), query.op_name(), n);
+        if self.injector.query_fault(&key).is_some() {
+            return Err(DataError::Unavailable(format!(
+                "injected outage at source `{}`",
+                self.inner.name()
+            )));
+        }
+        self.inner.query(query)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,5 +595,31 @@ mod tests {
         assert_eq!(r.rows, 3);
         let scalar = SourceResult::from_array(json!("x"));
         assert_eq!(scalar.rows, 1);
+    }
+
+    #[test]
+    fn fault_injected_source_surfaces_unavailable() {
+        use blueprint_resilience::{FaultInjector, FaultPlan, FaultSite};
+        let always = Arc::new(FaultInjector::new(
+            FaultPlan::none(1).with_query_fail_rate(1.0),
+        ));
+        let faulty = FaultInjectedSource::wrap(Arc::new(relational()), Arc::clone(&always));
+        // Planning surface is untouched...
+        assert_eq!(faulty.name(), "hr-db");
+        assert_eq!(faulty.modality(), "relational");
+        let q = SourceQuery::Sql("SELECT title FROM jobs".into());
+        assert!(faulty.supports(&q));
+        assert_eq!(faulty.estimate(&q), relational().estimate(&q));
+        // ...but the query path reports a transient outage, tagged in the log.
+        assert!(matches!(
+            faulty.query(&q),
+            Err(DataError::Unavailable(_))
+        ));
+        assert_eq!(always.count(FaultSite::DataQuery), 1);
+
+        // A clean injector passes queries straight through.
+        let clean = Arc::new(FaultInjector::new(FaultPlan::none(1)));
+        let healthy = FaultInjectedSource::wrap(Arc::new(relational()), clean);
+        assert_eq!(healthy.query(&q).unwrap().rows, 2);
     }
 }

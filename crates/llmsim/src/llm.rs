@@ -1,12 +1,14 @@
 //! The simulated LLM: task heads + usage metering + accuracy enactment.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 
 use blueprint_datastore::{CostEstimate, DataError, DataSource, SourceQuery, SourceResult};
+use blueprint_resilience::{FaultInjector, InjectedFault};
 
 use crate::intent::{classify, Intent};
 use crate::knowledge::KnowledgeBase;
@@ -83,6 +85,8 @@ fn count_tokens(text: &str) -> usize {
 pub struct SimLlm {
     profile: ModelProfile,
     kb: Arc<KnowledgeBase>,
+    faults: Option<Arc<FaultInjector>>,
+    calls: AtomicU64,
 }
 
 impl SimLlm {
@@ -91,12 +95,38 @@ impl SimLlm {
         SimLlm {
             profile,
             kb: Arc::new(KnowledgeBase::builtin()),
+            faults: None,
+            calls: AtomicU64::new(0),
         }
     }
 
     /// Creates a simulator with a custom knowledge base.
     pub fn with_knowledge(profile: ModelProfile, kb: Arc<KnowledgeBase>) -> Self {
-        SimLlm { profile, kb }
+        SimLlm {
+            profile,
+            kb,
+            faults: None,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a fault injector: model calls may transiently fail or stall.
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Rolls a model-call fault decision for this call, keyed by tier name,
+    /// operation, and call ordinal.
+    fn call_fault(&self, op: &str) -> Option<InjectedFault> {
+        let inj = self.faults.as_ref().filter(|inj| inj.model_armed())?;
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        inj.model_fault(&format!("{}:{op}#{n}", self.profile.name))
     }
 
     /// The tier profile.
@@ -176,6 +206,12 @@ impl SimLlm {
     /// Answers a knowledge question from parametric memory. Corruption drops
     /// a seeded subset of answer items.
     pub fn knowledge(&self, question: &str) -> (Vec<String>, Usage) {
+        let fault = self.call_fault("knowledge");
+        if matches!(fault, Some(InjectedFault::FailCall)) {
+            // Transient failure: the call is billed but yields nothing, like
+            // a truncated/refused generation.
+            return (Vec::new(), self.usage(count_tokens(question), 1));
+        }
         let answers = self.kb.lookup(question).unwrap_or_default();
         let kept: Vec<String> = answers
             .into_iter()
@@ -184,7 +220,10 @@ impl SimLlm {
             .map(|(_, a)| a)
             .collect();
         let tokens_out: usize = kept.iter().map(|a| count_tokens(a)).sum();
-        let usage = self.usage(count_tokens(question), tokens_out.max(1));
+        let mut usage = self.usage(count_tokens(question), tokens_out.max(1));
+        if let Some(InjectedFault::StallCall { micros }) = fault {
+            usage.latency_micros += micros;
+        }
         (kept, usage)
     }
 
@@ -263,6 +302,11 @@ impl SimLlm {
     /// Generic completion: knowledge lookup, falling back to a deterministic
     /// acknowledgment.
     pub fn complete(&self, prompt: &str) -> (String, Usage) {
+        if matches!(self.call_fault("complete"), Some(InjectedFault::FailCall)) {
+            let text = format!("[{}] transient model error; please retry.", self.profile.name);
+            let usage = self.usage(count_tokens(prompt), count_tokens(&text));
+            return (text, usage);
+        }
         let (hits, _) = self.knowledge(prompt);
         let text = if hits.is_empty() {
             format!(
@@ -338,6 +382,18 @@ impl DataSource for ParametricSource {
     fn query(&self, query: &SourceQuery) -> blueprint_datastore::Result<SourceResult> {
         match query {
             SourceQuery::Knowledge(q) => {
+                // A model-call fault at the source boundary is a transient
+                // outage, distinct from "the model doesn't know" (NotFound):
+                // planners retry or fall back on Unavailable.
+                if matches!(
+                    self.llm.call_fault("parametric-query"),
+                    Some(InjectedFault::FailCall)
+                ) {
+                    return Err(DataError::Unavailable(format!(
+                        "injected transient failure at parametric source `{}`",
+                        self.name
+                    )));
+                }
                 let (answers, _) = self.llm.knowledge(q);
                 if answers.is_empty() {
                     return Err(DataError::NotFound(format!(
@@ -506,6 +562,57 @@ mod tests {
         kb.add("test topic", ["answer"]);
         let llm = SimLlm::with_knowledge(ModelProfile::large(), kb);
         assert_eq!(llm.knowledge("test topic").0, ["answer"]);
+    }
+
+    #[test]
+    fn fault_fail_call_degrades_model_answers() {
+        use blueprint_resilience::{FaultInjector, FaultPlan, FaultSite};
+        let always_fail = Arc::new(FaultInjector::new(
+            FaultPlan::none(7).with_model_fail_rate(1.0),
+        ));
+        let llm = SimLlm::new(ModelProfile::large()).with_faults(Arc::clone(&always_fail));
+        let (answers, usage) = llm.knowledge("cities in the sf bay area");
+        assert!(answers.is_empty(), "failed call yields no answers");
+        assert!(usage.cost > 0.0, "failed calls are still billed");
+        let (text, _) = llm.complete("cities in the sf bay area");
+        assert!(text.contains("transient model error"));
+        assert!(always_fail.count(FaultSite::ModelCall) >= 2);
+    }
+
+    #[test]
+    fn fault_stall_inflates_latency_only() {
+        use blueprint_resilience::{FaultInjector, FaultPlan};
+        let clean = large();
+        let (baseline, clean_usage) = clean.knowledge("cities in the sf bay area");
+
+        let stall = Arc::new(FaultInjector::new(
+            FaultPlan::none(7).with_model_stall(1.0, 123_456),
+        ));
+        let slow = SimLlm::new(ModelProfile::large()).with_faults(stall);
+        let (answers, slow_usage) = slow.knowledge("cities in the sf bay area");
+        assert_eq!(answers, baseline, "stall must not change the answer");
+        assert_eq!(
+            slow_usage.latency_micros,
+            clean_usage.latency_micros + 123_456
+        );
+        assert_eq!(slow_usage.cost, clean_usage.cost);
+    }
+
+    #[test]
+    fn parametric_source_fault_is_unavailable_not_notfound() {
+        use blueprint_resilience::{FaultInjector, FaultPlan};
+        let always_fail = Arc::new(FaultInjector::new(
+            FaultPlan::none(7).with_model_fail_rate(1.0),
+        ));
+        let llm = Arc::new(SimLlm::new(ModelProfile::large()).with_faults(always_fail));
+        let src = ParametricSource::new("gpt-knowledge", llm);
+        let q = SourceQuery::Knowledge("cities in the sf bay area".into());
+        assert!(matches!(
+            src.query(&q),
+            Err(DataError::Unavailable(_))
+        ));
+        // Estimates stay intact so the planner can still price the source.
+        assert!(src.estimate(&q).cost_units > 0.0);
     }
 
     #[test]

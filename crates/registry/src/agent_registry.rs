@@ -6,10 +6,12 @@
 //! "enhanced embeddings" used for ranking.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use blueprint_agents::AgentSpec;
+use blueprint_resilience::{BreakerRegistry, BreakerState};
 
 use crate::embedding::{embed_text, Embedding};
 use crate::error::RegistryError;
@@ -63,12 +65,28 @@ const MAX_USAGE_QUERIES: usize = 32;
 #[derive(Default)]
 pub struct AgentRegistry {
     entries: RwLock<HashMap<String, AgentEntry>>,
+    breakers: RwLock<Option<Arc<BreakerRegistry>>>,
 }
 
 impl AgentRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a circuit-breaker registry: searches then filter out agents
+    /// whose breakers are open, so planners route around unhealthy agents.
+    pub fn set_breakers(&self, breakers: Arc<BreakerRegistry>) {
+        *self.breakers.write() = Some(breakers);
+    }
+
+    /// Breaker state for an agent (closed when no breakers are attached),
+    /// surfaced in agent profiles for planners and operators.
+    pub fn breaker_state(&self, name: &str) -> BreakerState {
+        self.breakers
+            .read()
+            .as_ref()
+            .map_or(BreakerState::Closed, |b| b.state(name))
     }
 
     /// Registers a new agent. Fails on duplicate names or invalid specs.
@@ -162,8 +180,11 @@ impl AgentRegistry {
         self.entries.read().is_empty()
     }
 
-    /// Hybrid keyword+vector+usage search over agents.
+    /// Hybrid keyword+vector+usage search over agents. Agents whose circuit
+    /// breakers are currently open are excluded: the planner must not route
+    /// new work to an agent known to be failing.
     pub fn search(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let breakers = self.breakers.read().clone();
         let entries = self.entries.read();
         let max_usage = entries
             .values()
@@ -173,14 +194,21 @@ impl AgentRegistry {
             .max(1) as f32;
         rank_entries(
             query,
-            entries.values().map(|e| {
-                (
-                    e.spec.name.as_str(),
-                    e.spec.description.as_str(),
-                    &e.embedding,
-                    e.usage_count as f32 / max_usage,
-                )
-            }),
+            entries
+                .values()
+                .filter(|e| {
+                    breakers
+                        .as_ref()
+                        .is_none_or(|b| !b.is_open(&e.spec.name))
+                })
+                .map(|e| {
+                    (
+                        e.spec.name.as_str(),
+                        e.spec.description.as_str(),
+                        &e.embedding,
+                        e.usage_count as f32 / max_usage,
+                    )
+                }),
             limit,
         )
     }
@@ -350,5 +378,38 @@ mod tests {
     fn record_usage_unknown_fails() {
         let r = AgentRegistry::new();
         assert!(r.record_usage("ghost", "q").is_err());
+    }
+
+    #[test]
+    fn search_routes_around_open_circuits() {
+        use blueprint_resilience::BreakerConfig;
+        let r = AgentRegistry::new();
+        r.register(spec("ranker-a", "rank applicants for a job post"))
+            .unwrap();
+        r.register(spec("ranker-b", "rank applicants for a job post"))
+            .unwrap();
+        let breakers = Arc::new(BreakerRegistry::new(BreakerConfig {
+            min_samples: 2,
+            ..BreakerConfig::default()
+        }));
+        r.set_breakers(Arc::clone(&breakers));
+
+        // Healthy: both rankers are reachable.
+        let names: Vec<_> = r.search("rank applicants", 5).into_iter().map(|h| h.name).collect();
+        assert!(names.contains(&"ranker-a".to_string()));
+        assert!(names.contains(&"ranker-b".to_string()));
+
+        // Trip ranker-a's breaker: the planner no longer sees it.
+        breakers.record("ranker-a", false, 0);
+        breakers.record("ranker-a", false, 0);
+        assert_eq!(r.breaker_state("ranker-a"), BreakerState::Open);
+        let names: Vec<_> = r.search("rank applicants", 5).into_iter().map(|h| h.name).collect();
+        assert!(!names.contains(&"ranker-a".to_string()));
+        assert!(names.contains(&"ranker-b".to_string()));
+
+        // Cooldown elapses → half-open probes are routable again.
+        assert!(breakers.allow("ranker-a", 60_000));
+        let names: Vec<_> = r.search("rank applicants", 5).into_iter().map(|h| h.name).collect();
+        assert!(names.contains(&"ranker-a".to_string()));
     }
 }

@@ -1,0 +1,359 @@
+//! Per-agent circuit breakers: closed → open → half-open.
+//!
+//! Callers pass the current time in as `now_micros` (any monotone scale);
+//! breakers never read a clock themselves, which keeps them deterministic
+//! under test and lets the coordinator drive them from its own epoch.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Breaker lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all calls allowed.
+    Closed,
+    /// Tripped: calls rejected until the cooldown elapses.
+    Open,
+    /// Probing: a limited number of trial calls allowed; one success closes
+    /// the breaker, one failure re-opens it.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tuning knobs for a [`CircuitBreaker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window length (number of most-recent outcomes considered).
+    pub window: usize,
+    /// Minimum outcomes in the window before the failure rate is evaluated.
+    pub min_samples: usize,
+    /// Failure rate in `[0, 1]` at or above which the breaker opens.
+    pub failure_threshold: f64,
+    /// Time an open breaker waits before moving to half-open.
+    pub cooldown_micros: u64,
+    /// Trial calls permitted while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            min_samples: 3,
+            failure_threshold: 0.5,
+            cooldown_micros: 50_000,
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// Sliding-window circuit breaker for a single agent.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    outcomes: VecDeque<bool>, // true = success
+    state: BreakerState,
+    opened_at_micros: u64,
+    probes_in_flight: u32,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker with the given config.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            outcomes: VecDeque::new(),
+            state: BreakerState::Closed,
+            opened_at_micros: 0,
+            probes_in_flight: 0,
+        }
+    }
+
+    /// Current state without considering cooldown expiry.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Failure rate over the sliding window (0 when empty).
+    pub fn failure_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let failures = self.outcomes.iter().filter(|ok| !**ok).count();
+        failures as f64 / self.outcomes.len() as f64
+    }
+
+    /// Whether a call may proceed at `now_micros`. An open breaker whose
+    /// cooldown has elapsed transitions to half-open and admits a probe.
+    pub fn allow(&mut self, now_micros: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_micros >= self.opened_at_micros.saturating_add(self.config.cooldown_micros)
+                {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_in_flight = 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < self.config.half_open_probes {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call. A half-open success closes the breaker and
+    /// clears the failure window.
+    pub fn record_success(&mut self, _now_micros: u64) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.outcomes.clear();
+                self.probes_in_flight = 0;
+            }
+            _ => self.push_outcome(true),
+        }
+    }
+
+    /// Records a failed call. A half-open failure re-opens immediately; a
+    /// closed breaker opens once the windowed failure rate crosses the
+    /// threshold.
+    pub fn record_failure(&mut self, now_micros: u64) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.trip(now_micros);
+            }
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                self.push_outcome(false);
+                if self.outcomes.len() >= self.config.min_samples
+                    && self.failure_rate() >= self.config.failure_threshold
+                {
+                    self.trip(now_micros);
+                }
+            }
+        }
+    }
+
+    /// Forces the breaker into half-open, e.g. after the agent container was
+    /// restarted: the replacement instance gets probe traffic, not blind
+    /// trust.
+    pub fn force_half_open(&mut self) {
+        self.state = BreakerState::HalfOpen;
+        self.probes_in_flight = 0;
+        self.outcomes.clear();
+    }
+
+    fn trip(&mut self, now_micros: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_micros = now_micros;
+        self.probes_in_flight = 0;
+    }
+
+    fn push_outcome(&mut self, ok: bool) {
+        self.outcomes.push_back(ok);
+        while self.outcomes.len() > self.config.window {
+            self.outcomes.pop_front();
+        }
+    }
+}
+
+/// Thread-safe map of per-agent circuit breakers.
+#[derive(Debug)]
+pub struct BreakerRegistry {
+    config: BreakerConfig,
+    breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
+}
+
+impl BreakerRegistry {
+    /// Creates an empty registry; breakers are created lazily per agent.
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerRegistry {
+            config,
+            breakers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether a call to `agent` may proceed at `now_micros`.
+    pub fn allow(&self, agent: &str, now_micros: u64) -> bool {
+        let mut map = self.breakers.lock();
+        map.entry(agent.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.config.clone()))
+            .allow(now_micros)
+    }
+
+    /// Records a call outcome for `agent`.
+    pub fn record(&self, agent: &str, ok: bool, now_micros: u64) {
+        let mut map = self.breakers.lock();
+        let breaker = map
+            .entry(agent.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.config.clone()));
+        if ok {
+            breaker.record_success(now_micros);
+        } else {
+            breaker.record_failure(now_micros);
+        }
+    }
+
+    /// Current state for `agent` (closed when the agent has no breaker yet).
+    pub fn state(&self, agent: &str) -> BreakerState {
+        self.breakers
+            .lock()
+            .get(agent)
+            .map_or(BreakerState::Closed, CircuitBreaker::state)
+    }
+
+    /// Whether the breaker for `agent` is open (i.e. the planner should
+    /// route around it).
+    pub fn is_open(&self, agent: &str) -> bool {
+        self.state(agent) == BreakerState::Open
+    }
+
+    /// Names of all agents whose breakers are currently open.
+    pub fn open_circuits(&self) -> Vec<String> {
+        self.breakers
+            .lock()
+            .iter()
+            .filter(|(_, b)| b.state() == BreakerState::Open)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Moves `agent`'s breaker to half-open after a container restart. A
+    /// no-op when the agent has no breaker yet (fresh agents start closed).
+    pub fn on_restart(&self, agent: &str) {
+        if let Some(breaker) = self.breakers.lock().get_mut(agent) {
+            breaker.force_half_open();
+        }
+    }
+
+    /// Snapshot of `(agent, state, failure_rate)` for observability.
+    pub fn snapshot(&self) -> Vec<(String, BreakerState, f64)> {
+        self.breakers
+            .lock()
+            .iter()
+            .map(|(name, b)| (name.clone(), b.state(), b.failure_rate()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            cooldown_micros: 1_000,
+            half_open_probes: 1,
+        }
+    }
+
+    #[test]
+    fn opens_on_failure_rate() {
+        let mut b = CircuitBreaker::new(quick_config());
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed); // below min_samples
+        b.record_failure(10);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(20));
+    }
+
+    #[test]
+    fn half_open_after_cooldown_then_closes_on_success() {
+        let mut b = CircuitBreaker::new(quick_config());
+        b.record_failure(0);
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(500)); // still cooling down
+        assert!(b.allow(1_000)); // cooldown elapsed → half-open probe
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(1_001)); // probe budget of 1 consumed
+        b.record_success(1_002);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = CircuitBreaker::new(quick_config());
+        b.record_failure(0);
+        b.record_failure(0);
+        assert!(b.allow(2_000));
+        b.record_failure(2_001);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(2_002));
+        // And the new open period uses the new trip time.
+        assert!(b.allow(3_001));
+    }
+
+    #[test]
+    fn successes_keep_breaker_closed() {
+        let mut b = CircuitBreaker::new(quick_config());
+        for t in 0..10 {
+            b.record_success(t);
+            b.record_failure(t);
+        }
+        // Window of 4 alternating outcomes → 50% failure rate → trips.
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // One failure per three successes keeps the windowed rate at 25%.
+        let mut healthy = CircuitBreaker::new(quick_config());
+        for t in 0..12 {
+            if t % 4 == 3 {
+                healthy.record_failure(t);
+            } else {
+                healthy.record_success(t);
+            }
+        }
+        assert_eq!(healthy.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn registry_routes_and_restarts() {
+        let reg = BreakerRegistry::new(quick_config());
+        assert!(reg.allow("writer", 0));
+        reg.record("writer", false, 0);
+        reg.record("writer", false, 0);
+        assert!(reg.is_open("writer"));
+        assert_eq!(reg.open_circuits(), vec!["writer".to_string()]);
+        assert!(!reg.allow("writer", 10));
+        assert!(reg.allow("reader", 10)); // unrelated agent unaffected
+
+        // Container restart: breaker re-enters half-open, not closed.
+        reg.on_restart("writer");
+        assert_eq!(reg.state("writer"), BreakerState::HalfOpen);
+        assert!(reg.allow("writer", 11)); // probe admitted
+        reg.record("writer", true, 12);
+        assert_eq!(reg.state("writer"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn restart_of_unknown_agent_is_noop() {
+        let reg = BreakerRegistry::new(quick_config());
+        reg.on_restart("ghost");
+        assert_eq!(reg.state("ghost"), BreakerState::Closed);
+        assert!(reg.snapshot().is_empty());
+    }
+}

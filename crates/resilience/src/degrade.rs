@@ -1,0 +1,161 @@
+//! Graceful degradation: fallback ladders and skippable nodes.
+//!
+//! When a premium agent or model tier keeps failing, the coordinator can
+//! step down to a cheaper sibling at a known accuracy penalty instead of
+//! failing the whole task; optional nodes (e.g. guardrail double-checks)
+//! can be skipped entirely under deadline or budget pressure. Every
+//! degradation decision is surfaced as a [`DegradationNote`] in the
+//! execution report so the QoS accounting stays honest.
+
+use serde::{Serialize, Value};
+use serde_json::json;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Record of one degradation decision taken during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationNote {
+    /// The agent or model that was degraded away from.
+    pub from: String,
+    /// The fallback that ran instead (`None` when the node was skipped).
+    pub to: Option<String>,
+    /// Accuracy penalty charged to the task budget, in `[0, 1]`.
+    pub accuracy_penalty: f64,
+    /// Human-readable reason (fault, open circuit, deadline pressure, ...).
+    pub reason: String,
+}
+
+impl Serialize for DegradationNote {
+    fn serialize(&self) -> Value {
+        json!({
+            "from": self.from,
+            "to": self.to.clone().map_or(Value::Null, Value::String),
+            "accuracy_penalty": self.accuracy_penalty,
+            "reason": self.reason,
+        })
+    }
+}
+
+/// Static map of degradation options: who falls back to whom (and at what
+/// accuracy cost), and which nodes may be skipped outright.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationLadder {
+    fallbacks: BTreeMap<String, (String, f64)>,
+    skippable: BTreeSet<String>,
+}
+
+impl DegradationLadder {
+    /// Empty ladder: nothing degrades, nothing is skippable.
+    pub fn new() -> Self {
+        DegradationLadder::default()
+    }
+
+    /// Default ladder for the simulated model tiers: `sim-large` falls back
+    /// to `sim-small` (−8% accuracy), which falls back to `sim-tiny` (−15%).
+    pub fn model_defaults() -> Self {
+        DegradationLadder::new()
+            .with_fallback("sim-large", "sim-small", 0.08)
+            .with_fallback("sim-small", "sim-tiny", 0.15)
+    }
+
+    /// Registers `from → to` with the given accuracy penalty.
+    pub fn with_fallback(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        accuracy_penalty: f64,
+    ) -> Self {
+        self.fallbacks
+            .insert(from.into(), (to.into(), accuracy_penalty.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Marks an agent/node as skippable under pressure.
+    pub fn with_skippable(mut self, name: impl Into<String>) -> Self {
+        self.skippable.insert(name.into());
+        self
+    }
+
+    /// The fallback for `name`, if any, as `(fallback, accuracy_penalty)`.
+    pub fn fallback_for(&self, name: &str) -> Option<(&str, f64)> {
+        self.fallbacks
+            .get(name)
+            .map(|(to, penalty)| (to.as_str(), *penalty))
+    }
+
+    /// Whether `name` may be skipped under deadline/budget pressure.
+    pub fn is_skippable(&self, name: &str) -> bool {
+        self.skippable.contains(name)
+    }
+
+    /// Whether the ladder has any entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.fallbacks.is_empty() && self.skippable.is_empty()
+    }
+
+    /// Full chain starting at `name` (exclusive), following fallbacks.
+    pub fn chain_from(&self, name: &str) -> Vec<&str> {
+        let mut chain = Vec::new();
+        let mut cursor = name;
+        while let Some((next, _)) = self.fallback_for(cursor) {
+            if chain.contains(&next) || next == name {
+                break; // defend against accidental cycles
+            }
+            chain.push(next);
+            cursor = next;
+        }
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_defaults_ladder() {
+        let ladder = DegradationLadder::model_defaults();
+        let (to, penalty) = ladder.fallback_for("sim-large").unwrap();
+        assert_eq!(to, "sim-small");
+        assert!((penalty - 0.08).abs() < 1e-9);
+        assert_eq!(ladder.chain_from("sim-large"), vec!["sim-small", "sim-tiny"]);
+        assert_eq!(ladder.fallback_for("sim-tiny"), None);
+    }
+
+    #[test]
+    fn skippable_membership() {
+        let ladder = DegradationLadder::new().with_skippable("guardrail");
+        assert!(ladder.is_skippable("guardrail"));
+        assert!(!ladder.is_skippable("writer"));
+        assert!(!ladder.is_empty());
+    }
+
+    #[test]
+    fn cycle_defense() {
+        let ladder = DegradationLadder::new()
+            .with_fallback("a", "b", 0.1)
+            .with_fallback("b", "a", 0.1);
+        assert_eq!(ladder.chain_from("a"), vec!["b"]);
+    }
+
+    #[test]
+    fn note_serializes() {
+        let note = DegradationNote {
+            from: "sim-large".into(),
+            to: Some("sim-small".into()),
+            accuracy_penalty: 0.08,
+            reason: "circuit open".into(),
+        };
+        let v = note.serialize();
+        assert_eq!(v["from"], json!("sim-large"));
+        assert_eq!(v["to"], json!("sim-small"));
+        assert_eq!(v["reason"], json!("circuit open"));
+
+        let skipped = DegradationNote {
+            from: "guardrail".into(),
+            to: None,
+            accuracy_penalty: 0.0,
+            reason: "deadline pressure".into(),
+        };
+        assert!(skipped.serialize()["to"].is_null());
+    }
+}

@@ -1,0 +1,482 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] describes *how often* each class of fault fires; a
+//! [`FaultInjector`] turns the plan into per-call decisions. Decisions are a
+//! pure hash of `(seed, site, key)` — no clocks, no RNG state — so the same
+//! plan over the same call keys yields the same faults regardless of thread
+//! interleaving. Every fault that fires is appended to an in-memory log of
+//! [`FaultRecord`]s so chaos tests can assert exactly which fault hit where.
+
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Where in the stack a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Stream-fabric publish path: messages dropped, delayed, or duplicated.
+    Publish,
+    /// Agent processor execution: panics and slowdowns.
+    Processor,
+    /// Simulated model calls: transient failures and latency stalls.
+    ModelCall,
+    /// Data-source queries: transient unavailability.
+    DataQuery,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultSite::Publish => "publish",
+            FaultSite::Processor => "processor",
+            FaultSite::ModelCall => "model-call",
+            FaultSite::DataQuery => "data-query",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete fault decision returned by the injector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Silently drop the message instead of delivering it.
+    DropMessage,
+    /// Deliver the message twice.
+    DuplicateMessage,
+    /// Delay delivery by the given number of simulated microseconds.
+    DelayMessage { micros: u64 },
+    /// Panic inside the agent processor (exercises crash recovery).
+    PanicProcessor,
+    /// Slow the processor down by the given number of microseconds.
+    SlowProcessor { micros: u64 },
+    /// Fail the model call with a transient error.
+    FailCall,
+    /// Stall the model call, inflating its latency.
+    StallCall { micros: u64 },
+    /// Fail the data-source query with a transient unavailability error.
+    FailQuery,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectedFault::DropMessage => write!(f, "drop-message"),
+            InjectedFault::DuplicateMessage => write!(f, "duplicate-message"),
+            InjectedFault::DelayMessage { micros } => write!(f, "delay-message({micros}us)"),
+            InjectedFault::PanicProcessor => write!(f, "panic-processor"),
+            InjectedFault::SlowProcessor { micros } => write!(f, "slow-processor({micros}us)"),
+            InjectedFault::FailCall => write!(f, "fail-call"),
+            InjectedFault::StallCall { micros } => write!(f, "stall-call({micros}us)"),
+            InjectedFault::FailQuery => write!(f, "fail-query"),
+        }
+    }
+}
+
+/// One fault that actually fired, tagged with its site and call key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The injection site.
+    pub site: FaultSite,
+    /// The caller-supplied key identifying the specific call.
+    pub key: String,
+    /// The fault that fired.
+    pub fault: InjectedFault,
+}
+
+/// Seeded description of fault rates per injection site.
+///
+/// All rates are probabilities in `[0, 1]`. Within one site the rates are
+/// interpreted as disjoint ranges over a single deterministic roll, so e.g.
+/// `drop_rate + duplicate_rate + delay_rate` must stay ≤ 1 (enforced by
+/// clamping at decision time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every fault decision.
+    pub seed: u64,
+    /// Probability a published message is dropped before delivery.
+    pub drop_rate: f64,
+    /// Probability a published message is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability a published message is delayed.
+    pub delay_rate: f64,
+    /// Delay applied when a delay fault fires.
+    pub delay_micros: u64,
+    /// Probability an agent processor invocation panics.
+    pub panic_rate: f64,
+    /// Probability an agent processor invocation runs slow.
+    pub slow_rate: f64,
+    /// Slowdown applied when a slow-processor fault fires.
+    pub slow_micros: u64,
+    /// Probability a model call fails transiently.
+    pub model_fail_rate: f64,
+    /// Probability a model call stalls.
+    pub model_stall_rate: f64,
+    /// Latency added when a model stall fires.
+    pub stall_micros: u64,
+    /// Probability a data-source query fails with `Unavailable`.
+    pub query_fail_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder starting point).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            delay_micros: 2_000,
+            panic_rate: 0.0,
+            slow_rate: 0.0,
+            slow_micros: 5_000,
+            model_fail_rate: 0.0,
+            model_stall_rate: 0.0,
+            stall_micros: 5_000,
+            query_fail_rate: 0.0,
+        }
+    }
+
+    /// A moderately chaotic preset touching every site, parameterised by seed.
+    pub fn chaotic(seed: u64) -> Self {
+        FaultPlan {
+            drop_rate: 0.05,
+            duplicate_rate: 0.05,
+            delay_rate: 0.10,
+            panic_rate: 0.15,
+            slow_rate: 0.10,
+            model_fail_rate: 0.15,
+            model_stall_rate: 0.10,
+            query_fail_rate: 0.15,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Sets the message-drop rate.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the message-duplication rate.
+    pub fn with_duplicate_rate(mut self, rate: f64) -> Self {
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Sets the message-delay rate and delay magnitude.
+    pub fn with_delay(mut self, rate: f64, micros: u64) -> Self {
+        self.delay_rate = rate;
+        self.delay_micros = micros;
+        self
+    }
+
+    /// Sets the processor panic rate.
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Sets the slow-processor rate and slowdown magnitude.
+    pub fn with_slow(mut self, rate: f64, micros: u64) -> Self {
+        self.slow_rate = rate;
+        self.slow_micros = micros;
+        self
+    }
+
+    /// Sets the transient model-call failure rate.
+    pub fn with_model_fail_rate(mut self, rate: f64) -> Self {
+        self.model_fail_rate = rate;
+        self
+    }
+
+    /// Sets the model stall rate and stall magnitude.
+    pub fn with_model_stall(mut self, rate: f64, micros: u64) -> Self {
+        self.model_stall_rate = rate;
+        self.stall_micros = micros;
+        self
+    }
+
+    /// Sets the data-query failure rate.
+    pub fn with_query_fail_rate(mut self, rate: f64) -> Self {
+        self.query_fail_rate = rate;
+        self
+    }
+}
+
+/// Turns a [`FaultPlan`] into deterministic per-call fault decisions and
+/// records every fault that fires.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    log: Mutex<Vec<FaultRecord>>,
+}
+
+/// SplitMix64 finalizer — good avalanche behaviour for cheap hashing.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl FaultInjector {
+    /// Creates an injector for the given plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Deterministic roll in `[0, 1)` for `(seed, site, key)`.
+    fn roll(&self, site: FaultSite, key: &str) -> f64 {
+        let site_salt = match site {
+            FaultSite::Publish => 0x50_55_42,
+            FaultSite::Processor => 0x50_52_4F,
+            FaultSite::ModelCall => 0x4D_4F_44,
+            FaultSite::DataQuery => 0x44_41_54,
+        };
+        let h = mix(self.plan.seed ^ mix(site_salt) ^ fnv1a(key.as_bytes()));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn record(&self, site: FaultSite, key: &str, fault: InjectedFault) -> InjectedFault {
+        self.log.lock().push(FaultRecord {
+            site,
+            key: key.to_string(),
+            fault: fault.clone(),
+        });
+        fault
+    }
+
+    /// Whether any publish-site fault can ever fire. Callers on hot paths
+    /// check this before building a fault key.
+    pub fn publish_armed(&self) -> bool {
+        self.plan.drop_rate > 0.0 || self.plan.duplicate_rate > 0.0 || self.plan.delay_rate > 0.0
+    }
+
+    /// Whether any processor-site fault can ever fire.
+    pub fn processor_armed(&self) -> bool {
+        self.plan.panic_rate > 0.0 || self.plan.slow_rate > 0.0
+    }
+
+    /// Whether any model-call fault can ever fire.
+    pub fn model_armed(&self) -> bool {
+        self.plan.model_fail_rate > 0.0 || self.plan.model_stall_rate > 0.0
+    }
+
+    /// Whether any data-query fault can ever fire.
+    pub fn query_armed(&self) -> bool {
+        self.plan.query_fail_rate > 0.0
+    }
+
+    /// Fault decision for a stream publish. Drop, duplicate, and delay are
+    /// disjoint ranges over one roll.
+    pub fn publish_fault(&self, key: &str) -> Option<InjectedFault> {
+        if !self.publish_armed() {
+            return None;
+        }
+        let p = self.roll(FaultSite::Publish, key);
+        let drop_to = self.plan.drop_rate;
+        let dup_to = drop_to + self.plan.duplicate_rate;
+        let delay_to = dup_to + self.plan.delay_rate;
+        let fault = if p < drop_to {
+            InjectedFault::DropMessage
+        } else if p < dup_to {
+            InjectedFault::DuplicateMessage
+        } else if p < delay_to {
+            InjectedFault::DelayMessage {
+                micros: self.plan.delay_micros,
+            }
+        } else {
+            return None;
+        };
+        Some(self.record(FaultSite::Publish, key, fault))
+    }
+
+    /// Fault decision for an agent processor invocation.
+    pub fn processor_fault(&self, key: &str) -> Option<InjectedFault> {
+        if !self.processor_armed() {
+            return None;
+        }
+        let p = self.roll(FaultSite::Processor, key);
+        let panic_to = self.plan.panic_rate;
+        let slow_to = panic_to + self.plan.slow_rate;
+        let fault = if p < panic_to {
+            InjectedFault::PanicProcessor
+        } else if p < slow_to {
+            InjectedFault::SlowProcessor {
+                micros: self.plan.slow_micros,
+            }
+        } else {
+            return None;
+        };
+        Some(self.record(FaultSite::Processor, key, fault))
+    }
+
+    /// Fault decision for a simulated model call.
+    pub fn model_fault(&self, key: &str) -> Option<InjectedFault> {
+        if !self.model_armed() {
+            return None;
+        }
+        let p = self.roll(FaultSite::ModelCall, key);
+        let fail_to = self.plan.model_fail_rate;
+        let stall_to = fail_to + self.plan.model_stall_rate;
+        let fault = if p < fail_to {
+            InjectedFault::FailCall
+        } else if p < stall_to {
+            InjectedFault::StallCall {
+                micros: self.plan.stall_micros,
+            }
+        } else {
+            return None;
+        };
+        Some(self.record(FaultSite::ModelCall, key, fault))
+    }
+
+    /// Fault decision for a data-source query.
+    pub fn query_fault(&self, key: &str) -> Option<InjectedFault> {
+        if !self.query_armed() {
+            return None;
+        }
+        let p = self.roll(FaultSite::DataQuery, key);
+        if p < self.plan.query_fail_rate {
+            Some(self.record(FaultSite::DataQuery, key, InjectedFault::FailQuery))
+        } else {
+            None
+        }
+    }
+
+    /// All faults that have fired so far, in firing order.
+    pub fn records(&self) -> Vec<FaultRecord> {
+        self.log.lock().clone()
+    }
+
+    /// Number of fired faults at the given site.
+    pub fn count(&self, site: FaultSite) -> usize {
+        self.log.lock().iter().filter(|r| r.site == site).count()
+    }
+
+    /// Total number of fired faults across all sites.
+    pub fn total(&self) -> usize {
+        self.log.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultInjector::new(FaultPlan::chaotic(42));
+        let b = FaultInjector::new(FaultPlan::chaotic(42));
+        for i in 0..200 {
+            let key = format!("agent-x#{i}");
+            assert_eq!(a.processor_fault(&key), b.processor_fault(&key));
+            assert_eq!(a.publish_fault(&key), b.publish_fault(&key));
+            assert_eq!(a.model_fault(&key), b.model_fault(&key));
+            assert_eq!(a.query_fault(&key), b.query_fault(&key));
+        }
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjector::new(FaultPlan::chaotic(1));
+        let b = FaultInjector::new(FaultPlan::chaotic(2));
+        let mut same = 0;
+        let mut diff = 0;
+        for i in 0..500 {
+            let key = format!("k{i}");
+            if a.processor_fault(&key) == b.processor_fault(&key) {
+                same += 1;
+            } else {
+                diff += 1;
+            }
+        }
+        // At 15% panic + 10% slow rates, two seeds must disagree sometimes.
+        assert!(diff > 0, "seeds 1 and 2 produced identical decisions");
+        assert!(same > 0);
+    }
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::none(7));
+        for i in 0..100 {
+            let key = format!("k{i}");
+            assert!(inj.publish_fault(&key).is_none());
+            assert!(inj.processor_fault(&key).is_none());
+            assert!(inj.model_fault(&key).is_none());
+            assert!(inj.query_fault(&key).is_none());
+        }
+        assert_eq!(inj.total(), 0);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let inj = FaultInjector::new(FaultPlan::none(9).with_panic_rate(0.25));
+        let n = 2_000;
+        for i in 0..n {
+            inj.processor_fault(&format!("call#{i}"));
+        }
+        let fired = inj.count(FaultSite::Processor) as f64 / n as f64;
+        assert!(
+            (fired - 0.25).abs() < 0.05,
+            "expected ~25% panic faults, got {:.1}%",
+            fired * 100.0
+        );
+    }
+
+    #[test]
+    fn records_tag_site_and_key() {
+        let inj = FaultInjector::new(FaultPlan::none(3).with_query_fail_rate(1.0));
+        assert_eq!(
+            inj.query_fault("hr:source"),
+            Some(InjectedFault::FailQuery)
+        );
+        let recs = inj.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].site, FaultSite::DataQuery);
+        assert_eq!(recs[0].key, "hr:source");
+        assert_eq!(recs[0].fault, InjectedFault::FailQuery);
+        assert_eq!(format!("{}", recs[0].fault), "fail-query");
+        assert_eq!(format!("{}", recs[0].site), "data-query");
+    }
+
+    #[test]
+    fn publish_ranges_are_disjoint() {
+        // With rates summing to 1.0 every publish must fault with exactly one kind.
+        let inj = FaultInjector::new(
+            FaultPlan::none(11)
+                .with_drop_rate(0.3)
+                .with_duplicate_rate(0.3)
+                .with_delay(0.4, 1_000),
+        );
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        for i in 0..300 {
+            match inj.publish_fault(&format!("m{i}")) {
+                Some(InjectedFault::DropMessage) => drops += 1,
+                Some(InjectedFault::DuplicateMessage) => dups += 1,
+                Some(InjectedFault::DelayMessage { .. }) => delays += 1,
+                other => panic!("unexpected decision {other:?}"),
+            }
+        }
+        assert!(drops > 0 && dups > 0 && delays > 0);
+        assert_eq!(drops + dups + delays, 300);
+    }
+}

@@ -1,0 +1,33 @@
+//! Resilience layer: fault injection + the policies that survive the faults.
+//!
+//! Enterprise deployments of the blueprint architecture (§VI) run agents and
+//! data sources that fail, stall, and drop messages. This crate supplies two
+//! halves of the robustness story:
+//!
+//! 1. **Fault injection** ([`FaultPlan`] / [`FaultInjector`]): deterministic,
+//!    seeded fault decisions for every layer of the stack — message
+//!    drop/delay/duplication on the stream fabric, processor panics and
+//!    slowdowns in agent containers, transient model-call failures and
+//!    stalls, and data-source outages. Every injected fault is recorded with
+//!    its site and key so chaos tests can assert exactly which fault fired.
+//!
+//! 2. **Resilience policies**: [`RetryPolicy`] (exponential backoff with
+//!    deterministic jitter and a retry budget), [`CircuitBreaker`] /
+//!    [`BreakerRegistry`] (closed → open → half-open per agent, so planners
+//!    can route around unhealthy agents), and [`DegradationLadder`]
+//!    (premium-tier fallback with an explicit accuracy penalty, plus
+//!    skippable optional nodes under budget pressure).
+//!
+//! The crate is a leaf: it depends on nothing else in the workspace, so the
+//! streams, agents, datastore, llmsim, registry, and coordinator crates can
+//! all consume it without cycles.
+
+mod breaker;
+mod degrade;
+mod fault;
+mod retry;
+
+pub use breaker::{BreakerConfig, BreakerRegistry, BreakerState, CircuitBreaker};
+pub use degrade::{DegradationLadder, DegradationNote};
+pub use fault::{FaultInjector, FaultPlan, FaultRecord, FaultSite, InjectedFault};
+pub use retry::RetryPolicy;

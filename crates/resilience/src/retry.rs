@@ -1,0 +1,174 @@
+//! Retry with exponential backoff, deterministic jitter, and a retry budget.
+
+/// Retry policy for failed or timed-out agent invocations.
+///
+/// Backoff before attempt `n+1` is `base * multiplier^(n-1)`, capped at
+/// `max_delay_micros`, then jittered by a deterministic ±`jitter_frac`
+/// derived from `(seed, attempt)` — no RNG state, so replays are exact.
+/// The cumulative delay a caller may spend across all retries of one task is
+/// capped by `retry_budget_micros`; [`RetryPolicy::delay_before`] refuses a
+/// retry that would blow the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay_micros: u64,
+    /// Exponential growth factor per retry.
+    pub multiplier: f64,
+    /// Upper bound on a single backoff delay (pre-jitter).
+    pub max_delay_micros: u64,
+    /// Jitter fraction in `[0, 1)`: each delay is scaled by `1 ± jitter_frac`.
+    pub jitter_frac: f64,
+    /// Cap on cumulative retry delay per task.
+    pub retry_budget_micros: u64,
+    /// Seed for deterministic jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_micros: 0,
+            multiplier: 1.0,
+            max_delay_micros: 0,
+            jitter_frac: 0.0,
+            retry_budget_micros: 0,
+            seed: 0,
+        }
+    }
+
+    /// A sensible default: 3 attempts, 5ms base, 2x growth, 40ms cap,
+    /// 10% jitter, 200ms total retry budget.
+    pub fn standard(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_micros: 5_000,
+            multiplier: 2.0,
+            max_delay_micros: 40_000,
+            jitter_frac: 0.1,
+            retry_budget_micros: 200_000,
+            seed,
+        }
+    }
+
+    /// Whether any retries are configured.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Raw exponential backoff (pre-jitter) before attempt `attempt + 1`,
+    /// where `attempt` counts completed attempts (1-based). Monotone
+    /// non-decreasing in `attempt`, capped at `max_delay_micros`.
+    pub fn raw_backoff_micros(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let mult = self.multiplier.max(1.0);
+        let exp = mult.powi(attempt.saturating_sub(1).min(64) as i32);
+        let raw = (self.base_delay_micros as f64 * exp).round();
+        if raw.is_finite() {
+            (raw as u64).min(self.max_delay_micros)
+        } else {
+            self.max_delay_micros
+        }
+    }
+
+    /// Jittered backoff before attempt `attempt + 1`. Deterministic for a
+    /// given `(seed, attempt)`; always within
+    /// `[raw * (1 - jitter_frac), raw * (1 + jitter_frac)]`.
+    pub fn backoff_micros(&self, attempt: u32) -> u64 {
+        let raw = self.raw_backoff_micros(attempt);
+        if raw == 0 || self.jitter_frac <= 0.0 {
+            return raw;
+        }
+        // Deterministic unit roll from (seed, attempt).
+        let mut x = self.seed ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let frac = self.jitter_frac.clamp(0.0, 0.999_999);
+        let scale = 1.0 + frac * (2.0 * unit - 1.0); // [1 - frac, 1 + frac)
+        (raw as f64 * scale).round() as u64
+    }
+
+    /// Decides whether to retry after `attempts` completed attempts with
+    /// `spent_delay_micros` of cumulative backoff already consumed. Returns
+    /// the delay to wait before the next attempt, or `None` when attempts or
+    /// the retry budget are exhausted.
+    pub fn delay_before(&self, attempts: u32, spent_delay_micros: u64) -> Option<u64> {
+        if attempts >= self.max_attempts {
+            return None;
+        }
+        let delay = self.backoff_micros(attempts);
+        if spent_delay_micros.saturating_add(delay) > self.retry_budget_micros {
+            return None;
+        }
+        Some(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_retries() {
+        let p = RetryPolicy::none();
+        assert!(!p.enabled());
+        assert_eq!(p.delay_before(1, 0), None);
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::standard(1)
+        };
+        assert_eq!(p.raw_backoff_micros(1), 5_000);
+        assert_eq!(p.raw_backoff_micros(2), 10_000);
+        assert_eq!(p.raw_backoff_micros(3), 20_000);
+        assert_eq!(p.raw_backoff_micros(4), 40_000);
+        assert_eq!(p.raw_backoff_micros(5), 40_000); // capped
+    }
+
+    #[test]
+    fn budget_refuses_overdraw() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            retry_budget_micros: 12_000,
+            max_attempts: 10,
+            ..RetryPolicy::standard(1)
+        };
+        // First retry costs 5ms: fits.
+        assert_eq!(p.delay_before(1, 0), Some(5_000));
+        // Second retry costs 10ms: 5 + 10 > 12 → refused.
+        assert_eq!(p.delay_before(2, 5_000), None);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::standard(99);
+        for attempt in 1..=6 {
+            let a = p.backoff_micros(attempt);
+            let b = p.backoff_micros(attempt);
+            assert_eq!(a, b, "jitter must be deterministic");
+            let raw = p.raw_backoff_micros(attempt) as f64;
+            assert!(
+                (a as f64) >= (raw * 0.9).floor() && (a as f64) <= (raw * 1.1).ceil(),
+                "attempt {attempt}: jittered {a} outside ±10% of raw {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_exhaust() {
+        let p = RetryPolicy::standard(5);
+        assert!(p.delay_before(1, 0).is_some());
+        assert!(p.delay_before(2, 0).is_some());
+        assert_eq!(p.delay_before(3, 0), None); // max_attempts = 3
+    }
+}

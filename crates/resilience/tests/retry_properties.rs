@@ -1,0 +1,93 @@
+//! Property-based tests for [`RetryPolicy`] invariants.
+
+use blueprint_resilience::RetryPolicy;
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        (
+            1u32..8,         // max_attempts
+            0u64..50_000,    // base_delay_micros
+            1.0f64..4.0,     // multiplier
+            0u64..200_000,   // max_delay_micros
+        ),
+        (
+            0.0f64..0.9,     // jitter_frac
+            0u64..1_000_000, // retry_budget_micros
+            0u64..u64::MAX,  // seed
+        ),
+    )
+        .prop_map(
+            |((max_attempts, base, mult, cap), (jitter, budget, seed))| RetryPolicy {
+                max_attempts,
+                base_delay_micros: base,
+                multiplier: mult,
+                max_delay_micros: cap,
+                jitter_frac: jitter,
+                retry_budget_micros: budget,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    /// Raw backoff is monotone non-decreasing in the attempt number until it
+    /// saturates at the cap, and never exceeds the cap.
+    #[test]
+    fn raw_backoff_is_monotone_up_to_cap(policy in policy_strategy()) {
+        let mut prev = 0u64;
+        for attempt in 1..=16u32 {
+            let delay = policy.raw_backoff_micros(attempt);
+            prop_assert!(
+                delay >= prev,
+                "backoff shrank: attempt {attempt} gave {delay} after {prev}"
+            );
+            prop_assert!(delay <= policy.max_delay_micros, "attempt {attempt} exceeds cap");
+            prev = delay;
+        }
+    }
+
+    /// Jittered backoff stays within ±jitter_frac of the raw delay and is
+    /// deterministic for a given (seed, attempt).
+    #[test]
+    fn jitter_is_bounded_and_deterministic(policy in policy_strategy(), attempt in 1u32..12) {
+        let raw = policy.raw_backoff_micros(attempt) as f64;
+        let jittered = policy.backoff_micros(attempt);
+        prop_assert_eq!(jittered, policy.backoff_micros(attempt));
+        let lo = (raw * (1.0 - policy.jitter_frac)).floor() as u64;
+        let hi = (raw * (1.0 + policy.jitter_frac)).ceil() as u64;
+        prop_assert!(
+            (lo..=hi).contains(&jittered),
+            "jittered {} outside [{}, {}] for raw {}",
+            jittered, lo, hi, raw
+        );
+    }
+
+    /// Walking the policy to exhaustion never grants more total delay than
+    /// the retry budget, and never more than max_attempts - 1 retries.
+    #[test]
+    fn total_granted_delay_respects_retry_budget(policy in policy_strategy()) {
+        let mut attempts = 1u32;
+        let mut spent = 0u64;
+        let mut retries = 0u32;
+        while let Some(delay) = policy.delay_before(attempts, spent) {
+            spent = spent.checked_add(delay).expect("granted delays must not overflow");
+            prop_assert!(
+                spent <= policy.retry_budget_micros,
+                "cumulative delay {} blew the budget {}",
+                spent, policy.retry_budget_micros
+            );
+            attempts += 1;
+            retries += 1;
+            prop_assert!(retries < policy.max_attempts, "granted too many retries");
+        }
+        prop_assert!(attempts <= policy.max_attempts);
+    }
+
+    /// A policy with zero jitter is exactly its raw schedule.
+    #[test]
+    fn zero_jitter_means_exact_schedule(mut policy in policy_strategy(), attempt in 0u32..12) {
+        policy.jitter_frac = 0.0;
+        prop_assert_eq!(policy.backoff_micros(attempt), policy.raw_backoff_micros(attempt));
+    }
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod clock;
+pub mod dead_letter;
 pub mod error;
 pub mod message;
 pub mod monitor;
@@ -41,6 +42,7 @@ pub mod stream;
 pub mod subscription;
 
 pub use clock::SimClock;
+pub use dead_letter::{DeadLetterEntry, DeadLetterQueue, DEAD_LETTER_OP, DEAD_LETTER_SEGMENT};
 pub use error::StreamError;
 pub use message::{Message, MessageId, MessageKind};
 pub use monitor::{FlowEdge, FlowMonitor};

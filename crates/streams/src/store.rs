@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use blueprint_resilience::{FaultInjector, InjectedFault};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
 
@@ -36,6 +37,12 @@ pub struct StoreStats {
     pub bytes_published: u64,
     /// Currently registered subscriptions.
     pub active_subscriptions: u64,
+    /// Messages whose fan-out was suppressed by an injected drop fault.
+    pub faults_dropped: u64,
+    /// Messages delivered twice due to an injected duplication fault.
+    pub faults_duplicated: u64,
+    /// Messages whose delivery was delayed by an injected delay fault.
+    pub faults_delayed: u64,
 }
 
 #[derive(Debug)]
@@ -64,6 +71,7 @@ pub struct StreamStore {
     stats: Arc<RwLock<StoreStats>>,
     clock: SimClock,
     monitor: FlowMonitor,
+    faults: Arc<RwLock<Option<Arc<FaultInjector>>>>,
 }
 
 impl Default for StreamStore {
@@ -87,7 +95,21 @@ impl StreamStore {
             stats: Arc::new(RwLock::new(StoreStats::default())),
             clock,
             monitor: FlowMonitor::new(),
+            faults: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Attaches a fault injector: subsequent publishes consult it for
+    /// drop/duplicate/delay decisions on the delivery path. Messages are
+    /// always appended to their stream (the store stays the source of
+    /// truth); faults perturb fan-out only, modelling in-transit loss.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = Some(injector);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.faults.read().clone()
     }
 
     /// The simulated clock shared with the rest of the runtime.
@@ -157,12 +179,21 @@ impl StreamStore {
         msg.id = MessageId(self.next_msg_id.fetch_add(1, Ordering::Relaxed));
         msg.published_at_micros = self.clock.now_micros();
 
+        // Fault decision is taken up front (keyed by stream + message id) so
+        // the same seeded plan perturbs the same publishes on every run.
+        let fault = self
+            .faults
+            .read()
+            .as_ref()
+            .filter(|inj| inj.publish_armed())
+            .and_then(|inj| inj.publish_fault(&format!("{}#{}", id.as_str(), msg.id.0)));
+
         // Append, deliver, and prune under one critical section: delivering
         // outside the lock would let two concurrent publishers hand a
         // subscriber seq 1 before seq 0 (the channels are unbounded, so the
         // sends never block), and pruning by positions captured under an
         // earlier lock could remove the wrong subscription.
-        let (arc, delivered, sub_count) = {
+        let (arc, delivered, sub_count, delayed_txs) = {
             let mut inner = self.inner.write();
             let stream = inner
                 .streams
@@ -170,14 +201,31 @@ impl StreamStore {
                 .ok_or_else(|| StreamError::NotFound(id.clone()))?;
             let stream_tags = stream.tags().clone();
             let arc = stream.append(msg)?;
+            // Record the publish before any subscriber can observe the
+            // message: a fast consumer thread must never get its consume
+            // into the monitor ahead of the publish that caused it.
+            self.monitor.record_publish(&arc.producer, id, &arc);
             let mut delivered = 0u64;
             let mut dead_ids: Vec<u64> = Vec::new();
+            let mut delayed_txs: Vec<Sender<Arc<Message>>> = Vec::new();
+            let copies: usize = match &fault {
+                Some(InjectedFault::DropMessage) => 0,
+                Some(InjectedFault::DuplicateMessage) => 2,
+                _ => 1,
+            };
             for s in &inner.subs {
                 if s.selector.matches(id, &stream_tags) && s.filter.matches(&arc) {
-                    if s.tx.send(Arc::clone(&arc)).is_ok() {
-                        delivered += 1;
-                    } else {
-                        dead_ids.push(s.id);
+                    if matches!(&fault, Some(InjectedFault::DelayMessage { .. })) {
+                        delayed_txs.push(s.tx.clone());
+                        continue;
+                    }
+                    for _ in 0..copies {
+                        if s.tx.send(Arc::clone(&arc)).is_ok() {
+                            delivered += 1;
+                        } else {
+                            dead_ids.push(s.id);
+                            break;
+                        }
                     }
                 }
             }
@@ -186,7 +234,7 @@ impl StreamStore {
                 // subscribe/unsubscribe), never by position.
                 inner.subs.retain(|s| !dead_ids.contains(&s.id));
             }
-            (arc, delivered, inner.subs.len() as u64)
+            (arc, delivered, inner.subs.len() as u64, delayed_txs)
         };
 
         {
@@ -195,8 +243,35 @@ impl StreamStore {
             stats.deliveries += delivered;
             stats.bytes_published += arc.payload_size() as u64;
             stats.active_subscriptions = sub_count;
+            match &fault {
+                Some(InjectedFault::DropMessage) => stats.faults_dropped += 1,
+                Some(InjectedFault::DuplicateMessage) => stats.faults_duplicated += 1,
+                Some(InjectedFault::DelayMessage { .. }) => stats.faults_delayed += 1,
+                _ => {}
+            }
         }
-        self.monitor.record_publish(&arc.producer, id, &arc);
+
+        // Delayed delivery happens off-thread: the message is already durably
+        // appended, only its fan-out lags (in-transit latency fault). Capped
+        // so a fault plan cannot wedge the fabric.
+        if let Some(InjectedFault::DelayMessage { micros }) = &fault {
+            if !delayed_txs.is_empty() {
+                let wait = std::time::Duration::from_micros((*micros).min(100_000));
+                let late = Arc::clone(&arc);
+                let stats = Arc::clone(&self.stats);
+                std::thread::spawn(move || {
+                    std::thread::sleep(wait);
+                    let mut sent = 0u64;
+                    for tx in delayed_txs {
+                        if tx.send(Arc::clone(&late)).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                    stats.write().deliveries += sent;
+                });
+            }
+        }
+
         Ok(arc)
     }
 

@@ -10,9 +10,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::de::Deserializer;
-use serde::ser::Serializer;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// A case-insensitive label attached to a stream or message.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,14 +48,14 @@ impl From<String> for Tag {
 }
 
 impl Serialize for Tag {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.0)
+    fn serialize(&self) -> Value {
+        Value::String(self.0.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for Tag {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl Deserialize for Tag {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let s = String::deserialize(value)?;
         Ok(Tag::new(s))
     }
 }

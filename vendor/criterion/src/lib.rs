@@ -1,0 +1,293 @@
+//! Minimal vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access, so this crate supplies the
+//! subset of the criterion API the workspace benches use: `criterion_group!`
+//! / `criterion_main!`, `Criterion::benchmark_group`, group configuration
+//! (`sample_size`, `measurement_time`, `throughput`), `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and `Bencher::iter`.
+//!
+//! Timing model: each benchmark warms up briefly, then runs `sample_size`
+//! samples whose per-sample iteration count is sized so one sample takes
+//! roughly `measurement_time / sample_size`, and reports the mean, min, and
+//! max nanoseconds per iteration on stdout. There is no statistical
+//! analysis, plotting, or baseline persistence — benches are for relative,
+//! same-machine comparisons only.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_benchmark(&format!("{}", id.into()), sample_size, measurement_time, f);
+    }
+}
+
+/// Throughput annotation attached to a group (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Records the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (separator line in output).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `payload`.
+    pub fn iter<O>(&mut self, mut payload: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(payload());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `payload` only, rebuilding its input with `setup` each
+    /// iteration outside the measured window.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut payload: impl FnMut(I) -> O,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(payload(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting the payload.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: one iteration, to size per-sample iteration counts.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time / sample_size as u32;
+    let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000);
+
+    let mut nanos_per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters: iters_per_sample as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        nanos_per_iter.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    let mean = nanos_per_iter.iter().sum::<f64>() / nanos_per_iter.len() as f64;
+    let min = nanos_per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = nanos_per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<56} time: [{} {} {}]",
+        format_nanos(min),
+        format_nanos(mean),
+        format_nanos(max)
+    );
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("vendor/criterion");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("agents", 4).to_string(), "agents/4");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,589 @@
+//! Minimal vendored stand-in for the `crossbeam` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the subset of crossbeam it actually uses: multi-producer multi-consumer
+//! channels (`unbounded`/`bounded`), timeout/try receives, the dynamic
+//! [`channel::Select`] multiplexer, and the two-arm `select!` macro.
+//!
+//! The implementation is a `Mutex<VecDeque>` + `Condvar` queue with a
+//! watcher list for select support — far simpler than crossbeam's lock-free
+//! channels, but semantically equivalent for this workspace's traffic.
+
+// The workspace-wide disallowed-types lint steers code to parking_lot, but
+// this vendored stub deliberately builds on bare std::sync primitives so it
+// depends on nothing else.
+#![allow(clippy::disallowed_types)]
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, Weak};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by blocking [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is empty right now.
+        Empty,
+        /// Channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        cap: Option<usize>,
+    }
+
+    /// A watcher registered by a [`Select`] waiting on several channels.
+    pub(crate) struct Watcher {
+        fired: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Watcher {
+        fn new() -> Self {
+            Watcher {
+                fired: Mutex::new(false),
+                cv: Condvar::new(),
+            }
+        }
+
+        fn fire(&self) {
+            let mut f = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+            *f = true;
+            self.cv.notify_all();
+        }
+
+        fn reset(&self) {
+            *self.fired.lock().unwrap_or_else(|e| e.into_inner()) = false;
+        }
+
+        /// Waits until fired or the timeout elapses (spurious-safe).
+        fn wait(&self, timeout: Duration) {
+            let deadline = Instant::now() + timeout;
+            let mut f = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+            while !*f {
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now) else {
+                    return;
+                };
+                let (guard, res) = self
+                    .cv
+                    .wait_timeout(f, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                f = guard;
+                if res.timed_out() {
+                    return;
+                }
+            }
+        }
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        recv_ready: Condvar,
+        send_ready: Condvar,
+        watchers: Mutex<Vec<Weak<Watcher>>>,
+    }
+
+    impl<T> Chan<T> {
+        fn notify_watchers(&self) {
+            let mut ws = self.watchers.lock().unwrap_or_else(|e| e.into_inner());
+            ws.retain(|w| match w.upgrade() {
+                Some(w) => {
+                    w.fire();
+                    true
+                }
+                None => false,
+            });
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// Receiving half of a channel. Clones share the queue: each message is
+    /// delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a bounded channel. A capacity of zero is treated as one (the
+    /// workspace never uses rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                cap,
+            }),
+            recv_ready: Condvar::new(),
+            send_ready: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self
+                            .chan
+                            .send_ready
+                            .wait(st)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.recv_ready.notify_one();
+            self.chan.notify_watchers();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.chan.lock();
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                self.chan.recv_ready.notify_all();
+                self.chan.notify_watchers();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.send_ready.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .recv_ready
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.send_ready.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _) = self
+                    .chan
+                    .recv_ready
+                    .wait_timeout(st, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.lock();
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.send_ready.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.chan.lock().queue.len()
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Identity helper used by the `select!` macro to normalise owned
+        /// receivers and references to a plain `&Receiver<T>`.
+        pub fn by_ref(&self) -> &Receiver<T> {
+            self
+        }
+
+        fn msg_ready(&self) -> bool {
+            let st = self.chan.lock();
+            !st.queue.is_empty() || st.senders == 0
+        }
+
+        fn attach(&self, w: &Arc<Watcher>) {
+            self.chan
+                .watchers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::downgrade(w));
+        }
+
+        fn detach(&self, w: &Arc<Watcher>) {
+            self.chan
+                .watchers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .retain(|c| c.upgrade().map(|c| !Arc::ptr_eq(&c, w)).unwrap_or(false));
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.chan.lock();
+                st.receivers -= 1;
+                st.receivers
+            };
+            if remaining == 0 {
+                self.chan.send_ready.notify_all();
+            }
+        }
+    }
+
+    /// Object-safe view of a receiver used by [`Select`].
+    trait Pollable {
+        fn poll_ready(&self) -> bool;
+        fn poll_attach(&self, w: &Arc<Watcher>);
+        fn poll_detach(&self, w: &Arc<Watcher>);
+    }
+
+    impl<T> Pollable for Receiver<T> {
+        fn poll_ready(&self) -> bool {
+            self.msg_ready()
+        }
+        fn poll_attach(&self, w: &Arc<Watcher>) {
+            self.attach(w);
+        }
+        fn poll_detach(&self, w: &Arc<Watcher>) {
+            self.detach(w);
+        }
+    }
+
+    /// Dynamic multiplexer over heterogeneous receivers.
+    ///
+    /// Register receivers with [`Select::recv`] (returning their index),
+    /// then block in [`Select::select`] until one is ready. "Ready" means a
+    /// message is queued or the channel is disconnected, so a completing
+    /// [`SelectedOperation::recv`] never blocks in the single-consumer
+    /// pattern this workspace uses.
+    #[derive(Default)]
+    pub struct Select<'a> {
+        targets: Vec<&'a dyn Pollable>,
+    }
+
+    impl<'a> Select<'a> {
+        /// Creates an empty selector.
+        pub fn new() -> Self {
+            Select {
+                targets: Vec::new(),
+            }
+        }
+
+        /// Adds a receive operation; returns its index.
+        pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+            self.targets.push(r);
+            self.targets.len() - 1
+        }
+
+        /// Blocks until some registered receiver is ready.
+        pub fn select(&mut self) -> SelectedOperation {
+            assert!(!self.targets.is_empty(), "select on empty Select");
+            let watcher = Arc::new(Watcher::new());
+            for t in &self.targets {
+                t.poll_attach(&watcher);
+            }
+            let index = loop {
+                watcher.reset();
+                if let Some(i) = self.targets.iter().position(|t| t.poll_ready()) {
+                    break i;
+                }
+                // The timeout is belt-and-braces against lost wakeups; the
+                // watcher normally fires as soon as any channel changes.
+                watcher.wait(Duration::from_millis(50));
+            };
+            for t in &self.targets {
+                t.poll_detach(&watcher);
+            }
+            SelectedOperation { index }
+        }
+    }
+
+    /// A ready operation returned by [`Select::select`].
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl SelectedOperation {
+        /// Index of the ready operation (as returned by [`Select::recv`]).
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Completes the operation against the receiver it was registered
+        /// with.
+        pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+            match r.try_recv() {
+                Ok(v) => Ok(v),
+                Err(TryRecvError::Disconnected) => Err(RecvError),
+                // Lost a race with another consumer of the same receiver;
+                // fall back to blocking (single-consumer in practice).
+                Err(TryRecvError::Empty) => r.recv(),
+            }
+        }
+    }
+
+    // Re-export the crate-level `select!` macro at `crossbeam::channel::`
+    // scope, matching the real crate's layout.
+    pub use crate::select;
+}
+
+/// Two-arm `select!` over receive operations, in crossbeam's syntax:
+///
+/// ```ignore
+/// crossbeam::channel::select! {
+///     recv(stop_rx) -> _ => break,
+///     recv(sub.receiver()) -> msg => { /* use msg: Result<T, RecvError> */ }
+/// }
+/// ```
+#[macro_export]
+macro_rules! select {
+    (recv($r1:expr) -> $p1:pat => $b1:expr, recv($r2:expr) -> $p2:pat => $b2:expr $(,)?) => {{
+        let __sel_r1 = ($r1).by_ref();
+        let __sel_r2 = ($r2).by_ref();
+        let mut __sel = $crate::channel::Select::new();
+        let __i1 = __sel.recv(__sel_r1);
+        let __sel_op = {
+            let _ = __sel.recv(__sel_r2);
+            __sel.select()
+        };
+        if __sel_op.index() == __i1 {
+            let $p1 = __sel_op.recv(__sel_r1);
+            $b1
+        } else {
+            let $p2 = __sel_op.recv(__sel_r2);
+            $b2
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_propagates() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx2, rx2) = unbounded::<i32>();
+        drop(rx2);
+        assert!(tx2.send(5).is_err());
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let (_tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = bounded(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_picks_ready_channel() {
+        let (tx_a, rx_a) = unbounded::<&str>();
+        let (_tx_b, rx_b) = unbounded::<&str>();
+        tx_a.send("hello").unwrap();
+        let mut sel = Select::new();
+        let ia = sel.recv(&rx_a);
+        let _ib = sel.recv(&rx_b);
+        let op = sel.select();
+        assert_eq!(op.index(), ia);
+        assert_eq!(op.recv(&rx_a), Ok("hello"));
+    }
+
+    #[test]
+    fn select_wakes_on_late_message() {
+        let (tx, rx) = unbounded::<i32>();
+        let (_keep, rx_idle) = unbounded::<i32>();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.send(7).unwrap();
+        });
+        let mut sel = Select::new();
+        let _ = sel.recv(&rx_idle);
+        let i = sel.recv(&rx);
+        let op = sel.select();
+        assert_eq!(op.index(), i);
+        assert_eq!(op.recv(&rx), Ok(7));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_macro_two_arms() {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let (tx, rx) = unbounded::<i32>();
+        let rx_ref = &rx;
+        tx.send(9).unwrap();
+        let got = crate::select! {
+            recv(stop_rx) -> _ => unreachable!("stop not signalled"),
+            recv(rx_ref) -> msg => Some(msg.unwrap()),
+        };
+        assert_eq!(got, Some(9));
+        stop_tx.send(()).unwrap();
+        let got = crate::select! {
+            recv(stop_rx) -> _ => Some(0),
+            recv(rx_ref) -> _msg => unreachable!("no message queued"),
+        };
+        assert_eq!(got, Some(0));
+        let _ = Arc::new(());
+    }
+
+    #[test]
+    fn shared_receivers_split_work() {
+        let (tx, rx) = unbounded::<i32>();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+    }
+}

@@ -1,0 +1,620 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so property testing is
+//! vendored as deterministic random sampling: every `proptest!` test runs a
+//! fixed number of cases (default 64, `PROPTEST_CASES` overrides) with a
+//! per-case RNG seeded from the case index — reproducible across runs with
+//! no persistence files. There is no shrinking; a failure reports the case
+//! index so it can be replayed.
+//!
+//! Supported strategy surface (what this workspace uses): integer and float
+//! ranges, `Just`, simple regex-ish string patterns (`.{m,n}`,
+//! `[class]{m,n}`), tuples of strategies, `prop::collection::vec`,
+//! `prop::option::of`, `prop::sample::select`, `any::<bool>()`, and the
+//! `prop_map` / `prop_flat_map` / `prop_shuffle` combinators.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Case-count and RNG plumbing used by the `proptest!` macro.
+
+    /// Number of cases per property (env `PROPTEST_CASES`, default 64).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-case RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one case of one property run.
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                state: 0x5DEE_CE66_D1CE_B00C ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n.max(1)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// True with probability `p`.
+        pub fn chance(&mut self, p: f64) -> bool {
+            self.unit_f64() < p
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert!` failed.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+
+    /// True for rejections (skip, don't fail).
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+            TestCaseError::Reject => f.write_str("input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+
+    /// Random permutation of a generated `Vec`.
+    fn prop_shuffle(self) -> ShuffleStrategy<Self>
+    where
+        Self: Sized,
+    {
+        ShuffleStrategy { inner: self }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMapStrategy<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// `prop_shuffle` adapter (Fisher-Yates over generated vectors).
+pub struct ShuffleStrategy<S> {
+    inner: S,
+}
+
+impl<S, T> Strategy for ShuffleStrategy<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.inner.new_value(rng);
+        for i in (1..v.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+/// Type-erased strategy handle.
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: std::rc::Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.new_value(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (s as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+/// Pattern strategy for `&'static str` regex subset: `.{m,n}` or
+/// `[class]{m,n}` where `class` supports literal chars and `a-z` ranges.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses the supported pattern subset into (alphabet, min_len, max_len).
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        // Printable ASCII for the `.` class (plenty for payload fuzzing).
+        ((32u8..127).map(|b| b as char).collect::<Vec<char>>(), rest)
+    } else if let Some(body_and_rest) = pattern.strip_prefix('[') {
+        let close = body_and_rest
+            .find(']')
+            .unwrap_or_else(|| panic!("unsupported pattern `{pattern}`"));
+        let body: Vec<char> = body_and_rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i], body[i + 2]);
+                alphabet.extend((lo..=hi).collect::<Vec<char>>());
+                i += 3;
+            } else {
+                alphabet.push(body[i]);
+                i += 1;
+            }
+        }
+        (alphabet, &body_and_rest[close + 1..])
+    } else {
+        panic!("unsupported pattern `{pattern}`: expected `.` or `[class]`");
+    };
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported pattern `{pattern}`: expected `{{m,n}}`"));
+    let (min, max) = counts
+        .split_once(',')
+        .unwrap_or_else(|| panic!("unsupported pattern `{pattern}`"));
+    let min: usize = min.trim().parse().expect("pattern min count");
+    let max: usize = max.trim().parse().expect("pattern max count");
+    assert!(min <= max && !class.is_empty(), "bad pattern `{pattern}`");
+    (class, min, max)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Types with a canonical strategy (only what the workspace needs).
+pub trait Arbitrary {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical bool strategy (fair coin).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.chance(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `option`, `sample`).
+
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Sizes acceptable to [`vec`]: a fixed `usize` or a `Range`.
+        pub trait IntoSizeRange {
+            /// Converts into a half-open `[min, max)` pair.
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self + 1)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty vec size range");
+                (self.start, self.end)
+            }
+        }
+
+        /// Strategy producing vectors of values from an element strategy.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.max - self.min) as u64;
+                let len = self.min + rng.below(span.max(1)) as usize;
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing `Option`s of an inner strategy.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+                // Bias toward Some, as real proptest does.
+                rng.chance(0.75).then(|| self.inner.new_value(rng))
+            }
+        }
+
+        /// `prop::option::of(strategy)`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy picking one element of a fixed set.
+        pub struct SelectStrategy<T: Clone> {
+            choices: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for SelectStrategy<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut TestRng) -> T {
+                self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+            }
+        }
+
+        /// `prop::sample::select(choices)`.
+        pub fn select<T: Clone>(choices: Vec<T>) -> SelectStrategy<T> {
+            assert!(!choices.is_empty(), "select from empty set");
+            SelectStrategy { choices }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]`-able function running `test_runner::cases()` cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                let __strategies = ($($strat,)+);
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    // Tuple strategies generate left-to-right, matching textual order.
+                    let ($($arg,)+) = $crate::Strategy::new_value(&__strategies, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e.is_rejection() => continue,
+                        ::std::result::Result::Err(e) => {
+                            panic!("proptest `{}` case {} failed: {}", stringify!($name), __case, e)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{}` == `{}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{}` != `{}` (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        for _ in 0..200 {
+            let v = (0u64..40).new_value(&mut rng);
+            assert!(v < 40);
+            let f = (0.5f64..1.0).new_value(&mut rng);
+            assert!((0.5..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        for _ in 0..100 {
+            let s = "[a-z]{2,8}".new_value(&mut rng);
+            assert!((2..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = ".{0,16}".new_value(&mut rng);
+            assert!(t.len() <= 16);
+            let u = "[a-z ]{0,60}".new_value(&mut rng);
+            assert!(u.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        let strat = (0u32..10, "[a-z]{1,3}")
+            .prop_map(|(n, s)| format!("{n}-{s}"))
+            .prop_flat_map(|s| prop::collection::vec(Just(s), 1..4));
+        for _ in 0..50 {
+            let v = strat.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+        let shuffled = Just((0..10).collect::<Vec<usize>>()).prop_shuffle();
+        let mut p = shuffled.new_value(&mut rng);
+        p.sort_unstable();
+        assert_eq!(p, (0..10).collect::<Vec<usize>>());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_and_asserts(xs in prop::collection::vec(0u32..100, 0..10), b in any::<bool>()) {
+            prop_assume!(xs.len() != 3);
+            prop_assert!(xs.len() < 10);
+            let coin = u8::from(b);
+            prop_assert_eq!(coin, u8::from(b));
+            prop_assert_ne!(xs.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The in-memory JSON value model shared by the vendored `serde` and
+//! `serde_json` crates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON object map. Sorted by key (mirrors serde_json's default BTreeMap
+/// backing), which also makes serialized output deterministic.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON number: positive integer, negative integer, or float.
+///
+/// Integers and floats are distinct (as in serde_json): `1` and `1.0` are
+/// different numbers at the value level, though numeric deserializers accept
+/// integers where floats are expected.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// Builds a number from a float; `None` for NaN/infinite values, which
+    /// JSON cannot represent.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number::Float(f))
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(_) | Number::Float(_) => None,
+        }
+    }
+
+    /// The value as a float (integers convert losslessly enough).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(u) => Some(u as f64),
+            Number::NegInt(i) => Some(i as f64),
+            Number::Float(f) => Some(f),
+        }
+    }
+
+    /// True if this is an integer representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// True if this is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => false,
+            // Integer representations compare by numeric value.
+            (a, b) => match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => a.as_u64() == b.as_u64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(u) => write!(f, "{u}"),
+            Number::NegInt(i) => write!(f, "{i}"),
+            Number::Float(x) => {
+                // Keep floats recognizable as floats across a text round
+                // trip (serde_json prints `1.0`, not `1`).
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+macro_rules! number_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number {
+                Number::PosInt(v as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! number_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number {
+                if v < 0 {
+                    Number::NegInt(v as i64)
+                } else {
+                    Number::PosInt(v as u64)
+                }
+            }
+        }
+    )*};
+}
+
+number_from_unsigned!(u8, u16, u32, u64, usize);
+number_from_signed!(i8, i16, i32, i64, isize);
+
+/// An arbitrary JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key-value map.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// String content if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable elements if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Entries if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutable entries if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for strings.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True for numbers.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True for booleans.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// True for arrays.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True for objects.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Indexes into objects (by key) or arrays (by position); `None` when
+    /// the index does not apply.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// Mutable variant of [`Value::get`].
+    pub fn get_mut<I: ValueIndex>(&mut self, index: I) -> Option<&mut Value> {
+        index.index_into_mut(self)
+    }
+
+    /// Replaces `self` with `Null`, returning the previous value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+/// Index types usable with [`Value::get`] and `value[...]`.
+pub trait ValueIndex {
+    /// Shared lookup.
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+    /// Mutable lookup.
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value>;
+    /// Mutable lookup for `value[i] = x`, inserting where serde_json would.
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value;
+}
+
+impl ValueIndex for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_array()?.get(*self)
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        v.as_array_mut()?.get_mut(*self)
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        // serde_json panics on non-arrays and out-of-bounds indices.
+        let len = v.as_array().map(Vec::len);
+        match v.as_array_mut().and_then(|a| a.get_mut(*self)) {
+            Some(slot) => slot,
+            None => panic!("cannot index into {len:?} with {self}"),
+        }
+    }
+}
+
+impl ValueIndex for str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object()?.get(self)
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        v.as_object_mut()?.get_mut(self)
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        if matches!(v, Value::Null) {
+            *v = Value::Object(Map::new());
+        }
+        match v {
+            Value::Object(map) => map.entry(self.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index into {other} with key {self:?}"),
+        }
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().index_into(v)
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        self.as_str().index_into_mut(v)
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        self.as_str().index_or_insert(v)
+    }
+}
+
+impl<T: ValueIndex + ?Sized> ValueIndex for &T {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        (**self).index_into(v)
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        (**self).index_into_mut(v)
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        (**self).index_or_insert(v)
+    }
+}
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    /// Missing keys/indices yield `Null` (matching serde_json), so chained
+    /// lookups like `v["a"]["b"]` never panic.
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl<I: ValueIndex> std::ops::IndexMut<I> for Value {
+    /// `value["key"] = x` inserts into objects (auto-vivifying `Null`);
+    /// array indices must already exist, matching serde_json.
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        index.index_or_insert(self)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Value {
+        Value::Array(a)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(o: Map<String, Value>) -> Value {
+        Value::Object(o)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+
+value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Number::from_f64(f).map(Value::Number).unwrap_or(Value::Null)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Value {
+        Value::from(f as f64)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text (serde_json's `Display` behaviour).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_equality_is_typed() {
+        assert_eq!(Number::PosInt(1), Number::PosInt(1));
+        assert_eq!(Number::NegInt(-1), Number::NegInt(-1));
+        assert_eq!(Number::PosInt(5), Number::from(5i64));
+        assert_ne!(Number::PosInt(1), Number::Float(1.0));
+        assert_eq!(Number::Float(1.5), Number::Float(1.5));
+    }
+
+    #[test]
+    fn float_display_keeps_decimal_point() {
+        assert_eq!(Number::Float(1.0).to_string(), "1.0");
+        assert_eq!(Number::Float(0.25).to_string(), "0.25");
+        assert_eq!(Number::PosInt(3).to_string(), "3");
+    }
+
+    #[test]
+    fn value_display_compact() {
+        let mut obj = Map::new();
+        obj.insert("b".to_string(), Value::from(2u64));
+        obj.insert("a".to_string(), Value::from("x\n"));
+        let v = Value::Array(vec![Value::Null, Value::Bool(true), Value::Object(obj)]);
+        assert_eq!(v.to_string(), "[null,true,{\"a\":\"x\\n\",\"b\":2}]");
+    }
+
+    #[test]
+    fn indexing_missing_yields_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["ghost"].is_null());
+        assert!(v["a"]["b"].is_null());
+    }
+
+    #[test]
+    fn take_replaces_with_null() {
+        let mut v = Value::Bool(true);
+        assert_eq!(v.take(), Value::Bool(true));
+        assert!(v.is_null());
+    }
+}

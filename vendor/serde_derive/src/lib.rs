@@ -1,0 +1,569 @@
+//! Derive macros for the vendored `serde` crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-based serde traits, following serde's standard data
+//! model: structs serialize as objects, newtype structs as their inner
+//! value, tuple structs as arrays, and enums externally tagged (unit
+//! variants as strings, data variants as single-entry objects).
+//!
+//! Written against the raw `proc_macro` API (no `syn`/`quote` in the
+//! offline build container): the input item is parsed with a small
+//! hand-rolled scanner and the generated impls are emitted by string
+//! formatting + `TokenStream::from_str`.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! - non-generic structs with named fields (`#[serde(default)]` honoured,
+//!   `Option<..>` fields default to `None` when missing)
+//! - tuple / newtype / unit structs
+//! - non-generic enums with unit, newtype, tuple, and struct variants
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::str::FromStr;
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    /// Normalised type text (used only to spot `Option<..>`).
+    ty: String,
+    /// `#[serde(default)]` present.
+    has_default: bool,
+}
+
+/// Shape of a struct body or enum variant payload.
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Scans an attribute token (`#` already consumed; `group` is the `[...]`)
+/// for `serde(default)`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes; returns whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if attr_is_serde_default(g) {
+                has_default = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    has_default
+}
+
+/// Consumes a `pub` / `pub(..)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Collects type tokens until a top-level comma, tracking `<`/`>` depth.
+fn take_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth: i32 = 0;
+    let mut ty = String::new();
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if depth == 0 => break,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        write!(ty, "{t}").expect("write to String");
+        *i += 1;
+    }
+    ty.retain(|c| !c.is_whitespace());
+    ty
+}
+
+/// Parses the contents of a `{ .. }` group as named fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        let ty = take_type(&tokens, &mut i);
+        // Skip the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            ty,
+            has_default,
+        });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a `( .. )` group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let ty = take_type(&tokens, &mut i);
+        if !ty.is_empty() {
+            count += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn shape_from_group(group: &proc_macro::Group) -> Shape {
+    match group.delimiter() {
+        Delimiter::Brace => Shape::Named(parse_named_fields(group)),
+        Delimiter::Parenthesis => match count_tuple_fields(group) {
+            1 => Shape::Newtype,
+            n => Shape::Tuple(n),
+        },
+        other => panic!("serde derive: unexpected delimiter {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported; derive on `{name}` manually");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) => shape_from_group(g),
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body_tokens.len() {
+                skip_attrs(&body_tokens, &mut j);
+                let vname = match body_tokens.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    other => panic!("serde derive: expected variant name, found {other:?}"),
+                };
+                j += 1;
+                let shape = match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) => {
+                        let s = shape_from_group(g);
+                        j += 1;
+                        s
+                    }
+                    _ => Shape::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = body_tokens.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    }
+}
+
+fn is_option(ty: &str) -> bool {
+    ty.starts_with("Option<")
+        || ty.starts_with("option::Option<")
+        || ty.starts_with("std::option::Option<")
+        || ty.starts_with("::std::option::Option<")
+        || ty.starts_with("core::option::Option<")
+}
+
+/// `a: ... deserialize from __obj.get("a") ...` for one named field.
+fn named_field_de(out: &mut String, f: &Field, source: &str) {
+    let missing = if f.has_default || is_option(&f.ty) {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{}`\"))",
+            f.name
+        )
+    };
+    let _ = write!(
+        out,
+        "{name}: match {source}.get(\"{name}\") {{ \
+            ::std::option::Option::Some(__f) => ::serde::Deserialize::deserialize(__f)?, \
+            ::std::option::Option::None => {missing}, \
+        }},",
+        name = f.name,
+        source = source,
+        missing = missing,
+    );
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let _ = write!(
+        out,
+        "#[automatically_derived] #[allow(warnings, clippy::all, clippy::pedantic)] \
+         impl ::serde::Serialize for {name} {{ \
+           fn serialize(&self) -> ::serde::Value {{ "
+    );
+    match item {
+        Item::Struct { shape, .. } => match shape {
+            Shape::Unit => {
+                let _ = write!(out, "::serde::Value::Null");
+            }
+            Shape::Newtype => {
+                let _ = write!(out, "::serde::Serialize::serialize(&self.0)");
+            }
+            Shape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                let _ = write!(
+                    out,
+                    "::serde::Value::Array(::std::vec![{}])",
+                    elems.join(", ")
+                );
+            }
+            Shape::Named(fields) => {
+                let _ = write!(out, "let mut __map = ::serde::Map::new(); ");
+                for f in fields {
+                    let _ = write!(
+                        out,
+                        "__map.insert(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::serialize(&self.{n})); ",
+                        n = f.name
+                    );
+                }
+                let _ = write!(out, "::serde::Value::Object(__map)");
+            }
+        },
+        Item::Enum { name, variants } => {
+            let _ = write!(out, "match self {{ ");
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")), ",
+                            v = v.name
+                        );
+                    }
+                    Shape::Newtype => {
+                        let _ = write!(
+                            out,
+                            "{name}::{v}(__f0) => {{ \
+                               let mut __map = ::serde::Map::new(); \
+                               __map.insert(::std::string::String::from(\"{v}\"), \
+                                 ::serde::Serialize::serialize(__f0)); \
+                               ::serde::Value::Object(__map) }}, ",
+                            v = v.name
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{v}({binds}) => {{ \
+                               let mut __map = ::serde::Map::new(); \
+                               __map.insert(::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(::std::vec![{elems}])); \
+                               ::serde::Value::Object(__map) }}, ",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new(); ");
+                        for f in fields {
+                            let _ = write!(
+                                inner,
+                                "__inner.insert(::std::string::String::from(\"{n}\"), \
+                                 ::serde::Serialize::serialize({n})); ",
+                                n = f.name
+                            );
+                        }
+                        let _ = write!(
+                            out,
+                            "{name}::{v} {{ {binds} }} => {{ \
+                               {inner} \
+                               let mut __map = ::serde::Map::new(); \
+                               __map.insert(::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(__inner)); \
+                               ::serde::Value::Object(__map) }}, ",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            inner = inner
+                        );
+                    }
+                }
+            }
+            let _ = write!(out, "}}");
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let _ = write!(
+        out,
+        "#[automatically_derived] #[allow(warnings, clippy::all, clippy::pedantic)] \
+         impl ::serde::Deserialize for {name} {{ \
+           fn deserialize(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ "
+    );
+    match item {
+        Item::Struct { shape, .. } => match shape {
+            Shape::Unit => {
+                let _ = write!(
+                    out,
+                    "if __value.is_null() {{ ::std::result::Result::Ok({name}) }} else {{ \
+                       ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected null for unit struct {name}\")) }}"
+                );
+            }
+            Shape::Newtype => {
+                let _ = write!(
+                    out,
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))"
+                );
+            }
+            Shape::Tuple(n) => {
+                let _ = write!(
+                    out,
+                    "let __arr = __value.as_array().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected array for {name}\"))?; \
+                     if __arr.len() != {n} {{ \
+                       return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple length for {name}\")); }} "
+                );
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                    .collect();
+                let _ = write!(
+                    out,
+                    "::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                );
+            }
+            Shape::Named(fields) => {
+                let _ = write!(
+                    out,
+                    "let __obj = __value.as_object().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected object for {name}\"))?; \
+                     ::std::result::Result::Ok({name} {{ "
+                );
+                for f in fields {
+                    named_field_de(&mut out, f, "__obj");
+                }
+                let _ = write!(out, " }})");
+            }
+        },
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as plain strings.
+            let _ = write!(
+                out,
+                "if let ::std::option::Option::Some(__s) = __value.as_str() {{ \
+                   return match __s {{ "
+            );
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    let _ = write!(
+                        out,
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}), ",
+                        v = v.name
+                    );
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                   format!(\"unknown variant `{{__other}}` of {name}\"))) }}; }} "
+            );
+            // Data variants arrive as single-entry objects.
+            let _ = write!(
+                out,
+                "let __obj = __value.as_object().ok_or_else(|| \
+                   ::serde::Error::custom(\"expected string or object for {name}\"))?; \
+                 if __obj.len() != 1 {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected single-entry object for {name}\")); }} \
+                 let (__k, __inner) = __obj.iter().next().expect(\"len checked\"); \
+                 match __k.as_str() {{ "
+            );
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            out,
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}), ",
+                            v = v.name
+                        );
+                    }
+                    Shape::Newtype => {
+                        let _ = write!(
+                            out,
+                            "\"{v}\" => ::std::result::Result::Ok(\
+                               {name}::{v}(::serde::Deserialize::deserialize(__inner)?)), ",
+                            v = v.name
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "\"{v}\" => {{ \
+                               let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{v}\"))?; \
+                               if __arr.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                   \"wrong tuple length for {name}::{v}\")); }} \
+                               ::std::result::Result::Ok({name}::{v}({elems})) }}, ",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let mut body = String::new();
+                        for f in fields {
+                            named_field_de(&mut body, f, "__o");
+                        }
+                        let _ = write!(
+                            out,
+                            "\"{v}\" => {{ \
+                               let __o = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for {name}::{v}\"))?; \
+                               ::std::result::Result::Ok({name}::{v} {{ {body} }}) }}, ",
+                            v = v.name,
+                            body = body
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                   format!(\"unknown variant `{{__other}}` of {name}\"))) }}"
+            );
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    TokenStream::from_str(&code).expect("serde derive: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    TokenStream::from_str(&code).expect("serde derive: generated Deserialize impl parses")
+}
