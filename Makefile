@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench chaos
+.PHONY: all build test lint bench bench-json chaos
 
 all: build lint test
 
@@ -14,6 +14,11 @@ lint:
 
 bench:
 	cargo bench --workspace
+
+# Machine-readable coordinator perf trajectory: sequential vs parallel vs
+# memoized timings, written to BENCH_coordinator.json at the repo root.
+bench-json:
+	cargo run --release -p blueprint-bench --bin bench_json
 
 # Chaos suite: both interaction flows under three pinned fault seeds,
 # gated on a clean clippy run. Seeds are fixed so CI failures reproduce

@@ -1,16 +1,19 @@
 //! The task coordinator's execution engine.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use serde_json::{json, Value};
 
 use blueprint_agents::{AgentReport, DataType, ExecuteAgent, Inputs};
-use blueprint_optimizer::{Budget, BudgetStatus, QosConstraints};
+use blueprint_optimizer::{Budget, BudgetStatus, QosConstraints, SharedBudget};
 use blueprint_planner::{DataPlanner, InputBinding, TaskPlan, TaskPlanner};
 use blueprint_registry::AgentRegistry;
 use blueprint_resilience::{BreakerRegistry, DegradationLadder, DegradationNote, RetryPolicy};
 use blueprint_streams::{DeadLetterQueue, Message, Selector, StreamStore, Tag, TagFilter};
+
+use crate::memo::{MemoCache, MemoEntry};
 
 /// Hard failures of the coordination machinery itself (stream plumbing);
 /// task-level problems are reported through [`Outcome`] instead.
@@ -39,6 +42,40 @@ pub enum OverrunPolicy {
     Replan,
 }
 
+/// How the coordinator walks the plan DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// One node at a time in topological order — the reference execution
+    /// that the parallel scheduler is proven equivalent to.
+    Sequential,
+    /// Dependency-counted ready-set scheduling: every node whose inputs are
+    /// satisfied is dispatched concurrently (§V: independent plan branches
+    /// run on the agents' worker pools in parallel), reports are correlated
+    /// out of order, and results are merged back into topological order.
+    Parallel {
+        /// Concurrency cap; `0` means unbounded.
+        max_in_flight: usize,
+    },
+}
+
+impl Default for SchedulerMode {
+    fn default() -> Self {
+        SchedulerMode::Parallel { max_in_flight: 0 }
+    }
+}
+
+/// Per-execution memoization savings (Σ over cache hits of the cost and
+/// latency the original invocations charged).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheSavings {
+    /// Nodes answered from the cache.
+    pub hits: u64,
+    /// Cost avoided.
+    pub cost_saved: f64,
+    /// Latency avoided (µs).
+    pub latency_saved_micros: u64,
+}
+
 /// Per-node execution record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeResult {
@@ -55,8 +92,12 @@ pub struct NodeResult {
     /// Error text on failure.
     pub error: Option<String>,
     /// How many invocation attempts the node took (0 when it never ran:
-    /// skipped under pressure, or rejected by an open circuit).
+    /// skipped under pressure, served from the memo cache, or rejected by an
+    /// open circuit).
     pub attempts: u32,
+    /// True when the node was answered from the memoization cache without
+    /// invoking the agent.
+    pub cached: bool,
 }
 
 /// Terminal state of a task execution.
@@ -108,10 +149,13 @@ pub struct ExecutionReport {
     pub outcome: Outcome,
     /// The final budget ledger.
     pub budget: Budget,
-    /// Per-node records in execution order.
+    /// Per-node records, merged back into topological order (the parallel
+    /// scheduler completes nodes out of order; the report is deterministic).
     pub node_results: Vec<NodeResult>,
     /// Degradation decisions taken during execution (fallbacks, skips).
     pub degradations: Vec<DegradationNote>,
+    /// Memoization savings realized during this execution.
+    pub cache: CacheSavings,
 }
 
 /// Executes task plans over the streams fabric.
@@ -126,6 +170,8 @@ pub struct TaskCoordinator {
     retry: RetryPolicy,
     breakers: Option<Arc<BreakerRegistry>>,
     ladder: DegradationLadder,
+    scheduler: SchedulerMode,
+    memo: Option<Arc<MemoCache>>,
     epoch: std::time::Instant,
 }
 
@@ -158,6 +204,8 @@ impl TaskCoordinator {
             retry: RetryPolicy::none(),
             breakers: None,
             ladder: DegradationLadder::new(),
+            scheduler: SchedulerMode::default(),
+            memo: None,
             epoch: std::time::Instant::now(),
         }
     }
@@ -209,6 +257,21 @@ impl TaskCoordinator {
         self
     }
 
+    /// Selects how the plan DAG is walked (parallel ready-set scheduling by
+    /// default; [`SchedulerMode::Sequential`] is the reference execution).
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Attaches a memoization cache for deterministic agent invocations.
+    /// Share one cache across coordinators to get cross-session hits; only
+    /// enable when every registered agent is a pure function of its inputs.
+    pub fn with_memoization(mut self, cache: Arc<MemoCache>) -> Self {
+        self.memo = Some(cache);
+        self
+    }
+
     /// Micros since this coordinator was built (drives breaker cooldowns).
     fn now_micros(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
@@ -228,7 +291,7 @@ impl TaskCoordinator {
     fn execute_inner(
         &self,
         plan: &TaskPlan,
-        mut budget: Budget,
+        budget: Budget,
         depth: u8,
     ) -> Result<ExecutionReport, ExecutionError> {
         plan.validate()
@@ -236,149 +299,255 @@ impl TaskCoordinator {
         let order = plan
             .topo_order()
             .map_err(|e| ExecutionError(e.to_string()))?;
+        let n = order.len();
 
-        // Subscribe to this task's agent reports before issuing any
-        // instruction so none can be missed.
-        let report_sub = self
-            .store
-            .subscribe(
-                Selector::AllStreams,
-                TagFilter::any_of([format!("task:{}", plan.task_id)]),
-            )
-            .map_err(|e| ExecutionError(e.to_string()))?;
+        // Dependency counts and adjacency, indexed by topological position.
+        // `plan.edges()` emits one edge per `FromNode` binding, so duplicate
+        // edges appear symmetrically in `children` and `indegree`.
+        let position: HashMap<&str, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.as_str(), i))
+            .collect();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree: Vec<usize> = vec![0; n];
+        for edge in plan.edges() {
+            let from = position[edge.from.as_str()];
+            let to = position[edge.to.as_str()];
+            children[from].push(to);
+            indegree[to] += 1;
+        }
 
-        let mut node_results: Vec<NodeResult> = Vec::with_capacity(order.len());
-        let mut degradations: Vec<DegradationNote> = Vec::new();
-        let mut final_output = Value::Null;
+        let cap = match self.scheduler {
+            SchedulerMode::Sequential => 1,
+            SchedulerMode::Parallel { max_in_flight: 0 } => usize::MAX,
+            SchedulerMode::Parallel { max_in_flight } => max_in_flight,
+        };
 
-        for node_id in &order {
-            let node = plan.node(node_id).expect("topo order references plan nodes");
+        // All accounting goes through a shared ledger so concurrent drivers
+        // (charges, retry backoff debits, degradation decisions) stay exact
+        // under any completion order.
+        let shared = SharedBudget::new(budget);
 
-            // Graceful degradation: a skippable node (e.g. an optional
-            // guardrail check) is dropped outright once the budget is under
-            // pressure, trading its contribution for headroom.
-            if self.ladder.is_skippable(&node.agent) && budget.status() != BudgetStatus::Healthy {
-                budget.consume_projection(&node.profile);
-                degradations.push(DegradationNote {
-                    from: node.agent.clone(),
-                    to: None,
-                    accuracy_penalty: 0.0,
-                    reason: format!("skipped node {node_id} under budget pressure"),
-                });
-                self.publish_status(
-                    plan,
-                    "node-skipped",
-                    json!({"node": node_id, "agent": node.agent}),
-                );
-                node_results.push(NodeResult {
-                    node: node_id.clone(),
-                    agent: node.agent.clone(),
-                    ok: true,
-                    cost: 0.0,
-                    latency_micros: 0,
-                    error: None,
-                    attempts: 0,
-                });
-                continue;
-            }
+        // Results land in per-position slots so the report merges back into
+        // topological order no matter when each node completes.
+        let mut result_slots: Vec<Option<NodeResult>> = vec![None; n];
+        let mut note_slots: Vec<Option<DegradationNote>> = vec![None; n];
+        let mut output_slots: Vec<Option<Value>> = vec![None; n];
+        let mut cache = CacheSavings::default();
+        // Kept sorted ascending: among simultaneously ready nodes the
+        // earliest topological position dispatches first, which makes
+        // `max_in_flight == 1` exactly the sequential reference execution.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut halt: Option<Halt> = None;
 
-            // Resolve inputs, applying transformations.
-            let mut inputs = Inputs::new();
-            for (param, binding) in &node.inputs {
-                let value = match self.resolve_input(plan, node, param, binding, &mut budget) {
-                    Ok(v) => v,
-                    Err(reason) => {
-                        return self.finish_failed(
-                            plan,
-                            budget,
-                            node_results,
-                            degradations,
-                            node_id,
-                            reason,
-                        );
-                    }
-                };
-                inputs.insert(param.clone(), value);
-            }
+        loop {
+            std::thread::scope(|scope| -> Result<(), ExecutionError> {
+                let (done_tx, done_rx) =
+                    crossbeam::channel::unbounded::<(usize, Result<Driven, ExecutionError>)>();
+                let mut in_flight = 0usize;
+                loop {
+                    // Dispatch every ready node (up to the cap) unless a
+                    // terminal condition stopped admission.
+                    while halt.is_none() && in_flight < cap && !ready.is_empty() {
+                        let i = ready.remove(0);
+                        let node_id = order[i].as_str();
+                        let node = plan.node(node_id).expect("topo order references plan nodes");
 
-            // Drive the node: breaker gate, instruction publish, report
-            // await, retries with budget-debited backoff.
-            let mut attempt =
-                self.run_node(plan, node_id, &node.agent, &inputs, &report_sub, &mut budget)?;
-            let mut executing_agent = node.agent.clone();
-
-            // Graceful degradation: a failed agent falls back once to its
-            // configured substitute at a recorded accuracy penalty.
-            if attempt.error.is_some() {
-                if let Some((fallback, penalty)) = self.ladder.fallback_for(&node.agent) {
-                    let fallback = fallback.to_string();
-                    if self.registry.get_spec(&fallback).is_ok() {
-                        let second = self.run_node(
-                            plan,
-                            node_id,
-                            &fallback,
-                            &inputs,
-                            &report_sub,
-                            &mut budget,
-                        )?;
-                        if second.error.is_none() {
-                            degradations.push(DegradationNote {
+                        // Graceful degradation: a skippable node (e.g. an
+                        // optional guardrail check) is dropped outright once
+                        // the budget is under pressure, trading its
+                        // contribution for headroom.
+                        if self.ladder.is_skippable(&node.agent)
+                            && shared.status() != BudgetStatus::Healthy
+                        {
+                            shared.consume_projection(&node.profile);
+                            note_slots[i] = Some(DegradationNote {
                                 from: node.agent.clone(),
-                                to: Some(fallback.clone()),
-                                accuracy_penalty: penalty,
-                                reason: attempt
-                                    .error
-                                    .clone()
-                                    .unwrap_or_else(|| "primary agent failed".into()),
+                                to: None,
+                                accuracy_penalty: 0.0,
+                                reason: format!("skipped node {node_id} under budget pressure"),
                             });
                             self.publish_status(
                                 plan,
-                                "node-degraded",
-                                json!({"node": node_id, "from": node.agent, "to": fallback}),
+                                "node-skipped",
+                                json!({"node": node_id, "agent": node.agent}),
                             );
-                            // The fallback answers with degraded quality.
-                            budget.charge(0.0, 0, 1.0 - penalty);
-                            executing_agent = fallback;
-                            attempt = NodeAttempt {
-                                attempts: attempt.attempts + second.attempts,
-                                ..second
-                            };
+                            result_slots[i] = Some(NodeResult {
+                                node: node_id.to_string(),
+                                agent: node.agent.clone(),
+                                ok: true,
+                                cost: 0.0,
+                                latency_micros: 0,
+                                error: None,
+                                attempts: 0,
+                                cached: false,
+                            });
+                            for &c in &children[i] {
+                                indegree[c] -= 1;
+                                if indegree[c] == 0 {
+                                    insert_sorted(&mut ready, c);
+                                }
+                            }
+                            continue;
+                        }
+
+                        let tx = done_tx.clone();
+                        let node_budget = shared.clone();
+                        scope.spawn(move || {
+                            let outcome = self.drive_node(plan, node, &node_budget);
+                            let _ = tx.send((i, outcome));
+                        });
+                        in_flight += 1;
+                    }
+
+                    if in_flight == 0 {
+                        // Nothing running and nothing admissible: leave the
+                        // scope so replan decisions happen with no driver
+                        // threads live.
+                        return Ok(());
+                    }
+
+                    // Correlate the next completion, whatever its order.
+                    let (i, outcome) = done_rx
+                        .recv()
+                        .expect("driver threads outlive the dispatch loop");
+                    in_flight -= 1;
+                    match outcome? {
+                        Driven::ResolutionFailed(reason) => {
+                            raise_failure(&mut halt, i, reason, true);
+                        }
+                        Driven::Done {
+                            node_result,
+                            degradation,
+                            outputs,
+                            saved,
+                        } => {
+                            let failed = !node_result.ok;
+                            let error = node_result.error.clone();
+                            if let Some((cost, latency)) = saved {
+                                cache.hits += 1;
+                                cache.cost_saved += cost;
+                                cache.latency_saved_micros += latency;
+                            }
+                            if degradation.is_some() {
+                                note_slots[i] = degradation;
+                            }
+                            result_slots[i] = Some(node_result);
+                            if failed {
+                                raise_failure(
+                                    &mut halt,
+                                    i,
+                                    error.unwrap_or_else(|| "agent failed".into()),
+                                    false,
+                                );
+                                continue;
+                            }
+                            if outputs.is_object() {
+                                output_slots[i] = Some(outputs);
+                            }
+                            for &c in &children[i] {
+                                indegree[c] -= 1;
+                                if indegree[c] == 0 {
+                                    insert_sorted(&mut ready, c);
+                                }
+                            }
+                            // Budget checkpoint — the same decision ladder as
+                            // the sequential reference, evaluated on
+                            // completion events.
+                            if halt.is_none() {
+                                halt = match shared.status() {
+                                    BudgetStatus::Healthy => None,
+                                    BudgetStatus::Exceeded => Some(Halt::Exceeded),
+                                    BudgetStatus::ProjectedOverrun => match self.policy {
+                                        OverrunPolicy::Continue => None,
+                                        OverrunPolicy::Abort => Some(Halt::ProjectedAbort),
+                                        OverrunPolicy::Replan => {
+                                            if depth == 0 && self.task_planner.is_some() {
+                                                Some(Halt::ReplanOverrun)
+                                            } else {
+                                                // Cannot replan: keep going
+                                                // under protest.
+                                                None
+                                            }
+                                        }
+                                    },
+                                };
+                            }
                         }
                     }
                 }
-            }
+            })?;
 
-            let attempts = attempt.attempts;
-            if let Some(error) = attempt.error {
-                // Charge whatever the final failed attempt reported.
-                let (cost, latency) = attempt
-                    .report
-                    .as_ref()
-                    .map(|r| (r.cost, r.latency_micros))
-                    .unwrap_or((0.0, 0));
-                budget.charge(cost, latency, node.profile.accuracy);
-                budget.consume_projection(&node.profile);
-                node_results.push(NodeResult {
-                    node: node_id.clone(),
-                    agent: node.agent.clone(),
-                    ok: false,
-                    cost,
-                    latency_micros: latency,
-                    error: Some(error.clone()),
-                    attempts,
+            // The scope is drained. A projected overrun under the Replan
+            // policy is resolved here, with no drivers live: ask the task
+            // planner for the same decomposition minus the most expensive
+            // agent (§V-H). When no cheaper plan exists, clear the halt and
+            // resume under protest, exactly like the sequential reference.
+            if matches!(halt, Some(Halt::ReplanOverrun)) {
+                let subtasks: Vec<String> = plan.nodes.iter().map(|n| n.task.clone()).collect();
+                let replacement = self.task_planner.as_ref().and_then(|tp| {
+                    tp.plan_subtasks(&plan.utterance, &subtasks, &[most_expensive(plan)])
+                        .ok()
                 });
+                if let Some(new_plan) = replacement {
+                    let inner = self.execute_inner(&new_plan, shared.snapshot(), depth + 1)?;
+                    return Ok(ExecutionReport {
+                        task_id: plan.task_id.clone(),
+                        outcome: Outcome::Replanned {
+                            reason: "projected overrun".into(),
+                            inner: Box::new(inner),
+                        },
+                        budget: shared.snapshot(),
+                        node_results: result_slots.into_iter().flatten().collect(),
+                        degradations: note_slots.into_iter().flatten().collect(),
+                        cache,
+                    });
+                }
+                halt = None;
+                continue;
+            }
+            break;
+        }
 
-                // Quarantine the instruction that exhausted its attempts so
-                // operators can inspect and replay it once the fault clears.
-                self.quarantine_instruction(plan, node_id, node, &inputs, &error, attempts);
+        let node_results: Vec<NodeResult> = result_slots.into_iter().flatten().collect();
+        let degradations: Vec<DegradationNote> = note_slots.into_iter().flatten().collect();
+        let budget = shared.snapshot();
 
+        match halt {
+            None => {
+                // Deterministic final output: the last output-producing node
+                // in topological order, regardless of completion order.
+                let final_output = output_slots
+                    .into_iter()
+                    .flatten()
+                    .next_back()
+                    .unwrap_or(Value::Null);
+                self.publish_status(plan, "task-completed", json!({"task": plan.task_id}));
+                Ok(ExecutionReport {
+                    task_id: plan.task_id.clone(),
+                    outcome: Outcome::Completed {
+                        output: final_output,
+                    },
+                    budget,
+                    node_results,
+                    degradations,
+                    cache,
+                })
+            }
+            Some(Halt::Failure {
+                pos,
+                error,
+                resolution,
+            }) => {
+                let node_id = order[pos].as_str();
                 // Replan once, excluding the failed agent and every agent
-                // whose circuit is currently open (§V-H).
-                if depth == 0 {
+                // whose circuit is currently open (§V-H). Input-resolution
+                // failures skip straight to Failed: no instruction was
+                // issued, so reassigning agents cannot help.
+                if !resolution && depth == 0 {
                     if let Some(tp) = &self.task_planner {
-                        // Replan the same decomposition, excluding the
-                        // failed agent (keeps the task structure; only the
-                        // assignment changes).
+                        let node = plan.node(node_id).expect("failure references a plan node");
                         let subtasks: Vec<String> =
                             plan.nodes.iter().map(|n| n.task.clone()).collect();
                         let mut excluded = vec![node.agent.clone()];
@@ -402,105 +571,247 @@ impl TaskCoordinator {
                                 budget,
                                 node_results,
                                 degradations,
+                                cache,
                             });
                         }
                     }
                 }
-                return self.finish_failed(
+                self.finish_failed(
                     plan,
                     budget,
                     node_results,
                     degradations,
+                    cache,
                     node_id,
                     error,
+                )
+            }
+            Some(Halt::Exceeded) => self.finish_aborted(
+                plan,
+                budget,
+                node_results,
+                degradations,
+                cache,
+                "budget exceeded by actual costs".into(),
+            ),
+            Some(Halt::ProjectedAbort) => self.finish_aborted(
+                plan,
+                budget,
+                node_results,
+                degradations,
+                cache,
+                "projected costs exceed the budget".into(),
+            ),
+            Some(Halt::ReplanOverrun) => unreachable!("resolved before leaving the scheduler"),
+        }
+    }
+
+    /// Drives one node end-to-end on the calling thread: input resolution,
+    /// memo-cache lookup, breaker-gated invocation with retries, fallback
+    /// down the degradation ladder, and quarantine on exhaustion. Every
+    /// charge goes through the shared ledger.
+    fn drive_node(
+        &self,
+        plan: &TaskPlan,
+        node: &blueprint_planner::PlanNode,
+        budget: &SharedBudget,
+    ) -> Result<Driven, ExecutionError> {
+        let node_id = node.id.as_str();
+        // Subscribe to this task's agent reports before issuing any
+        // instruction so none can be missed. Each driver holds its own
+        // subscription; reports are correlated by `task:`/node tags, so
+        // concurrent drivers never cross wires.
+        let report_sub = self
+            .store
+            .subscribe(
+                Selector::AllStreams,
+                TagFilter::any_of([format!("task:{}", plan.task_id)]),
+            )
+            .map_err(|e| ExecutionError(e.to_string()))?;
+
+        // Resolve inputs, applying transformations.
+        let mut inputs = Inputs::new();
+        for (param, binding) in &node.inputs {
+            match self.resolve_input(plan, node, param, binding, budget) {
+                Ok(v) => {
+                    inputs.insert(param.clone(), v);
+                }
+                Err(reason) => return Ok(Driven::ResolutionFailed(reason)),
+            }
+        }
+
+        // Deterministic agents answer repeated inputs from the memo cache:
+        // the recorded outputs replay onto the node's output stream (so
+        // downstream bindings still resolve) at zero cost, and the savings
+        // are credited to the execution report.
+        let memo_key = self
+            .memo
+            .as_ref()
+            .map(|_| MemoCache::key(&node.agent, &inputs));
+        if let (Some(memo), Some(key)) = (&self.memo, &memo_key) {
+            if let Some(entry) = memo.lookup(key) {
+                self.replay_cached_outputs(plan, node, &entry);
+                budget.charge(0.0, 0, node.profile.accuracy);
+                budget.consume_projection(&node.profile);
+                self.publish_status(
+                    plan,
+                    "node-cached",
+                    json!({"node": node_id, "agent": node.agent}),
+                );
+                return Ok(Driven::Done {
+                    node_result: NodeResult {
+                        node: node.id.clone(),
+                        agent: node.agent.clone(),
+                        ok: true,
+                        cost: 0.0,
+                        latency_micros: 0,
+                        error: None,
+                        attempts: 0,
+                        cached: true,
+                    },
+                    degradation: None,
+                    outputs: entry.outputs.clone(),
+                    saved: Some((entry.cost, entry.latency_micros)),
+                });
+            }
+        }
+
+        // Drive the node: breaker gate, instruction publish, report await,
+        // retries with budget-debited backoff.
+        let mut attempt = self.run_node(plan, node_id, &node.agent, &inputs, &report_sub, budget)?;
+        let mut executing_agent = node.agent.clone();
+        let mut degradation = None;
+
+        // Graceful degradation: a failed agent falls back once to its
+        // configured substitute at a recorded accuracy penalty.
+        if attempt.error.is_some() {
+            if let Some((fallback, penalty)) = self.ladder.fallback_for(&node.agent) {
+                let fallback = fallback.to_string();
+                if self.registry.get_spec(&fallback).is_ok() {
+                    let second =
+                        self.run_node(plan, node_id, &fallback, &inputs, &report_sub, budget)?;
+                    if second.error.is_none() {
+                        degradation = Some(DegradationNote {
+                            from: node.agent.clone(),
+                            to: Some(fallback.clone()),
+                            accuracy_penalty: penalty,
+                            reason: attempt
+                                .error
+                                .clone()
+                                .unwrap_or_else(|| "primary agent failed".into()),
+                        });
+                        self.publish_status(
+                            plan,
+                            "node-degraded",
+                            json!({"node": node_id, "from": node.agent, "to": fallback}),
+                        );
+                        // The fallback answers with degraded quality.
+                        budget.charge(0.0, 0, 1.0 - penalty);
+                        executing_agent = fallback;
+                        attempt = NodeAttempt {
+                            attempts: attempt.attempts + second.attempts,
+                            ..second
+                        };
+                    }
+                }
+            }
+        }
+
+        let attempts = attempt.attempts;
+        if let Some(error) = attempt.error {
+            // Charge whatever the final failed attempt reported.
+            let (cost, latency) = attempt
+                .report
+                .as_ref()
+                .map(|r| (r.cost, r.latency_micros))
+                .unwrap_or((0.0, 0));
+            budget.charge(cost, latency, node.profile.accuracy);
+            budget.consume_projection(&node.profile);
+
+            // Quarantine the instruction that exhausted its attempts so
+            // operators can inspect and replay it once the fault clears.
+            self.quarantine_instruction(plan, node_id, node, &inputs, &error, attempts);
+
+            return Ok(Driven::Done {
+                node_result: NodeResult {
+                    node: node.id.clone(),
+                    agent: node.agent.clone(),
+                    ok: false,
+                    cost,
+                    latency_micros: latency,
+                    error: Some(error),
+                    attempts,
+                    cached: false,
+                },
+                degradation,
+                outputs: Value::Null,
+                saved: None,
+            });
+        }
+
+        let report = attempt.report.expect("successful attempt carries a report");
+        budget.charge(report.cost, report.latency_micros, node.profile.accuracy);
+        budget.consume_projection(&node.profile);
+
+        // Only primary successes populate the cache: fallback answers carry
+        // degraded quality, and caching them would hide the degradation on
+        // replay.
+        if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
+            if executing_agent == node.agent && report.outputs.is_object() {
+                memo.insert(
+                    key,
+                    MemoEntry {
+                        outputs: report.outputs.clone(),
+                        cost: report.cost,
+                        latency_micros: report.latency_micros,
+                    },
                 );
             }
+        }
 
-            let report = attempt.report.expect("successful attempt carries a report");
-            budget.charge(report.cost, report.latency_micros, node.profile.accuracy);
-            budget.consume_projection(&node.profile);
-            node_results.push(NodeResult {
-                node: node_id.clone(),
+        Ok(Driven::Done {
+            node_result: NodeResult {
+                node: node.id.clone(),
                 agent: executing_agent,
                 ok: true,
                 cost: report.cost,
                 latency_micros: report.latency_micros,
                 error: None,
                 attempts,
-            });
-
-            // Downstream bindings read outputs back off the task's output
-            // streams (resolve_input); only the latest outputs are kept here
-            // for the final result.
-            if report.outputs.is_object() {
-                final_output = report.outputs.clone();
-            }
-
-            // Budget checkpoint.
-            match budget.status() {
-                BudgetStatus::Healthy => {}
-                BudgetStatus::Exceeded => {
-                    return self.finish_aborted(
-                        plan,
-                        budget,
-                        node_results,
-                        degradations,
-                        "budget exceeded by actual costs".into(),
-                    );
-                }
-                BudgetStatus::ProjectedOverrun => match self.policy {
-                    OverrunPolicy::Continue => {}
-                    OverrunPolicy::Abort => {
-                        return self.finish_aborted(
-                            plan,
-                            budget,
-                            node_results,
-                            degradations,
-                            "projected costs exceed the budget".into(),
-                        );
-                    }
-                    OverrunPolicy::Replan => {
-                        if depth == 0 {
-                            if let Some(tp) = &self.task_planner {
-                                let subtasks: Vec<String> =
-                                    plan.nodes.iter().map(|n| n.task.clone()).collect();
-                                if let Ok(new_plan) = tp.plan_subtasks(
-                                    &plan.utterance,
-                                    &subtasks,
-                                    &[most_expensive(plan)],
-                                ) {
-                                    let inner =
-                                        self.execute_inner(&new_plan, budget.clone(), depth + 1)?;
-                                    return Ok(ExecutionReport {
-                                        task_id: plan.task_id.clone(),
-                                        outcome: Outcome::Replanned {
-                                            reason: "projected overrun".into(),
-                                            inner: Box::new(inner),
-                                        },
-                                        budget,
-                                        node_results,
-                                        degradations,
-                                    });
-                                }
-                            }
-                        }
-                        // Could not replan: keep going under protest.
-                    }
-                },
-            }
-
-        }
-
-        self.publish_status(plan, "task-completed", json!({"task": plan.task_id}));
-        Ok(ExecutionReport {
-            task_id: plan.task_id.clone(),
-            outcome: Outcome::Completed {
-                output: final_output,
+                cached: false,
             },
-            budget,
-            node_results,
-            degradations,
+            degradation,
+            outputs: report.outputs,
+            saved: None,
         })
+    }
+
+    /// Republishes a cached node's outputs onto its output stream so
+    /// downstream `FromNode` bindings resolve exactly as if the agent ran.
+    fn replay_cached_outputs(
+        &self,
+        plan: &TaskPlan,
+        node: &blueprint_planner::PlanNode,
+        entry: &MemoEntry,
+    ) {
+        let Some(outputs) = entry.outputs.as_object() else {
+            return;
+        };
+        let stream = format!("{}:task:{}:{}", self.scope, plan.task_id, node.id);
+        let tags: Vec<Tag> = self
+            .registry
+            .get_spec(&node.agent)
+            .map(|spec| spec.output_tags.iter().map(Tag::new).collect())
+            .unwrap_or_default();
+        for (param, value) in outputs {
+            let msg = Message::data_json(value.clone())
+                .with_tag(param.as_str())
+                .with_tags(tags.iter().cloned())
+                .from_producer(format!("memo:{}", node.agent));
+            let _ = self
+                .store
+                .publish_to(stream.clone(), Vec::<Tag>::new(), msg);
+        }
     }
 
     /// Drives one node to a terminal attempt outcome: checks the circuit
@@ -513,7 +824,7 @@ impl TaskCoordinator {
         agent: &str,
         inputs: &Inputs,
         report_sub: &blueprint_streams::Subscription,
-        budget: &mut Budget,
+        budget: &SharedBudget,
     ) -> Result<NodeAttempt, ExecutionError> {
         // An open circuit fails fast: no instruction is issued, so the
         // struggling agent gets no more traffic until its cooldown elapses.
@@ -630,7 +941,7 @@ impl TaskCoordinator {
         node: &blueprint_planner::PlanNode,
         param: &str,
         binding: &InputBinding,
-        budget: &mut Budget,
+        budget: &SharedBudget,
     ) -> Result<Value, String> {
         match binding {
             InputBinding::Literal(v) => Ok(v.clone()),
@@ -739,6 +1050,7 @@ impl TaskCoordinator {
         budget: Budget,
         node_results: Vec<NodeResult>,
         degradations: Vec<DegradationNote>,
+        cache: CacheSavings,
         reason: String,
     ) -> Result<ExecutionReport, ExecutionError> {
         self.publish_status(plan, "task-aborted", json!({"reason": reason}));
@@ -748,15 +1060,18 @@ impl TaskCoordinator {
             budget,
             node_results,
             degradations,
+            cache,
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_failed(
         &self,
         plan: &TaskPlan,
         budget: Budget,
         node_results: Vec<NodeResult>,
         degradations: Vec<DegradationNote>,
+        cache: CacheSavings,
         node_id: &str,
         error: String,
     ) -> Result<ExecutionReport, ExecutionError> {
@@ -774,8 +1089,67 @@ impl TaskCoordinator {
             budget,
             node_results,
             degradations,
+            cache,
         })
     }
+}
+
+/// What one node driver produced. One lives per in-flight node, briefly, on
+/// the completion channel — not worth boxing the large variant.
+#[allow(clippy::large_enum_variant)]
+enum Driven {
+    /// An input binding could not be resolved; no instruction was issued,
+    /// so there is no node result and nothing to quarantine.
+    ResolutionFailed(String),
+    /// The node reached a terminal state: success, cache hit, or failure
+    /// after exhausting retries and fallbacks.
+    Done {
+        node_result: NodeResult,
+        degradation: Option<DegradationNote>,
+        outputs: Value,
+        /// Cost and latency the memo cache avoided (hits only).
+        saved: Option<(f64, u64)>,
+    },
+}
+
+/// Why the scheduler stopped admitting new nodes.
+enum Halt {
+    /// A node failed. `resolution` marks input-resolution failures, where
+    /// the agent was never invoked.
+    Failure {
+        pos: usize,
+        error: String,
+        resolution: bool,
+    },
+    /// Actual spend exceeded the constraints.
+    Exceeded,
+    /// Projection exceeded the constraints under [`OverrunPolicy::Abort`].
+    ProjectedAbort,
+    /// Projection exceeded the constraints under [`OverrunPolicy::Replan`].
+    ReplanOverrun,
+}
+
+/// Records a node failure. The earliest topological position wins so the
+/// reported failing node is deterministic under any completion order, and
+/// abort decisions already taken stand.
+fn raise_failure(halt: &mut Option<Halt>, pos: usize, error: String, resolution: bool) {
+    match halt {
+        Some(Halt::Failure { pos: existing, .. }) if *existing <= pos => {}
+        Some(Halt::Exceeded) | Some(Halt::ProjectedAbort) => {}
+        _ => {
+            *halt = Some(Halt::Failure {
+                pos,
+                error,
+                resolution,
+            });
+        }
+    }
+}
+
+/// Inserts a position into the sorted ready list.
+fn insert_sorted(ready: &mut Vec<usize>, value: usize) {
+    let at = ready.partition_point(|&x| x < value);
+    ready.insert(at, value);
 }
 
 /// Name of the plan's most expensive agent (replan exclusion heuristic).
@@ -1392,5 +1766,125 @@ mod tests {
         }
         // The data plan's LLM cost was charged to the budget.
         assert!(report.budget.spent_cost > 0.0);
+    }
+
+    fn sleep_agent(factory: &AgentFactory, registry: &AgentRegistry, name: &str, millis: u64) {
+        let spec = AgentSpec::new(name, format!("{name} sleeps then answers"))
+            .with_input(ParamSpec::required("text", "input text", DataType::Text))
+            .with_output(ParamSpec::required("out", "answer", DataType::Text))
+            .with_profile(CostProfile::new(1.0, 1_000, 0.95));
+        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                std::thread::sleep(Duration::from_millis(millis));
+                let text = inputs.require_str("text")?;
+                ctx.charge_cost(0.25);
+                ctx.charge_latency_micros(1_000);
+                Ok(Outputs::new().with("out", json!(text.to_uppercase())))
+            },
+        ));
+        factory.register(spec.clone(), proc).unwrap();
+        registry.register(spec).unwrap();
+        factory.spawn(name, "session:1").unwrap();
+    }
+
+    fn fanout_plan(task_id: &str, agents: &[String]) -> TaskPlan {
+        let mut plan = TaskPlan::new(task_id, "hello world");
+        for (i, agent) in agents.iter().enumerate() {
+            let mut inputs = BTreeMap::new();
+            inputs.insert("text".to_string(), InputBinding::FromUser);
+            plan.push(PlanNode {
+                id: format!("n{}", i + 1),
+                agent: agent.clone(),
+                task: format!("branch {i}"),
+                inputs,
+                profile: CostProfile::new(1.0, 1_000, 0.95),
+            });
+        }
+        plan
+    }
+
+    fn sleepy_coordinator(branches: usize, millis: u64) -> (AgentFactory, TaskCoordinator, Vec<String>) {
+        let agents: Vec<String> = (0..branches).map(|i| format!("sleep-{i}")).collect();
+        let store = StreamStore::new();
+        let factory = AgentFactory::new(store.clone());
+        let registry = Arc::new(AgentRegistry::new());
+        for name in &agents {
+            sleep_agent(&factory, &registry, name, millis);
+        }
+        let coordinator = TaskCoordinator::new(store, "session:1", registry);
+        (factory, coordinator, agents)
+    }
+
+    #[test]
+    fn parallel_scheduler_overlaps_independent_branches() {
+        let (_factory, coordinator, agents) = sleepy_coordinator(6, 40);
+        let plan = fanout_plan("t-fan", &agents);
+        let start = std::time::Instant::now();
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        let elapsed = start.elapsed();
+        assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+        // Results merge back into topological order even though the branches
+        // complete in arbitrary order.
+        let ids: Vec<&str> = report.node_results.iter().map(|r| r.node.as_str()).collect();
+        assert_eq!(ids, ["n1", "n2", "n3", "n4", "n5", "n6"]);
+        assert!((report.budget.spent_cost - 6.0 * 0.25).abs() < 1e-9);
+        // Six 40 ms branches overlap; a sequential walk needs at least 240 ms.
+        assert!(elapsed < Duration::from_millis(200), "took {elapsed:?}");
+    }
+
+    #[test]
+    fn sequential_mode_walks_one_node_at_a_time() {
+        let (_factory, coordinator, agents) = sleepy_coordinator(4, 30);
+        let coordinator = coordinator.with_scheduler(SchedulerMode::Sequential);
+        let plan = fanout_plan("t-seq", &agents);
+        let start = std::time::Instant::now();
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+        assert!(start.elapsed() >= Duration::from_millis(120));
+    }
+
+    #[test]
+    fn bounded_parallelism_caps_in_flight_nodes() {
+        let (_factory, coordinator, agents) = sleepy_coordinator(6, 30);
+        let coordinator =
+            coordinator.with_scheduler(SchedulerMode::Parallel { max_in_flight: 2 });
+        let plan = fanout_plan("t-cap", &agents);
+        let start = std::time::Instant::now();
+        let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+        // Six 30 ms branches two at a time: at least three full waves.
+        assert!(start.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn memo_cache_replays_repeated_chain_at_zero_cost() {
+        let (_factory, coordinator, _registry) = setup(&["echo-1", "echo-2"]);
+        let coordinator = coordinator.with_memoization(Arc::new(MemoCache::new(64)));
+        let plan = chain_plan("t-memo", &["echo-1", "echo-2"]);
+
+        let first = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        assert!(first.outcome.succeeded(), "outcome: {:?}", first.outcome);
+        assert_eq!(first.cache.hits, 0);
+        assert!(first.node_results.iter().all(|r| !r.cached));
+        let spent = first.budget.spent_cost;
+        assert!(spent > 0.0);
+
+        // The same plan again: every node is a hit, nothing is charged, and
+        // the replayed outputs flow through downstream bindings unchanged.
+        let second = coordinator.execute(&plan, QosConstraints::none()).unwrap();
+        assert!(second.outcome.succeeded(), "outcome: {:?}", second.outcome);
+        assert_eq!(second.cache.hits, 2);
+        assert!(second
+            .node_results
+            .iter()
+            .all(|r| r.cached && r.attempts == 0 && r.cost == 0.0));
+        assert_eq!(second.budget.spent_cost, 0.0);
+        assert!((second.cache.cost_saved - spent).abs() < 1e-9);
+        assert!(second.cache.latency_saved_micros > 0);
+        let output = |report: &ExecutionReport| match &report.outcome {
+            Outcome::Completed { output } => output.clone(),
+            other => panic!("unexpected outcome: {other:?}"),
+        };
+        assert_eq!(output(&first), output(&second));
     }
 }

@@ -9,8 +9,11 @@
 
 pub mod coordinator;
 pub mod daemon;
+pub mod memo;
 
 pub use coordinator::{
-    ExecutionError, ExecutionReport, NodeResult, Outcome, OverrunPolicy, TaskCoordinator,
+    CacheSavings, ExecutionError, ExecutionReport, NodeResult, Outcome, OverrunPolicy,
+    SchedulerMode, TaskCoordinator,
 };
 pub use daemon::CoordinatorDaemon;
+pub use memo::{MemoCache, MemoEntry, MemoStats};

@@ -1,0 +1,200 @@
+//! Memoization of deterministic agent invocations.
+//!
+//! The simulated LLM — and every processor built on it — is a pure function
+//! of its inputs, so repeated sub-queries across conversation turns and
+//! sessions (Fig 8/10 flows re-ask the same extraction and lookup steps)
+//! recompute identical answers at full cost. The coordinator can instead
+//! consult a [`MemoCache`] keyed by `(agent, canonical input hash)`: on a
+//! hit it replays the recorded outputs onto the node's output stream and
+//! charges nothing, recording the avoided cost and latency in the execution
+//! report.
+//!
+//! Memoization is **opt-in**: only enable it when every registered agent is
+//! deterministic (true for the whole simulated runtime, false the moment a
+//! processor reads a clock or external service). Only successful primary
+//! invocations are cached — failures, fallbacks, and fault-injected runs
+//! never populate the cache.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+use serde_json::Value;
+
+use blueprint_agents::Inputs;
+
+/// A recorded successful invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoEntry {
+    /// The outputs the agent produced (JSON object keyed by output param).
+    pub outputs: Value,
+    /// Cost the original invocation charged.
+    pub cost: f64,
+    /// Latency the original invocation charged (µs).
+    pub latency_micros: u64,
+}
+
+/// Cumulative cache counters (across every execution sharing the cache).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Total cost avoided by hits.
+    pub cost_saved: f64,
+    /// Total latency avoided by hits (µs).
+    pub latency_saved_micros: u64,
+}
+
+struct MemoInner {
+    map: HashMap<String, MemoEntry>,
+    /// Insertion order for FIFO eviction once `capacity` is reached.
+    order: VecDeque<String>,
+    stats: MemoStats,
+}
+
+/// A bounded, thread-safe cache of deterministic agent invocations, shared
+/// by every coordinator of a runtime (hits work across sessions).
+pub struct MemoCache {
+    capacity: usize,
+    inner: Mutex<MemoInner>,
+}
+
+impl MemoCache {
+    /// Creates a cache holding at most `capacity` entries (FIFO eviction).
+    /// A zero capacity is rounded up to one.
+    pub fn new(capacity: usize) -> Self {
+        MemoCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(MemoInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                stats: MemoStats::default(),
+            }),
+        }
+    }
+
+    /// Canonical cache key: the agent name plus the inputs serialized with
+    /// sorted parameter names ([`Inputs`] is `BTreeMap`-backed, so the JSON
+    /// form is already canonical at the top level). The full serialization
+    /// is used rather than a digest so key collisions are impossible.
+    pub fn key(agent: &str, inputs: &Inputs) -> String {
+        let canon = serde_json::to_string(inputs).unwrap_or_default();
+        format!("{agent}\u{1}{canon}")
+    }
+
+    /// Looks up a key, counting a hit (with its savings) or a miss.
+    pub fn lookup(&self, key: &str) -> Option<MemoEntry> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key).cloned() {
+            Some(entry) => {
+                inner.stats.hits += 1;
+                inner.stats.cost_saved += entry.cost;
+                inner.stats.latency_saved_micros += entry.latency_micros;
+                Some(entry)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a successful invocation, evicting the oldest entry when full.
+    /// Racing inserts of the same key are benign: the agent is deterministic,
+    /// so both writers carry the same value.
+    pub fn insert(&self, key: String, entry: MemoEntry) {
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, entry);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> MemoStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept). Use when agents are
+    /// re-registered with new processors and recorded answers may be stale.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn entry(cost: f64) -> MemoEntry {
+        MemoEntry {
+            outputs: json!({"out": "X"}),
+            cost,
+            latency_micros: 100,
+        }
+    }
+
+    #[test]
+    fn key_is_canonical_over_param_order() {
+        let a = Inputs::new().with("x", json!(1)).with("y", json!(2));
+        let b = Inputs::new().with("y", json!(2)).with("x", json!(1));
+        assert_eq!(MemoCache::key("agent", &a), MemoCache::key("agent", &b));
+        assert_ne!(MemoCache::key("agent", &a), MemoCache::key("other", &a));
+    }
+
+    #[test]
+    fn hit_records_savings() {
+        let cache = MemoCache::new(8);
+        let key = MemoCache::key("a", &Inputs::new());
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key.clone(), entry(0.5));
+        let hit = cache.lookup(&key).unwrap();
+        assert_eq!(hit.cost, 0.5);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.cost_saved - 0.5).abs() < 1e-9);
+        assert_eq!(stats.latency_saved_micros, 100);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let cache = MemoCache::new(2);
+        cache.insert("k1".into(), entry(0.1));
+        cache.insert("k2".into(), entry(0.2));
+        cache.insert("k3".into(), entry(0.3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("k1").is_none());
+        assert!(cache.lookup("k3").is_some());
+    }
+
+    #[test]
+    fn invalidate_clears_entries() {
+        let cache = MemoCache::new(4);
+        cache.insert("k".into(), entry(0.1));
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert!(cache.lookup("k").is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based equivalence of the parallel scheduler and the sequential
+//! reference execution.
+//!
+//! For randomly generated DAGs of deterministic agents, the parallel
+//! ready-set scheduler must produce byte-identical final outputs, identical
+//! per-node results merged in topological order, and identical total cost
+//! accounting. All charges are dyadic rationals (multiples of 0.125) and
+//! every accuracy is exactly 1.0, so the f64 sums and products are exact
+//! under any completion order — equality is bitwise, not approximate.
+//!
+//! Latency is excluded from the equivalence claim: agents measure latency as
+//! elapsed time on the *shared* simulated clock, so overlapping invocations
+//! observe each other's clock advances and parallel runs deliberately
+//! over-count per-node latency (a conservative budget). Cost and accuracy
+//! are per-invocation accumulators and must match exactly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use serde_json::json;
+
+use blueprint_agents::{
+    AgentContext, AgentFactory, AgentSpec, CostProfile, DataType, FnProcessor, Inputs, Outputs,
+    ParamSpec, Processor,
+};
+use blueprint_coordinator::{
+    ExecutionReport, MemoCache, Outcome, SchedulerMode, TaskCoordinator,
+};
+use blueprint_optimizer::QosConstraints;
+use blueprint_planner::{InputBinding, PlanNode, TaskPlan};
+use blueprint_registry::AgentRegistry;
+use blueprint_streams::StreamStore;
+
+/// Registers `join-{arity}`: a pure function that uppercases and joins its
+/// `in_0..in_{arity-1}` inputs. Costs are dyadic and scale with the arity so
+/// cost accounting is sensitive to which agent ran.
+fn register_join(factory: &AgentFactory, registry: &AgentRegistry, arity: usize) {
+    let params = arity.max(1);
+    let mut spec = AgentSpec::new(
+        format!("join-{arity}"),
+        format!("joins {params} upstream value(s)"),
+    )
+    .with_output(ParamSpec::required("out", "joined text", DataType::Text))
+    .with_profile(CostProfile::new(
+        0.125 * (arity + 1) as f64,
+        1_000 * (arity + 1) as u64,
+        1.0,
+    ));
+    for k in 0..params {
+        spec = spec.with_input(ParamSpec::required(
+            format!("in_{k}"),
+            "upstream value",
+            DataType::Text,
+        ));
+    }
+    let cost = 0.125 * (arity + 1) as f64;
+    let latency = 1_000 * (arity + 1) as u64;
+    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        move |inputs: &Inputs, ctx: &AgentContext| {
+            let mut parts = Vec::with_capacity(params);
+            for k in 0..params {
+                parts.push(inputs.require_str(&format!("in_{k}"))?.to_uppercase());
+            }
+            ctx.charge_cost(cost);
+            ctx.charge_latency_micros(latency);
+            let joined = parts.join("+");
+            Ok(Outputs::new().with("out", json!(format!("{}#{}", joined, joined.len()))))
+        },
+    ));
+    factory.register(spec.clone(), proc).unwrap();
+    registry.register(spec).unwrap();
+    factory.spawn(&format!("join-{arity}"), "session:1").unwrap();
+}
+
+/// Maps raw generator output to a DAG: node `i` depends on up to two
+/// distinct earlier nodes (`raw % i`), which guarantees acyclicity.
+fn build_plan(raw_deps: &[Vec<usize>]) -> TaskPlan {
+    let mut plan = TaskPlan::new("t-prop", "the user utterance");
+    for (i, raw) in raw_deps.iter().enumerate() {
+        let mut deps: Vec<usize> = if i == 0 {
+            Vec::new()
+        } else {
+            raw.iter().map(|r| r % i).collect()
+        };
+        deps.sort_unstable();
+        deps.dedup();
+        let mut inputs = BTreeMap::new();
+        if deps.is_empty() {
+            inputs.insert("in_0".to_string(), InputBinding::FromUser);
+        } else {
+            for (k, &j) in deps.iter().enumerate() {
+                inputs.insert(
+                    format!("in_{k}"),
+                    InputBinding::FromNode {
+                        node: format!("n{j}"),
+                        output: "out".to_string(),
+                    },
+                );
+            }
+        }
+        let arity = deps.len();
+        plan.push(PlanNode {
+            id: format!("n{i}"),
+            agent: format!("join-{arity}"),
+            task: format!("step {i}"),
+            inputs,
+            profile: CostProfile::new(
+                0.125 * (arity + 1) as f64,
+                1_000 * (arity + 1) as u64,
+                1.0,
+            ),
+        });
+    }
+    plan
+}
+
+/// Executes the generated plan on a fresh runtime under the given scheduler.
+fn run(raw_deps: &[Vec<usize>], mode: SchedulerMode, memo: bool) -> ExecutionReport {
+    let store = StreamStore::new();
+    let factory = AgentFactory::new(store.clone());
+    let registry = Arc::new(AgentRegistry::new());
+    for arity in 0..3 {
+        register_join(&factory, &registry, arity);
+    }
+    let mut coordinator = TaskCoordinator::new(store, "session:1", registry)
+        .with_report_timeout(Duration::from_secs(10))
+        .with_scheduler(mode);
+    if memo {
+        coordinator = coordinator.with_memoization(Arc::new(MemoCache::new(256)));
+    }
+    let plan = build_plan(raw_deps);
+    coordinator.execute(&plan, QosConstraints::none()).unwrap()
+}
+
+fn final_output(report: &ExecutionReport) -> String {
+    match &report.outcome {
+        Outcome::Completed { output } => serde_json::to_string(output).unwrap(),
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+}
+
+/// Node results with the latency field normalized away (see module docs).
+fn without_latency(report: &ExecutionReport) -> Vec<blueprint_coordinator::NodeResult> {
+    report
+        .node_results
+        .iter()
+        .cloned()
+        .map(|mut r| {
+            r.latency_micros = 0;
+            r
+        })
+        .collect()
+}
+
+/// Raw dependency material: 1..8 nodes, each with 0..=2 raw dep picks.
+fn deps_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (1usize..8).prop_flat_map(|n| {
+        prop::collection::vec(prop::collection::vec(0usize..1000, 0..3), n)
+    })
+}
+
+proptest! {
+    /// The parallel scheduler is observationally identical to the sequential
+    /// reference: same outputs byte for byte, same node results in the same
+    /// (topological) order, and bitwise-identical cost accounting.
+    #[test]
+    fn parallel_execution_matches_sequential_reference(raw_deps in deps_strategy()) {
+        let seq = run(&raw_deps, SchedulerMode::Sequential, false);
+        let par = run(&raw_deps, SchedulerMode::Parallel { max_in_flight: 0 }, false);
+
+        prop_assert!(seq.outcome.succeeded(), "sequential: {:?}", seq.outcome);
+        prop_assert!(par.outcome.succeeded(), "parallel: {:?}", par.outcome);
+        prop_assert_eq!(final_output(&seq), final_output(&par));
+        prop_assert_eq!(without_latency(&seq), without_latency(&par));
+        prop_assert_eq!(
+            seq.budget.spent_cost.to_bits(),
+            par.budget.spent_cost.to_bits()
+        );
+        prop_assert_eq!(
+            seq.budget.accuracy_so_far.to_bits(),
+            par.budget.accuracy_so_far.to_bits()
+        );
+        prop_assert_eq!(seq.cache.hits, 0);
+        prop_assert_eq!(par.cache.hits, 0);
+    }
+
+    /// A bounded ready set changes only wall-clock concurrency, not results.
+    #[test]
+    fn bounded_parallelism_matches_sequential_reference(raw_deps in deps_strategy()) {
+        let seq = run(&raw_deps, SchedulerMode::Sequential, false);
+        let par = run(&raw_deps, SchedulerMode::Parallel { max_in_flight: 2 }, false);
+        prop_assert_eq!(final_output(&seq), final_output(&par));
+        prop_assert_eq!(without_latency(&seq), without_latency(&par));
+        prop_assert_eq!(
+            seq.budget.spent_cost.to_bits(),
+            par.budget.spent_cost.to_bits()
+        );
+    }
+}
+
+proptest! {
+    /// Memoization changes cost, not answers: a memoized parallel run yields
+    /// the same outputs as the uncached sequential reference, and repeated
+    /// nodes (same agent + same inputs) hit the cache at zero marginal cost.
+    #[test]
+    fn memoized_runs_preserve_outputs(raw_deps in deps_strategy()) {
+        let seq = run(&raw_deps, SchedulerMode::Sequential, false);
+        let memoized = run(&raw_deps, SchedulerMode::Parallel { max_in_flight: 0 }, true);
+        prop_assert_eq!(final_output(&seq), final_output(&memoized));
+        let cached: u64 = memoized
+            .node_results
+            .iter()
+            .filter(|r| r.cached)
+            .count() as u64;
+        prop_assert_eq!(memoized.cache.hits, cached);
+    }
+}

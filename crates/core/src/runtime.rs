@@ -6,7 +6,8 @@ use std::time::Duration;
 
 use blueprint_agents::AgentFactory;
 use blueprint_coordinator::{
-    CoordinatorDaemon, ExecutionError, ExecutionReport, OverrunPolicy, TaskCoordinator,
+    CoordinatorDaemon, ExecutionError, ExecutionReport, MemoCache, OverrunPolicy, SchedulerMode,
+    TaskCoordinator,
 };
 use blueprint_datastore::{
     DataSource, DocumentSource, FaultInjectedSource, GraphSource, KvSource, RelationalSource,
@@ -80,6 +81,8 @@ pub struct BlueprintBuilder {
     retry: RetryPolicy,
     breaker_config: Option<BreakerConfig>,
     ladder: DegradationLadder,
+    scheduler: SchedulerMode,
+    memo_capacity: Option<usize>,
 }
 
 impl Default for BlueprintBuilder {
@@ -97,6 +100,8 @@ impl Default for BlueprintBuilder {
             retry: RetryPolicy::none(),
             breaker_config: None,
             ladder: DegradationLadder::new(),
+            scheduler: SchedulerMode::default(),
+            memo_capacity: None,
         }
     }
 }
@@ -175,6 +180,23 @@ impl BlueprintBuilder {
     /// Sets the degradation ladder (fallback agents, skippable nodes).
     pub fn with_degradation(mut self, ladder: DegradationLadder) -> Self {
         self.ladder = ladder;
+        self
+    }
+
+    /// Selects how session coordinators walk plan DAGs (parallel ready-set
+    /// scheduling by default; [`SchedulerMode::Sequential`] is the reference
+    /// execution).
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables memoization of deterministic agent invocations, shared across
+    /// every session (capacity = max cached invocations, FIFO eviction).
+    /// Only enable when registered agents are pure functions of their inputs
+    /// — true for the simulated runtime unless fault injection is armed.
+    pub fn with_memoization(mut self, capacity: usize) -> Self {
+        self.memo_capacity = Some(capacity);
         self
     }
 
@@ -276,6 +298,8 @@ impl BlueprintBuilder {
             breakers,
             retry: self.retry,
             ladder: self.ladder,
+            scheduler: self.scheduler,
+            memo: self.memo_capacity.map(|cap| Arc::new(MemoCache::new(cap))),
         })
     }
 }
@@ -298,6 +322,8 @@ pub struct Blueprint {
     breakers: Option<Arc<BreakerRegistry>>,
     retry: RetryPolicy,
     ladder: DegradationLadder,
+    scheduler: SchedulerMode,
+    memo: Option<Arc<MemoCache>>,
 }
 
 impl Blueprint {
@@ -356,6 +382,11 @@ impl Blueprint {
         self.breakers.as_ref()
     }
 
+    /// The cross-session memoization cache, when memoization was enabled.
+    pub fn memo_cache(&self) -> Option<&Arc<MemoCache>> {
+        self.memo.as_ref()
+    }
+
     /// Starts a session: creates its scope, spawns an instance of every
     /// registered agent into it, and attaches a coordinator + daemon.
     pub fn start_session(&self) -> Result<BlueprintSession, CoreError> {
@@ -377,9 +408,13 @@ impl Blueprint {
                 .with_policy(self.policy)
                 .with_report_timeout(self.report_timeout)
                 .with_retry_policy(self.retry.clone())
-                .with_degradation(self.ladder.clone());
+                .with_degradation(self.ladder.clone())
+                .with_scheduler(self.scheduler);
         if let Some(b) = &self.breakers {
             coordinator = coordinator.with_breakers(Arc::clone(b));
+        }
+        if let Some(m) = &self.memo {
+            coordinator = coordinator.with_memoization(Arc::clone(m));
         }
         let coordinator = Arc::new(coordinator);
         let daemon =

@@ -5,6 +5,9 @@
 //! coordinator charges actual costs as agent reports arrive and aborts or
 //! replans when the projection exceeds the constraints (§V-H).
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use blueprint_agents::CostProfile;
@@ -169,6 +172,49 @@ impl Budget {
             .max_cost
             .map(|m| (m - self.spent_cost).max(0.0))
             .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// A [`Budget`] shared by concurrently executing plan nodes.
+///
+/// The parallel scheduler dispatches every ready node at once, so charges,
+/// projection consumption, retry/backoff debits, and status checks race.
+/// All accounting goes through one mutex so the ledger stays exact: charges
+/// are additive and commutative, so the final totals are independent of the
+/// order in which racing nodes land their updates.
+#[derive(Clone)]
+pub struct SharedBudget {
+    inner: Arc<Mutex<Budget>>,
+}
+
+impl SharedBudget {
+    /// Wraps a budget for concurrent use.
+    pub fn new(budget: Budget) -> Self {
+        SharedBudget {
+            inner: Arc::new(Mutex::new(budget)),
+        }
+    }
+
+    /// Charges the actual QoS of one completed step (see [`Budget::charge`]).
+    pub fn charge(&self, actual_cost: f64, actual_latency_micros: u64, step_accuracy: f64) {
+        self.inner
+            .lock()
+            .charge(actual_cost, actual_latency_micros, step_accuracy);
+    }
+
+    /// Reduces the remaining projection after a step completes.
+    pub fn consume_projection(&self, step: &CostProfile) {
+        self.inner.lock().consume_projection(step);
+    }
+
+    /// Checks the ledger against the constraints.
+    pub fn status(&self) -> BudgetStatus {
+        self.inner.lock().status()
+    }
+
+    /// A point-in-time copy of the ledger.
+    pub fn snapshot(&self) -> Budget {
+        self.inner.lock().clone()
     }
 }
 

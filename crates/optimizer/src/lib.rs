@@ -21,7 +21,7 @@ pub mod budget;
 pub mod objective;
 pub mod pareto;
 
-pub use budget::{Budget, BudgetStatus, QosConstraints};
+pub use budget::{Budget, BudgetStatus, QosConstraints, SharedBudget};
 pub use objective::Objective;
 pub use pareto::{optimize_choices, pareto_frontier, select, Candidate};
 

@@ -23,7 +23,8 @@ use crate::subscription::{Selector, Subscription, TagFilter};
 use crate::tag::Tag;
 use crate::Result;
 
-/// Counters describing store activity (observability surface).
+/// Snapshot of the counters describing store activity (observability
+/// surface).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Streams created since startup.
@@ -43,6 +44,37 @@ pub struct StoreStats {
     pub faults_duplicated: u64,
     /// Messages whose delivery was delayed by an injected delay fault.
     pub faults_delayed: u64,
+}
+
+/// Live counters behind [`StoreStats`]. Plain atomics keep the publish fast
+/// path lock-free on the stats side: counters are monotonic sums (relaxed
+/// `fetch_add` suffices) except `active_subscriptions`, a gauge overwritten
+/// with the subscription count observed under the store lock.
+#[derive(Default)]
+struct StatCells {
+    streams_created: AtomicU64,
+    messages_published: AtomicU64,
+    deliveries: AtomicU64,
+    bytes_published: AtomicU64,
+    active_subscriptions: AtomicU64,
+    faults_dropped: AtomicU64,
+    faults_duplicated: AtomicU64,
+    faults_delayed: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            streams_created: self.streams_created.load(Ordering::Relaxed),
+            messages_published: self.messages_published.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            bytes_published: self.bytes_published.load(Ordering::Relaxed),
+            active_subscriptions: self.active_subscriptions.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            faults_duplicated: self.faults_duplicated.load(Ordering::Relaxed),
+            faults_delayed: self.faults_delayed.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -68,7 +100,7 @@ pub struct StreamStore {
     inner: Arc<RwLock<Inner>>,
     next_msg_id: Arc<AtomicU64>,
     next_sub_id: Arc<AtomicU64>,
-    stats: Arc<RwLock<StoreStats>>,
+    stats: Arc<StatCells>,
     clock: SimClock,
     monitor: FlowMonitor,
     faults: Arc<RwLock<Option<Arc<FaultInjector>>>>,
@@ -92,7 +124,7 @@ impl StreamStore {
             inner: Arc::new(RwLock::new(Inner::default())),
             next_msg_id: Arc::new(AtomicU64::new(1)),
             next_sub_id: Arc::new(AtomicU64::new(1)),
-            stats: Arc::new(RwLock::new(StoreStats::default())),
+            stats: Arc::new(StatCells::default()),
             clock,
             monitor: FlowMonitor::new(),
             faults: Arc::new(RwLock::new(None)),
@@ -138,7 +170,7 @@ impl StreamStore {
         }
         let stream = Stream::new(id.clone(), tags, self.clock.now_micros());
         inner.streams.insert(id.clone(), stream);
-        self.stats.write().streams_created += 1;
+        self.stats.streams_created.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
@@ -237,18 +269,26 @@ impl StreamStore {
             (arc, delivered, inner.subs.len() as u64, delayed_txs)
         };
 
-        {
-            let mut stats = self.stats.write();
-            stats.messages_published += 1;
-            stats.deliveries += delivered;
-            stats.bytes_published += arc.payload_size() as u64;
-            stats.active_subscriptions = sub_count;
-            match &fault {
-                Some(InjectedFault::DropMessage) => stats.faults_dropped += 1,
-                Some(InjectedFault::DuplicateMessage) => stats.faults_duplicated += 1,
-                Some(InjectedFault::DelayMessage { .. }) => stats.faults_delayed += 1,
-                _ => {}
+        let stats = &self.stats;
+        stats.messages_published.fetch_add(1, Ordering::Relaxed);
+        stats.deliveries.fetch_add(delivered, Ordering::Relaxed);
+        stats
+            .bytes_published
+            .fetch_add(arc.payload_size() as u64, Ordering::Relaxed);
+        stats
+            .active_subscriptions
+            .store(sub_count, Ordering::Relaxed);
+        match &fault {
+            Some(InjectedFault::DropMessage) => {
+                stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
             }
+            Some(InjectedFault::DuplicateMessage) => {
+                stats.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(InjectedFault::DelayMessage { .. }) => {
+                stats.faults_delayed.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
         }
 
         // Delayed delivery happens off-thread: the message is already durably
@@ -267,7 +307,7 @@ impl StreamStore {
                             sent += 1;
                         }
                     }
-                    stats.write().deliveries += sent;
+                    stats.deliveries.fetch_add(sent, Ordering::Relaxed);
                 });
             }
         }
@@ -303,7 +343,9 @@ impl StreamStore {
                 filter: filter.clone(),
                 tx,
             });
-            self.stats.write().active_subscriptions = inner.subs.len() as u64;
+            self.stats
+                .active_subscriptions
+                .store(inner.subs.len() as u64, Ordering::Relaxed);
         }
         Ok(Subscription {
             id,
@@ -345,7 +387,9 @@ impl StreamStore {
             filter: filter.clone(),
             tx,
         });
-        self.stats.write().active_subscriptions = inner.subs.len() as u64;
+        self.stats
+            .active_subscriptions
+            .store(inner.subs.len() as u64, Ordering::Relaxed);
         Ok(Subscription {
             id,
             rx,
@@ -358,7 +402,9 @@ impl StreamStore {
     pub fn unsubscribe(&self, sub_id: u64) {
         let mut inner = self.inner.write();
         inner.subs.retain(|s| s.id != sub_id);
-        self.stats.write().active_subscriptions = inner.subs.len() as u64;
+        self.stats
+            .active_subscriptions
+            .store(inner.subs.len() as u64, Ordering::Relaxed);
     }
 
     /// Reads a stream's history starting at `from` (replay; does not consume).
@@ -411,7 +457,7 @@ impl StreamStore {
 
     /// Snapshot of the observability counters.
     pub fn stats(&self) -> StoreStats {
-        self.stats.read().clone()
+        self.stats.snapshot()
     }
 }
 

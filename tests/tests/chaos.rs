@@ -12,7 +12,7 @@
 use std::sync::mpsc::RecvTimeoutError;
 use std::time::Duration;
 
-use blueprint_core::coordinator::{ExecutionReport, Outcome};
+use blueprint_core::coordinator::{ExecutionReport, Outcome, SchedulerMode};
 use blueprint_core::resilience::{BreakerConfig, FaultPlan, RetryPolicy};
 use blueprint_core::streams::{DeadLetterQueue, Selector, TagFilter};
 use blueprint_core::{Blueprint, CoreError};
@@ -58,13 +58,14 @@ where
     }
 }
 
-fn chaotic_blueprint(seed: u64) -> Blueprint {
+fn chaotic_blueprint(seed: u64, scheduler: SchedulerMode) -> Blueprint {
     Blueprint::builder()
         .with_hr_domain(small_hr())
         .with_fault_plan(FaultPlan::chaotic(seed))
         .with_retry_policy(RetryPolicy::standard(seed))
         .with_circuit_breakers(BreakerConfig::default())
         .with_report_timeout(Duration::from_millis(800))
+        .with_scheduler(scheduler)
         .build()
         .expect("chaotic blueprint assembles")
 }
@@ -109,7 +110,27 @@ fn centralized_flow_reaches_terminal_state_under_chaos() {
             format!("centralized seed {seed}"),
             Duration::from_secs(60),
             move || {
-                let bp = chaotic_blueprint(seed);
+                let bp = chaotic_blueprint(seed, SchedulerMode::Sequential);
+                let session = bp.start_session().expect("session starts");
+                let scope = session.session().scope().to_string();
+                let result = session.handle(RUNNING_EXAMPLE);
+                assert_terminal(&bp, &scope, result);
+            },
+        );
+    }
+}
+
+#[test]
+fn centralized_flow_reaches_terminal_state_under_parallel_scheduler() {
+    // The same seeded fault plans, but with the ready-set scheduler
+    // dispatching every satisfied node concurrently: the complete-or-
+    // quarantined invariant must hold regardless of completion order.
+    for seed in chaos_seeds() {
+        with_watchdog(
+            format!("parallel centralized seed {seed}"),
+            Duration::from_secs(60),
+            move || {
+                let bp = chaotic_blueprint(seed, SchedulerMode::Parallel { max_in_flight: 0 });
                 let session = bp.start_session().expect("session starts");
                 let scope = session.session().scope().to_string();
                 let result = session.handle(RUNNING_EXAMPLE);
@@ -126,7 +147,7 @@ fn decentralized_flow_never_hangs_under_chaos() {
             format!("decentralized seed {seed}"),
             Duration::from_secs(60),
             move || {
-                let bp = chaotic_blueprint(seed);
+                let bp = chaotic_blueprint(seed, SchedulerMode::Parallel { max_in_flight: 0 });
                 let session = bp.start_session().expect("session starts");
                 let sub = bp
                     .store()
