@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-json chaos
+.PHONY: all build test fmt lint bench bench-json bench-check chaos
 
 all: build lint test
 
@@ -8,20 +8,33 @@ build:
 test:
 	cargo test --workspace
 
-# Clippy gate: the whole workspace, all targets, warnings are errors.
-lint:
+fmt:
+	cargo fmt --all --check
+
+# Lint gate: formatting plus clippy over the whole workspace, all targets,
+# warnings are errors.
+lint: fmt
 	cargo clippy --all-targets -- -D warnings
 
 bench:
 	cargo bench --workspace
 
 # Machine-readable coordinator perf trajectory: sequential vs parallel vs
-# memoized timings, written to BENCH_coordinator.json at the repo root.
+# memoized timings, written to BENCH_coordinator.json at the repo root
+# (override the destination with BENCH_OUT=path).
 bench-json:
 	cargo run --release -p blueprint-bench --bin bench_json
 
-# Chaos suite: both interaction flows under three pinned fault seeds,
-# gated on a clean clippy run. Seeds are fixed so CI failures reproduce
-# locally with the exact same injected faults.
-chaos: lint
+# Bench-regression gate: regenerate the coordinator report into target/ and
+# compare its parallel/memoized medians against the committed baseline,
+# normalized by the sequential median so machine speed cancels out.
+bench-check:
+	mkdir -p target
+	BENCH_OUT=target/BENCH_candidate.json cargo run --release -p blueprint-bench --bin bench_json
+	cargo run --release -p blueprint-bench --bin bench_check -- target/BENCH_candidate.json
+
+# Chaos suite: both interaction flows under three pinned fault seeds. Seeds
+# are fixed so CI failures reproduce locally with the exact same injected
+# faults. Lint runs as its own CI job, not as a dependency here.
+chaos:
 	CHAOS_SEEDS="7 21 42" cargo test -p integration-tests --test chaos -- --nocapture

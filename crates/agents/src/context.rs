@@ -90,9 +90,10 @@ impl AgentContext {
     /// Publishes a message (stamped with this agent as producer) onto a
     /// scoped stream, creating the stream if needed.
     pub fn emit(&self, segment: &str, msg: Message) -> Result<()> {
-        let id = self
-            .store
-            .ensure_stream(self.scoped_stream(segment), Vec::<blueprint_streams::Tag>::new())?;
+        let id = self.store.ensure_stream(
+            self.scoped_stream(segment),
+            Vec::<blueprint_streams::Tag>::new(),
+        )?;
         self.store
             .publish(&id, msg.from_producer(self.agent.clone()))?;
         Ok(())
@@ -144,10 +145,7 @@ mod tests {
     fn emit_creates_stream_and_stamps_producer() {
         let c = ctx();
         c.emit("out", Message::data("result")).unwrap();
-        let history = c
-            .store()
-            .read(&StreamId::new("session:1:out"), 0)
-            .unwrap();
+        let history = c.store().read(&StreamId::new("session:1:out"), 0).unwrap();
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].producer, "profiler");
     }

@@ -81,7 +81,10 @@ mod tests {
             expected: "text".into(),
             got: "number".into(),
         };
-        assert_eq!(tm.to_string(), "parameter criteria: expected text, got number");
+        assert_eq!(
+            tm.to_string(),
+            "parameter criteria: expected text, got number"
+        );
         assert!(AgentError::Stopped.to_string().contains("stopped"));
     }
 

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use blueprint_observability::Observability;
 use blueprint_resilience::{BreakerRegistry, FaultInjector, InjectedFault};
 use blueprint_streams::StreamStore;
 
@@ -41,7 +42,10 @@ impl Processor for FaultedProcessor {
             return self.inner.process(inputs, ctx);
         }
         let n = self.calls.fetch_add(1, Ordering::Relaxed);
-        match self.injector.processor_fault(&format!("{}#{}", self.agent, n)) {
+        match self
+            .injector
+            .processor_fault(&format!("{}#{}", self.agent, n))
+        {
             Some(InjectedFault::PanicProcessor) => {
                 panic!("injected fault: processor panic in agent `{}`", self.agent)
             }
@@ -105,6 +109,7 @@ pub struct AgentFactory {
     restarts: AtomicU64,
     faults: Mutex<Option<Arc<FaultInjector>>>,
     breakers: Mutex<Option<Arc<BreakerRegistry>>>,
+    observability: Mutex<Option<Observability>>,
 }
 
 impl AgentFactory {
@@ -118,7 +123,15 @@ impl AgentFactory {
             restarts: AtomicU64::new(0),
             faults: Mutex::new(None),
             breakers: Mutex::new(None),
+            observability: Mutex::new(None),
         }
+    }
+
+    /// Attaches observability: instances spawned (or restarted) *after* this
+    /// call record invoke spans and report into the `blueprint.agents.*`
+    /// instruments.
+    pub fn set_observability(&self, obs: Observability) {
+        *self.observability.lock() = Some(obs);
     }
 
     /// Attaches a fault injector: processors of instances spawned *after*
@@ -179,6 +192,9 @@ impl AgentFactory {
             None => processor,
         };
         let host = AgentHost::start(spec, processor, self.store.clone(), scope)?;
+        if let Some(obs) = self.observability.lock().as_ref() {
+            host.set_observability(obs);
+        }
         let id = self.next_instance.fetch_add(1, Ordering::Relaxed);
         self.instances.lock().insert(
             id,
@@ -251,7 +267,11 @@ impl AgentFactory {
     }
 
     /// Runs `f` against a live instance handle.
-    pub fn with_instance<R>(&self, instance_id: u64, f: impl FnOnce(&InstanceHandle) -> R) -> Option<R> {
+    pub fn with_instance<R>(
+        &self,
+        instance_id: u64,
+        f: impl FnOnce(&InstanceHandle) -> R,
+    ) -> Option<R> {
         let instances = self.instances.lock();
         instances.get(&instance_id).map(f)
     }
@@ -369,9 +389,14 @@ mod tests {
             output_stream: "session:1:result".into(),
             task_id: "t".into(),
             node_id: "n".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
         let out = sub.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(out.payload, json!("ping"));
@@ -416,9 +441,14 @@ mod tests {
             output_stream: "session:1:out".into(),
             task_id: "t".into(),
             node_id: "n".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
         report_sub.recv_timeout(Duration::from_secs(2)).unwrap();
         // Failure count is now >= max_restarts(1): the reaper replaces it.
@@ -499,9 +529,14 @@ mod tests {
             output_stream: "session:1:out".into(),
             task_id: "t".into(),
             node_id: "n".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
         report_sub.recv_timeout(Duration::from_secs(2)).unwrap();
         let mut restarted = Vec::new();
@@ -537,9 +572,14 @@ mod tests {
             output_stream: "session:1:out".into(),
             task_id: "t".into(),
             node_id: "n".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
         let report = report_sub.recv_timeout(Duration::from_secs(2)).unwrap();
         // The report marks the failure, the host stays up, and the injector

@@ -15,6 +15,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Select, Sender};
 use serde_json::Value;
 
+use blueprint_observability::{Counter, Observability, SpanId, Tracer};
 use blueprint_streams::{Message, StreamStore, Subscription, Tag};
 
 use crate::context::AgentContext;
@@ -41,6 +42,15 @@ pub struct HostStats {
     pub failures: u64,
 }
 
+/// Tracer plus instruments the host reports into, resolved once at wiring
+/// time (see [`AgentHost::set_observability`]). Defaults to disarmed no-ops.
+#[derive(Clone, Default)]
+struct HostObservability {
+    tracer: Tracer,
+    invocations: Counter,
+    obs_failures: Counter,
+}
+
 struct Shared {
     spec: AgentSpec,
     processor: Arc<dyn Processor>,
@@ -49,12 +59,40 @@ struct Shared {
     instructed: AtomicU64,
     autonomous: AtomicU64,
     failures: AtomicU64,
+    obs: parking_lot::RwLock<HostObservability>,
 }
 
 impl Shared {
-    /// Runs the processor once, publishing outputs and a report.
-    fn run(&self, inputs: Inputs, output_stream: &str, task_id: &str, node_id: &str) {
-        let ctx = AgentContext::new(self.store.clone(), self.scope.clone(), self.spec.name.clone());
+    /// Runs the processor once, publishing outputs and a report. When
+    /// tracing is armed, the run is recorded as an `invoke:<agent>` span
+    /// parented under the coordinator-side node span carried by the
+    /// instruction (`span_parent`), and the span is closed *before* the
+    /// report is published so it is fully recorded by the time the
+    /// coordinator observes the completion.
+    fn run(
+        &self,
+        inputs: Inputs,
+        output_stream: &str,
+        task_id: &str,
+        node_id: &str,
+        span_parent: Option<u64>,
+    ) {
+        let o = self.obs.read().clone();
+        o.invocations.inc();
+        let mut span = match span_parent {
+            Some(pid) => {
+                o.tracer
+                    .child_span("agents", format!("invoke:{}", self.spec.name), SpanId(pid))
+            }
+            None => o
+                .tracer
+                .span("agents", format!("invoke:{}", self.spec.name)),
+        };
+        let ctx = AgentContext::new(
+            self.store.clone(),
+            self.scope.clone(),
+            self.spec.name.clone(),
+        );
         let validated = inputs.validate(&self.spec.inputs);
         let result: Result<Outputs> = match validated {
             Ok(inputs) => {
@@ -82,8 +120,18 @@ impl Shared {
             }
             Err(_) => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
+                o.obs_failures.inc();
             }
         }
+
+        span.attr("ok", if result.is_ok() { "true" } else { "false" });
+        if !task_id.is_empty() {
+            span.attr("task", task_id);
+        }
+        if !node_id.is_empty() {
+            span.attr("node", node_id);
+        }
+        span.end();
 
         let report = AgentReport {
             agent: self.spec.name.clone(),
@@ -148,6 +196,7 @@ impl AgentHost {
             instructed: AtomicU64::new(0),
             autonomous: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            obs: parking_lot::RwLock::new(HostObservability::default()),
         });
 
         // Build subscriptions before spawning the listener so no message
@@ -210,7 +259,9 @@ impl AgentHost {
                         }
                         if Some(idx) == instr_idx {
                             let sub = instruction_sub.as_ref().expect("instruction sub exists");
-                            let Ok(msg) = op.recv(sub.receiver()) else { break };
+                            let Ok(msg) = op.recv(sub.receiver()) else {
+                                break;
+                            };
                             shared.store.monitor().record_consume(
                                 &shared.spec.name,
                                 &blueprint_streams::StreamId::new("instructions"),
@@ -226,6 +277,7 @@ impl AgentHost {
                                             &exec.output_stream,
                                             &exec.task_id,
                                             &exec.node_id,
+                                            exec.span,
                                         );
                                     });
                                 }
@@ -235,15 +287,15 @@ impl AgentHost {
                         // A binding message.
                         if let Some(pos) = binding_base.iter().position(|&b| b == idx) {
                             let (param, sub) = &binding_subs[pos];
-                            let Ok(msg) = op.recv(sub.receiver()) else { break };
+                            let Ok(msg) = op.recv(sub.receiver()) else {
+                                break;
+                            };
                             if msg.is_eos() {
                                 continue;
                             }
                             shared.store.monitor().record_consume(
                                 &shared.spec.name,
-                                &blueprint_streams::StreamId::new(format!(
-                                    "binding:{param}"
-                                )),
+                                &blueprint_streams::StreamId::new(format!("binding:{param}")),
                                 &msg,
                             );
                             if let Some(inputs) = net.offer(param, msg.payload.clone()) {
@@ -252,7 +304,7 @@ impl AgentHost {
                                 let out_stream =
                                     format!("{}:{}:out", shared.scope, shared.spec.name);
                                 pool.submit(move || {
-                                    shared2.run(inputs, &out_stream, "", "");
+                                    shared2.run(inputs, &out_stream, "", "", None);
                                 });
                             }
                         }
@@ -269,6 +321,19 @@ impl AgentHost {
             stop_tx: Some(stop_tx),
             running,
         })
+    }
+
+    /// Attaches observability: subsequent processor runs record an
+    /// `invoke:<agent>` span and report into the `blueprint.agents.*`
+    /// instruments. Late-bound (like the factory's fault injector) so hosts
+    /// started before the runtime assembles its observability still pick it
+    /// up.
+    pub fn set_observability(&self, obs: &Observability) {
+        *self.shared.obs.write() = HostObservability {
+            tracer: obs.tracer.clone(),
+            invocations: obs.metrics.counter("blueprint.agents.invocations"),
+            obs_failures: obs.metrics.counter("blueprint.agents.failures"),
+        };
     }
 
     /// The agent's spec.
@@ -357,8 +422,8 @@ mod tests {
     #[test]
     fn instruction_drives_execution_and_report() {
         let store = StreamStore::new();
-        let _host = AgentHost::start(upper_spec(), upper_processor(), store.clone(), "session:1")
-            .unwrap();
+        let _host =
+            AgentHost::start(upper_spec(), upper_processor(), store.clone(), "session:1").unwrap();
         let out_sub = store
             .subscribe(
                 Selector::Stream(StreamId::new("session:1:result")),
@@ -375,9 +440,14 @@ mod tests {
             output_stream: "session:1:result".into(),
             task_id: "t1".into(),
             node_id: "n1".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
 
         let out = out_sub.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -404,9 +474,14 @@ mod tests {
             output_stream: "session:1:out".into(),
             task_id: "t".into(),
             node_id: "n".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(host.stats().instructed_fires, 0);
@@ -427,7 +502,9 @@ mod tests {
             .publish_to(
                 "session:9:query",
                 Vec::<Tag>::new(),
-                Message::data("find jobs").with_tag("NLQ").from_producer("user"),
+                Message::data("find jobs")
+                    .with_tag("NLQ")
+                    .from_producer("user"),
             )
             .unwrap();
         let out = out_sub.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -445,11 +522,15 @@ mod tests {
     #[test]
     fn failed_processor_reports_error() {
         let store = StreamStore::new();
-        let spec = AgentSpec::new("strict", "requires a field")
-            .with_input(ParamSpec::required("must", "required", DataType::Text));
-        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-            |_: &Inputs, _: &AgentContext| Ok(Outputs::new()),
+        let spec = AgentSpec::new("strict", "requires a field").with_input(ParamSpec::required(
+            "must",
+            "required",
+            DataType::Text,
         ));
+        let proc: Arc<dyn Processor> =
+            Arc::new(FnProcessor::new(|_: &Inputs, _: &AgentContext| {
+                Ok(Outputs::new())
+            }));
         let host = AgentHost::start(spec, proc, store.clone(), "session:1").unwrap();
         let report_sub = store
             .subscribe(Selector::AllStreams, TagFilter::any_of(["agent-report"]))
@@ -460,14 +541,18 @@ mod tests {
             output_stream: "session:1:out".into(),
             task_id: "t".into(),
             node_id: "n".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
-        let report = AgentReport::from_message(
-            &report_sub.recv_timeout(Duration::from_secs(2)).unwrap(),
-        )
-        .unwrap();
+        let report =
+            AgentReport::from_message(&report_sub.recv_timeout(Duration::from_secs(2)).unwrap())
+                .unwrap();
         assert!(!report.ok);
         assert!(report.error.unwrap().contains("must"));
         for _ in 0..100 {
@@ -482,8 +567,11 @@ mod tests {
     #[test]
     fn panicking_processor_reports_and_host_survives() {
         let store = StreamStore::new();
-        let spec = AgentSpec::new("bomb", "always panics")
-            .with_input(ParamSpec::required("text", "t", DataType::Text));
+        let spec = AgentSpec::new("bomb", "always panics").with_input(ParamSpec::required(
+            "text",
+            "t",
+            DataType::Text,
+        ));
         let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
             |_: &Inputs, _: &AgentContext| -> Result<Outputs> { panic!("kaboom") },
         ));
@@ -498,9 +586,14 @@ mod tests {
                 output_stream: "session:1:out".into(),
                 task_id: format!("t{i}"),
                 node_id: "n".into(),
+                span: None,
             };
             store
-                .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+                .publish_to(
+                    "session:1:instructions",
+                    ["instructions"],
+                    instr.into_message(),
+                )
                 .unwrap();
         }
         // Both executions produce failure reports: the agent restarted.
@@ -553,9 +646,14 @@ mod tests {
                 output_stream: "session:1:out".into(),
                 task_id: format!("t{i}"),
                 node_id: "n".into(),
+                span: None,
             };
             store
-                .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+                .publish_to(
+                    "session:1:instructions",
+                    ["instructions"],
+                    instr.into_message(),
+                )
                 .unwrap();
         }
         // Both reports arrive only if the two processors met at the barrier.
@@ -598,9 +696,14 @@ mod tests {
             output_stream: "session:1:result".into(),
             task_id: "t1".into(),
             node_id: "n1".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
         for _ in 0..100 {
             if host1.stats().instructed_fires == 1 {
@@ -623,12 +726,15 @@ mod tests {
             .with_output(ParamSpec::required("matches", "m", DataType::List))
             .with_binding(StreamBinding::tagged("profile", ["profile"]))
             .with_binding(StreamBinding::tagged("jobs", ["jobs"]));
-        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-            |inputs: &Inputs, _: &AgentContext| {
-                let n = inputs.require("jobs")?.as_array().map(Vec::len).unwrap_or(0);
+        let proc: Arc<dyn Processor> =
+            Arc::new(FnProcessor::new(|inputs: &Inputs, _: &AgentContext| {
+                let n = inputs
+                    .require("jobs")?
+                    .as_array()
+                    .map(Vec::len)
+                    .unwrap_or(0);
                 Ok(Outputs::new().with("matches", json!([format!("{n} jobs considered")])))
-            },
-        ));
+            }));
         let host = AgentHost::start(spec, proc, store.clone(), "session:3").unwrap();
         let out_sub = store
             .subscribe(
@@ -637,12 +743,20 @@ mod tests {
             )
             .unwrap();
         store
-            .publish_to("session:3:p", Vec::<Tag>::new(), Message::data_json(json!({"name":"a"})).with_tag("profile"))
+            .publish_to(
+                "session:3:p",
+                Vec::<Tag>::new(),
+                Message::data_json(json!({"name":"a"})).with_tag("profile"),
+            )
             .unwrap();
         // Not fired yet: only one place filled.
         assert!(out_sub.recv_timeout(Duration::from_millis(80)).is_err());
         store
-            .publish_to("session:3:j", Vec::<Tag>::new(), Message::data_json(json!([1, 2, 3])).with_tag("jobs"))
+            .publish_to(
+                "session:3:j",
+                Vec::<Tag>::new(),
+                Message::data_json(json!([1, 2, 3])).with_tag("jobs"),
+            )
             .unwrap();
         let out = out_sub.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(out.payload, json!(["3 jobs considered"]));

@@ -302,13 +302,20 @@ mod tests {
     #[test]
     fn validate_rejects_type_mismatch() {
         let specs = [ParamSpec::required("q", "query", DataType::Text)];
-        let err = Inputs::new().with("q", json!(5)).validate(&specs).unwrap_err();
+        let err = Inputs::new()
+            .with("q", json!(5))
+            .validate(&specs)
+            .unwrap_err();
         assert!(matches!(err, AgentError::TypeMismatch { .. }));
     }
 
     #[test]
     fn optional_absent_param_is_fine() {
-        let specs = [ParamSpec::optional("criteria", "extra conditions", DataType::Text)];
+        let specs = [ParamSpec::optional(
+            "criteria",
+            "extra conditions",
+            DataType::Text,
+        )];
         let out = Inputs::new().validate(&specs).unwrap();
         assert!(out.get("criteria").is_none());
     }

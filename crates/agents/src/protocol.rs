@@ -42,6 +42,10 @@ pub struct ExecuteAgent {
     pub task_id: String,
     /// Plan node this instruction executes.
     pub node_id: String,
+    /// Tracing span id of the coordinator-side node span, so the host can
+    /// parent its `invoke:<agent>` span under the plan node that issued the
+    /// instruction (None when tracing is disarmed).
+    pub span: Option<u64>,
 }
 
 impl ExecuteAgent {
@@ -114,6 +118,7 @@ mod tests {
             output_stream: "session:1:summary".into(),
             task_id: "t1".into(),
             node_id: "n1".into(),
+            span: None,
         };
         let msg = exec.clone().into_message();
         assert!(msg.has_tag(&Tag::new("execute-agent")));

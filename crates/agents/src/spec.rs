@@ -68,7 +68,10 @@ impl StreamBinding {
     }
 
     /// Binds `param` to every message of a specific stream.
-    pub fn stream(param: impl Into<String>, stream: impl Into<blueprint_streams::StreamId>) -> Self {
+    pub fn stream(
+        param: impl Into<String>,
+        stream: impl Into<blueprint_streams::StreamId>,
+    ) -> Self {
         StreamBinding {
             param: param.into(),
             selector: Selector::Stream(stream.into()),
@@ -228,10 +231,22 @@ mod tests {
 
     fn spec() -> AgentSpec {
         AgentSpec::new("job-matcher", "match seekers to jobs")
-            .with_input(ParamSpec::required("job_seeker_data", "profile", DataType::Json))
+            .with_input(ParamSpec::required(
+                "job_seeker_data",
+                "profile",
+                DataType::Json,
+            ))
             .with_input(ParamSpec::required("jobs", "job rows", DataType::Table))
-            .with_input(ParamSpec::optional("criteria", "conditions", DataType::Text))
-            .with_output(ParamSpec::required("matches", "ranked matches", DataType::Table))
+            .with_input(ParamSpec::optional(
+                "criteria",
+                "conditions",
+                DataType::Text,
+            ))
+            .with_output(ParamSpec::required(
+                "matches",
+                "ranked matches",
+                DataType::Table,
+            ))
     }
 
     #[test]

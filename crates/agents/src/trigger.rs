@@ -49,10 +49,7 @@ impl TriggerNet {
         S: Into<String>,
     {
         let order: Vec<String> = params.into_iter().map(Into::into).collect();
-        let places = order
-            .iter()
-            .map(|p| (p.clone(), VecDeque::new()))
-            .collect();
+        let places = order.iter().map(|p| (p.clone(), VecDeque::new())).collect();
         TriggerNet {
             policy,
             order,

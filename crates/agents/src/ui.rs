@@ -179,7 +179,11 @@ mod tests {
     fn form() -> UiForm {
         UiForm::new("profile", "Job Seeker Profile")
             .with_field(UiField::text("name", "Name"))
-            .with_field(UiField::select("title", "Desired title", ["data scientist", "ml engineer"]))
+            .with_field(UiField::select(
+                "title",
+                "Desired title",
+                ["data scientist", "ml engineer"],
+            ))
             .with_field(UiField::button("submit", "Submit"))
     }
 

@@ -33,11 +33,10 @@ fn passthrough(tag_in: &str, tag_out: Option<&str>, name: &str) -> (AgentSpec, A
     if let Some(t) = tag_out {
         spec = spec.with_output_tag(t);
     }
-    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-        |inputs: &Inputs, _: &AgentContext| {
+    let proc: Arc<dyn Processor> =
+        Arc::new(FnProcessor::new(|inputs: &Inputs, _: &AgentContext| {
             Ok(Outputs::new().with("out", json!(inputs.require_str("text")?)))
-        },
-    ));
+        }));
     (spec, proc)
 }
 
@@ -150,7 +149,10 @@ fn bench_decomposition(c: &mut Criterion) {
         .unwrap();
     let d_rows = decomposed.value.as_array().map(Vec::len).unwrap_or(0);
     let n_rows = direct.value.as_array().map(Vec::len).unwrap_or(0);
-    assert!(d_rows > n_rows, "decomposed {d_rows} must beat direct {n_rows}");
+    assert!(
+        d_rows > n_rows,
+        "decomposed {d_rows} must beat direct {n_rows}"
+    );
 
     group.bench_function("decomposed_plan_and_execute", |b| {
         b.iter(|| {

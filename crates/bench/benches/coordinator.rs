@@ -28,11 +28,10 @@ fn setup(chain_len: usize) -> (Arc<AgentFactory>, TaskCoordinator) {
             .with_input(ParamSpec::required("text", "t", DataType::Text))
             .with_output(ParamSpec::required("out", "o", DataType::Text))
             .with_profile(CostProfile::new(0.01, 10, 1.0));
-        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-            |inputs: &Inputs, _: &AgentContext| {
+        let proc: Arc<dyn Processor> =
+            Arc::new(FnProcessor::new(|inputs: &Inputs, _: &AgentContext| {
                 Ok(Outputs::new().with("out", json!(inputs.require_str("text")?)))
-            },
-        ));
+            }));
         factory.register(spec.clone(), proc).unwrap();
         registry.register(spec).unwrap();
         factory.spawn(&format!("step-{i}"), "session:1").unwrap();

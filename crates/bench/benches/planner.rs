@@ -15,8 +15,14 @@ use blueprint_core::registry::AgentRegistry;
 fn registry_with(extra: usize) -> Arc<AgentRegistry> {
     let r = AgentRegistry::new();
     for (name, desc) in [
-        ("profiler", "collect job seeker profile information from the user"),
-        ("job-matcher", "match the job seeker profile with available job listings"),
+        (
+            "profiler",
+            "collect job seeker profile information from the user",
+        ),
+        (
+            "job-matcher",
+            "match the job seeker profile with available job listings",
+        ),
         ("presenter", "present the matched results to the end user"),
     ] {
         r.register(

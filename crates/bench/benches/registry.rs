@@ -7,7 +7,14 @@ use blueprint_core::agents::{AgentSpec, DataType, ParamSpec};
 use blueprint_core::registry::AgentRegistry;
 
 const VERBS: [&str; 8] = [
-    "match", "rank", "summarize", "classify", "extract", "translate", "present", "verify",
+    "match",
+    "rank",
+    "summarize",
+    "classify",
+    "extract",
+    "translate",
+    "present",
+    "verify",
 ];
 const OBJECTS: [&str; 8] = [
     "job postings",
@@ -77,5 +84,10 @@ fn bench_registration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search_scaling, bench_usage_recording, bench_registration);
+criterion_group!(
+    benches,
+    bench_search_scaling,
+    bench_usage_recording,
+    bench_registration
+);
 criterion_main!(benches);

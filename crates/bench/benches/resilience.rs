@@ -45,11 +45,10 @@ fn setup(resilient: bool) -> (Arc<AgentFactory>, TaskCoordinator) {
             .with_input(ParamSpec::required("text", "t", DataType::Text))
             .with_output(ParamSpec::required("out", "o", DataType::Text))
             .with_profile(CostProfile::new(0.01, 10, 1.0));
-        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-            |inputs: &Inputs, _: &AgentContext| {
+        let proc: Arc<dyn Processor> =
+            Arc::new(FnProcessor::new(|inputs: &Inputs, _: &AgentContext| {
                 Ok(Outputs::new().with("out", json!(inputs.require_str("text")?)))
-            },
-        ));
+            }));
         factory.register(spec.clone(), proc).unwrap();
         registry.register(spec).unwrap();
         factory.spawn(&format!("step-{i}"), "session:1").unwrap();
@@ -61,11 +60,7 @@ fn setup(resilient: bool) -> (Arc<AgentFactory>, TaskCoordinator) {
         coordinator = coordinator
             .with_retry_policy(RetryPolicy::standard(7))
             .with_breakers(breakers)
-            .with_degradation(DegradationLadder::new().with_fallback(
-                "step-0",
-                "step-1",
-                0.05,
-            ));
+            .with_degradation(DegradationLadder::new().with_fallback("step-0", "step-1", 0.05));
     }
     (factory, coordinator)
 }

@@ -11,20 +11,16 @@ fn bench_offer(c: &mut Criterion) {
     group.sample_size(20);
 
     for places in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("zip", places),
-            &places,
-            |b, &places| {
-                let names: Vec<String> = (0..places).map(|i| format!("p{i}")).collect();
-                let mut net = TriggerNet::new(names.clone(), PairingPolicy::Zip);
-                b.iter(|| {
-                    // One full firing cycle: a token to every place.
-                    for name in &names {
-                        let _ = net.offer(name, json!(1));
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("zip", places), &places, |b, &places| {
+            let names: Vec<String> = (0..places).map(|i| format!("p{i}")).collect();
+            let mut net = TriggerNet::new(names.clone(), PairingPolicy::Zip);
+            b.iter(|| {
+                // One full firing cycle: a token to every place.
+                for name in &names {
+                    let _ = net.offer(name, json!(1));
+                }
+            });
+        });
     }
     group.finish();
 }

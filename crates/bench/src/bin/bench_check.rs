@@ -1,0 +1,114 @@
+//! Bench-regression gate: compares a freshly generated coordinator bench
+//! report against the committed `BENCH_coordinator.json` baseline and fails
+//! (exit 1) when the `parallel` or `memoized` medians regress by more than
+//! the tolerance.
+//!
+//! Usage: `bench_check <candidate.json> [baseline.json]`
+//! (or `make bench-check`, which regenerates the candidate first).
+//!
+//! Absolute microseconds are not comparable across machines, so each
+//! section's candidate numbers are first normalized by the ratio of the
+//! sequential medians (candidate vs baseline): the sequential walk has no
+//! scheduler or cache in play, making it a pure machine-speed probe. The
+//! gate then checks the *normalized* parallel and memoized medians, i.e.
+//! "did the speedup the feature buys shrink", not "is this runner slower".
+//!
+//! Sub-millisecond medians (the memoized fan-out replays in ~250µs) jitter
+//! by far more than 25% run to run on a shared machine, so the relative
+//! tolerance alone would flap. A median only fails when it is BOTH beyond
+//! the relative tolerance AND more than an absolute slack worse — real
+//! regressions here (a scheduler serializing, a cache stopping to hit) cost
+//! milliseconds, well past both gates.
+//!
+//! `BENCH_CHECK_TOLERANCE` overrides the allowed relative regression
+//! (default 0.25 = 25%); `BENCH_CHECK_SLACK_US` overrides the absolute
+//! slack in microseconds (default 500).
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+const DEFAULT_TOLERANCE: f64 = 0.25;
+const DEFAULT_SLACK_US: f64 = 500.0;
+
+/// The medians the gate watches, as (section, key) paths.
+const WATCHED: [(&str, &str); 4] = [
+    ("fanout", "parallel_us"),
+    ("fanout", "memoized_repeat_us"),
+    ("running_example", "parallel_us"),
+    ("running_example", "memoized_repeat_us"),
+];
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn median(doc: &Value, section: &str, key: &str) -> u64 {
+    doc[section][key]
+        .as_u64()
+        .unwrap_or_else(|| panic!("missing {section}.{key} in bench report"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let candidate_path = args
+        .next()
+        .expect("usage: bench_check <candidate.json> [baseline.json]");
+    let baseline_path = args.next().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coordinator.json").to_string()
+    });
+    let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let slack_us = std::env::var("BENCH_CHECK_SLACK_US")
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SLACK_US);
+
+    let baseline = load(&baseline_path);
+    let candidate = load(&candidate_path);
+    println!("baseline : {baseline_path}");
+    println!("candidate: {candidate_path}");
+    println!(
+        "tolerance: {:.0}% normalized regression and at least {slack_us:.0}µs worse\n",
+        tolerance * 100.0
+    );
+
+    let mut failed = false;
+    for section in ["fanout", "running_example"] {
+        let base_seq = median(&baseline, section, "sequential_us");
+        let cand_seq = median(&candidate, section, "sequential_us");
+        // Machine-speed normalizer: how much slower/faster this runner walks
+        // the same plan sequentially.
+        let scale = cand_seq as f64 / base_seq.max(1) as f64;
+        println!("{section}: sequential {base_seq}µs -> {cand_seq}µs (scale {scale:.2}x)");
+        for (s, key) in WATCHED.iter().filter(|(s, _)| *s == section) {
+            let base = median(&baseline, s, key) as f64;
+            let cand = median(&candidate, s, key) as f64;
+            let normalized = cand / scale.max(f64::MIN_POSITIVE);
+            let regression = normalized / base.max(1.0) - 1.0;
+            let verdict = if regression > tolerance && normalized - base > slack_us {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {key:<20} {base:>8.0}µs -> {cand:>8.0}µs (normalized {normalized:>8.0}µs, \
+                 {regression:+.1}%) {verdict}",
+                regression = regression * 100.0
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("\nbench-check: normalized medians regressed beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench-check: within tolerance");
+        ExitCode::SUCCESS
+    }
+}

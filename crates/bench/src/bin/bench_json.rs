@@ -182,9 +182,13 @@ fn main() {
         },
     });
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coordinator.json");
+    // `BENCH_OUT` redirects the report (CI writes a candidate file next to
+    // the committed baseline instead of overwriting it).
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coordinator.json").to_string()
+    });
     let rendered = format!("{}\n", serde_json::to_string_pretty(&doc).unwrap());
-    std::fs::write(path, &rendered).expect("write BENCH_coordinator.json");
+    std::fs::write(&path, &rendered).expect("write coordinator bench report");
     println!("{rendered}");
     eprintln!("wrote {path}");
 }

@@ -31,8 +31,13 @@ fn main() {
     println!("\nStep 1: user types \"{utterance}\"");
     session.say(utterance).expect("say");
 
-    let summary = summaries.recv_timeout(Duration::from_secs(10)).expect("summary");
-    println!("Final: QS produced → {}\n", summary.payload.as_str().unwrap_or("?"));
+    let summary = summaries
+        .recv_timeout(Duration::from_secs(10))
+        .expect("summary");
+    println!(
+        "Final: QS produced → {}\n",
+        summary.payload.as_str().unwrap_or("?")
+    );
 
     println!("sequence (from the flow monitor):");
     let trace = bp.store().monitor().render_sequence();
@@ -63,7 +68,10 @@ fn main() {
         pos("sql-executor").expect("QE"),
         pos("query-summarizer").expect("QS"),
     ];
-    assert!(order.windows(2).all(|w| w[0] < w[1]), "tag chain order holds");
+    assert!(
+        order.windows(2).all(|w| w[0] < w[1]),
+        "tag chain order holds"
+    );
     println!("\n✓ participant order U → IC → AE → NL2Q → QE → QS reproduced");
     println!("✓ no coordinator participated: fully decentralized via tags");
 }

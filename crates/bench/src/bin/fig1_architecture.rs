@@ -6,12 +6,18 @@
 use blueprint_bench::{bench_blueprint, figure};
 
 fn main() {
-    figure("Fig 1", "Blueprint architecture: components and touch points");
+    figure(
+        "Fig 1",
+        "Blueprint architecture: components and touch points",
+    );
     let bp = bench_blueprint();
 
     println!("\nstreams database (orchestration substrate, §V-A)");
     let stats = bp.store().stats();
-    println!("  streams={} messages={}", stats.streams_created, stats.messages_published);
+    println!(
+        "  streams={} messages={}",
+        stats.streams_created, stats.messages_published
+    );
 
     println!("\nagent registry (touch point: models & APIs, §V-C)");
     for name in bp.agent_registry().list() {
@@ -45,7 +51,10 @@ fn main() {
     println!("\nsession + coordinator (§V-E, §V-H)");
     let session = bp.start_session().expect("session starts");
     println!("  session scope: {}", session.session().scope());
-    println!("  participants : {}", session.session().participants().join(", "));
+    println!(
+        "  participants : {}",
+        session.session().participants().join(", ")
+    );
     println!(
         "  containers   : {} instances running",
         bp.factory().stats().running_instances

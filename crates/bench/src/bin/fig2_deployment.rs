@@ -7,7 +7,10 @@ use blueprint_bench::{bench_blueprint, figure};
 use blueprint_core::agents::DeploymentKind;
 
 fn main() {
-    figure("Fig 2", "Deployment of components in an enterprise cluster setting");
+    figure(
+        "Fig 2",
+        "Deployment of components in an enterprise cluster setting",
+    );
     let bp = bench_blueprint();
 
     // Group registered agents into their target "clusters".
@@ -41,7 +44,10 @@ fn main() {
             .expect("spawn");
         ids.push(id);
     }
-    println!("  running instances: {}", bp.factory().stats().running_instances);
+    println!(
+        "  running instances: {}",
+        bp.factory().stats().running_instances
+    );
 
     // Restart on failure.
     println!("\nrestart-on-failure: restarting instance {}", ids[0]);
@@ -53,5 +59,8 @@ fn main() {
         bp.factory().stats().restarts
     );
     bp.factory().stop_all();
-    println!("  drained: {} running", bp.factory().stats().running_instances);
+    println!(
+        "  drained: {} running",
+        bp.factory().stats().running_instances
+    );
 }

@@ -15,23 +15,36 @@ use blueprint_core::streams::{Message, Selector, StreamStore, TagFilter};
 use serde_json::json;
 
 fn main() {
-    figure("Fig 3", "Agents: incoming streams → processor() → output streams");
+    figure(
+        "Fig 3",
+        "Agents: incoming streams → processor() → output streams",
+    );
     let store = StreamStore::new();
 
     // An agent with one bound input parameter and one output parameter.
     let spec = AgentSpec::new("skill-extractor", "extract skills from resume text")
         .with_input(ParamSpec::required("resume", "resume text", DataType::Text))
-        .with_output(ParamSpec::required("skills", "extracted skills", DataType::List))
+        .with_output(ParamSpec::required(
+            "skills",
+            "extracted skills",
+            DataType::List,
+        ))
         .with_binding(StreamBinding::tagged("resume", ["resume"]))
         .with_output_tag("skills");
     println!("\nagent spec:");
     println!("  name       : {}", spec.name);
-    println!("  inputs     : {:?}", spec.inputs.iter().map(|p| &p.name).collect::<Vec<_>>());
-    println!("  outputs    : {:?}", spec.outputs.iter().map(|p| &p.name).collect::<Vec<_>>());
+    println!(
+        "  inputs     : {:?}",
+        spec.inputs.iter().map(|p| &p.name).collect::<Vec<_>>()
+    );
+    println!(
+        "  outputs    : {:?}",
+        spec.outputs.iter().map(|p| &p.name).collect::<Vec<_>>()
+    );
     println!("  trigger    : messages tagged [resume] on any stream");
 
-    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-        |inputs: &Inputs, ctx: &AgentContext| {
+    let proc: Arc<dyn Processor> =
+        Arc::new(FnProcessor::new(|inputs: &Inputs, ctx: &AgentContext| {
             let text = inputs.require_str("resume")?;
             ctx.charge_cost(0.01);
             ctx.charge_latency_micros(500);
@@ -40,8 +53,7 @@ fn main() {
                 .filter(|s| text.to_lowercase().contains(*s))
                 .collect();
             Ok(Outputs::new().with("skills", json!(skills)))
-        },
-    ));
+        }));
     let _host = AgentHost::start(spec, proc, store.clone(), "session:1").expect("host starts");
 
     let out_sub = store

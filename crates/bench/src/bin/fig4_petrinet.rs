@@ -19,7 +19,10 @@ fn show(net: &TriggerNet, label: &str) {
 }
 
 fn main() {
-    figure("Fig 4", "Multi-stream triggering via PetriNet places and tokens");
+    figure(
+        "Fig 4",
+        "Multi-stream triggering via PetriNet places and tokens",
+    );
 
     println!("\nZip policy (FIFO join — classic PetriNet semantics):");
     let mut net = TriggerNet::new(["profile", "jobs"], PairingPolicy::Zip);
@@ -43,13 +46,18 @@ fn main() {
     net.offer("profile", json!({"p": 2}));
     net.offer("profile", json!({"p": 3}));
     let fired = net.offer("jobs", json!(["j"])).expect("fires");
-    println!("  three profile tokens queued; fired with {}", fired.to_json());
+    println!(
+        "  three profile tokens queued; fired with {}",
+        fired.to_json()
+    );
 
     println!("\nSticky policy (first place drives; others are retained context):");
     let mut net = TriggerNet::new(["query", "profile"], PairingPolicy::Sticky);
     net.offer("query", json!("q1"));
     let f1 = net.offer("profile", json!({"user": "ada"})).expect("fires");
     println!("  fire 1: {}", f1.to_json());
-    let f2 = net.offer("query", json!("q2")).expect("fires without a new profile token");
+    let f2 = net
+        .offer("query", json!("q2"))
+        .expect("fires without a new profile token");
     println!("  fire 2: {} (profile context reused)", f2.to_json());
 }

@@ -6,7 +6,10 @@
 use blueprint_bench::{bench_blueprint, figure};
 
 fn main() {
-    figure("Fig 5", "Data registry: hierarchy, modalities, and discovery");
+    figure(
+        "Fig 5",
+        "Data registry: hierarchy, modalities, and discovery",
+    );
     let bp = bench_blueprint();
     let registry = bp.data_registry();
 
@@ -41,8 +44,14 @@ fn main() {
     for (query, modality) in [
         ("job postings with title and city", None),
         ("resumes and skills of job seekers", None),
-        ("relationships between job titles", Some(blueprint_core::registry::DataModality::Graph)),
-        ("cities in a region from world knowledge", Some(blueprint_core::registry::DataModality::Parametric)),
+        (
+            "relationships between job titles",
+            Some(blueprint_core::registry::DataModality::Graph),
+        ),
+        (
+            "cities in a region from world knowledge",
+            Some(blueprint_core::registry::DataModality::Parametric),
+        ),
     ] {
         let hits = registry.discover(query, modality, 3);
         let top: Vec<String> = hits

@@ -6,7 +6,10 @@
 use blueprint_bench::{bench_blueprint, figure, RUNNING_EXAMPLE};
 
 fn main() {
-    figure("Fig 6", "A task plan: connecting agent input/output parameters");
+    figure(
+        "Fig 6",
+        "A task plan: connecting agent input/output parameters",
+    );
     let bp = bench_blueprint();
     let planner = bp.task_planner();
 
@@ -31,5 +34,8 @@ fn main() {
     for e in plan.edges() {
         println!("  {} → {}", e.from, e.to);
     }
-    println!("topological order: {:?}", plan.topo_order().expect("acyclic"));
+    println!(
+        "topological order: {:?}",
+        plan.topo_order().expect("acyclic")
+    );
 }

@@ -46,5 +46,8 @@ fn main() {
     println!("  decomposed plan : {decomposed_rows} jobs (bay-area cities resolved via LLM, titles via taxonomy)");
     println!("  direct NL2Q     : {direct_rows} jobs (\"SF bay area\" matches no city literal)");
     assert!(decomposed_rows > direct_rows);
-    println!("  → decomposition recovers {} jobs the direct query misses", decomposed_rows - direct_rows);
+    println!(
+        "  → decomposition recovers {} jobs the direct query misses",
+        decomposed_rows - direct_rows
+    );
 }

@@ -20,15 +20,18 @@ fn main() {
         .subscribe(Selector::AllStreams, TagFilter::any_of(["summary"]))
         .expect("subscribe");
 
-    let form = UiForm::new("applicants", "Applicants by job")
-        .with_field(blueprint_core::agents::UiField::select("job", "Job", ["1", "2", "3"]));
+    let form = UiForm::new("applicants", "Applicants by job").with_field(
+        blueprint_core::agents::UiField::select("job", "Job", ["1", "2", "3"]),
+    );
     println!("\n[ui form rendered]");
     print!("{}", form.render_text());
 
     // Turn 1: UI selection.
     println!("employer clicks job 1 …");
     session.click(&form, "job", json!(1)).expect("click");
-    let s1 = summaries.recv_timeout(Duration::from_secs(10)).expect("summary");
+    let s1 = summaries
+        .recv_timeout(Duration::from_secs(10))
+        .expect("summary");
     println!("system: {}", s1.payload.as_str().unwrap_or("?"));
 
     // Turn 2: open-ended question.
@@ -39,7 +42,9 @@ fn main() {
     ] {
         println!("\nemployer: \"{turn}\"");
         session.say(turn).expect("say");
-        let s = summaries.recv_timeout(Duration::from_secs(10)).expect("summary");
+        let s = summaries
+            .recv_timeout(Duration::from_secs(10))
+            .expect("summary");
         println!("system: {}", s.payload.as_str().unwrap_or("?"));
     }
 

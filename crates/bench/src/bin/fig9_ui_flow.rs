@@ -31,8 +31,13 @@ fn main() {
     println!("\nStep 1: U clicks job id 3 → ui-event message");
     session.click(&form, "job", json!(3)).expect("click");
 
-    let summary = summaries.recv_timeout(Duration::from_secs(10)).expect("summary");
-    println!("Final: S produced → {}\n", summary.payload.as_str().unwrap_or("?"));
+    let summary = summaries
+        .recv_timeout(Duration::from_secs(10))
+        .expect("summary");
+    println!(
+        "Final: S produced → {}\n",
+        summary.payload.as_str().unwrap_or("?")
+    );
 
     println!("sequence (from the flow monitor):");
     let trace = bp.store().monitor().render_sequence();

@@ -37,11 +37,18 @@ fn chosen_tier(bp: &Blueprint) -> String {
 }
 
 fn main() {
-    figure("B5", "Optimizer tier selection across objectives and constraints");
+    figure(
+        "B5",
+        "Optimizer tier selection across objectives and constraints",
+    );
     println!("\n{:<34} {:<12}", "objective / constraint", "chosen tier");
     println!("{}", "-".repeat(48));
     for (label, objective, constraints) in [
-        ("min-cost, unconstrained", Objective::MinCost, QosConstraints::none()),
+        (
+            "min-cost, unconstrained",
+            Objective::MinCost,
+            QosConstraints::none(),
+        ),
         (
             "min-cost, accuracy ≥ 0.85",
             Objective::MinCost,
@@ -52,8 +59,16 @@ fn main() {
             Objective::MinCost,
             QosConstraints::none().with_min_accuracy(0.95),
         ),
-        ("min-latency, unconstrained", Objective::MinLatency, QosConstraints::none()),
-        ("max-accuracy, unconstrained", Objective::MaxAccuracy, QosConstraints::none()),
+        (
+            "min-latency, unconstrained",
+            Objective::MinLatency,
+            QosConstraints::none(),
+        ),
+        (
+            "max-accuracy, unconstrained",
+            Objective::MaxAccuracy,
+            QosConstraints::none(),
+        ),
         (
             "max-accuracy, latency ≤ 200ms",
             Objective::MaxAccuracy,
@@ -94,7 +109,11 @@ fn main() {
             report.budget.spent_cost,
             report.budget.spent_latency_micros / 1_000,
             jobs,
-            if report.outcome.succeeded() { "completed" } else { "failed" },
+            if report.outcome.succeeded() {
+                "completed"
+            } else {
+                "failed"
+            },
         );
     }
     println!("\nReading: cost-min routes knowledge to the cheap tier (lower cost,");

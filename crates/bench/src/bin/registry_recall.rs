@@ -12,9 +12,15 @@ const PROBES: [(&str, &str); 8] = [
     ("pair candidates with suitable openings", "job-matcher"),
     ("match the seeker profile to job listings", "job-matcher"),
     ("turn a question into SQL", "nl2q"),
-    ("translate natural language question to a database query", "nl2q"),
+    (
+        "translate natural language question to a database query",
+        "nl2q",
+    ),
     ("explain what the query returned", "query-summarizer"),
-    ("gather the user's background details via a form", "profiler"),
+    (
+        "gather the user's background details via a form",
+        "profiler",
+    ),
     ("run this SQL against the warehouse", "sql-executor"),
     ("show the results to the user", "presenter"),
 ];
@@ -60,8 +66,14 @@ fn main() {
         println!(
             "{:<56} {:<18} {:<18}",
             query,
-            format!("{hybrid_top}{}", if hybrid_top == expected { " ✓" } else { "" }),
-            format!("{keyword_top}{}", if keyword_top == expected { " ✓" } else { "" }),
+            format!(
+                "{hybrid_top}{}",
+                if hybrid_top == expected { " ✓" } else { "" }
+            ),
+            format!(
+                "{keyword_top}{}",
+                if keyword_top == expected { " ✓" } else { "" }
+            ),
         );
     }
     println!(
@@ -86,7 +98,8 @@ fn main() {
     // Embedding sanity: the paraphrase is closer to the matcher than to an
     // unrelated agent even before boosting.
     let q = embed_text(probe);
-    let matcher = embed_text("match the job seeker profile against available job listings and rank them");
+    let matcher =
+        embed_text("match the job seeker profile against available job listings and rank them");
     let sqlexec = embed_text("execute a SQL query against the HR database");
     println!(
         "  cosine(query, job-matcher desc) = {:.3} vs cosine(query, sql-executor desc) = {:.3}",

@@ -7,6 +7,7 @@ use std::time::Duration;
 use serde_json::{json, Value};
 
 use blueprint_agents::{AgentReport, DataType, ExecuteAgent, Inputs};
+use blueprint_observability::{Counter, Gauge, MetricsSnapshot, Observability, SpanId};
 use blueprint_optimizer::{Budget, BudgetStatus, QosConstraints, SharedBudget};
 use blueprint_planner::{DataPlanner, InputBinding, TaskPlan, TaskPlanner};
 use blueprint_registry::AgentRegistry;
@@ -156,6 +157,10 @@ pub struct ExecutionReport {
     pub degradations: Vec<DegradationNote>,
     /// Memoization savings realized during this execution.
     pub cache: CacheSavings,
+    /// Readout of every `blueprint.*` instrument, attached to the top-level
+    /// report when metrics are armed (None otherwise, and on the nested
+    /// reports of replanned executions).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Executes task plans over the streams fabric.
@@ -173,6 +178,20 @@ pub struct TaskCoordinator {
     scheduler: SchedulerMode,
     memo: Option<Arc<MemoCache>>,
     epoch: std::time::Instant,
+    obs: Observability,
+    instruments: CoordInstruments,
+}
+
+/// Named instruments the coordinator reports into, resolved once in
+/// [`TaskCoordinator::with_observability`] so the scheduler's hot loop pays
+/// one atomic op per event. Defaults to disarmed no-ops.
+#[derive(Clone, Default)]
+struct CoordInstruments {
+    dispatches: Counter,
+    memo_hits: Counter,
+    retries: Counter,
+    queue_depth: Gauge,
+    in_flight: Gauge,
 }
 
 /// Outcome of driving one node, possibly across several attempts.
@@ -207,7 +226,26 @@ impl TaskCoordinator {
             scheduler: SchedulerMode::default(),
             memo: None,
             epoch: std::time::Instant::now(),
+            obs: Observability::disarmed(),
+            instruments: CoordInstruments::default(),
         }
+    }
+
+    /// Attaches observability: executions record a `task:<task_id>` root
+    /// span with one child span per plan node (parented along plan-DAG
+    /// edges), report into the `blueprint.coordinator.*` and
+    /// `blueprint.resilience.retries` instruments, and attach a
+    /// [`MetricsSnapshot`] to the top-level [`ExecutionReport`].
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.instruments = CoordInstruments {
+            dispatches: obs.metrics.counter("blueprint.coordinator.dispatches"),
+            memo_hits: obs.metrics.counter("blueprint.coordinator.memo_hits"),
+            retries: obs.metrics.counter("blueprint.resilience.retries"),
+            queue_depth: obs.metrics.gauge("blueprint.coordinator.queue_depth"),
+            in_flight: obs.metrics.gauge("blueprint.coordinator.in_flight"),
+        };
+        self.obs = obs;
+        self
     }
 
     /// Attaches the data planner (enables `FromData` bindings and input
@@ -285,7 +323,21 @@ impl TaskCoordinator {
     ) -> Result<ExecutionReport, ExecutionError> {
         let mut budget = Budget::new(constraints);
         budget.set_projection(&plan.projected_profile());
-        self.execute_inner(plan, budget, 0)
+        // One root span per task; node spans hang off it along plan-DAG
+        // edges. Replanned inner executions nest under the same root.
+        let mut task_span = self
+            .obs
+            .tracer
+            .span("coordinator", format!("task:{}", plan.task_id));
+        task_span.attr("utterance", plan.utterance.clone());
+        let result = self.execute_inner(plan, budget, 0, task_span.id());
+        task_span.end();
+        result.map(|mut report| {
+            if self.obs.metrics.is_armed() {
+                report.metrics = Some(self.obs.metrics.snapshot());
+            }
+            report
+        })
     }
 
     fn execute_inner(
@@ -293,9 +345,9 @@ impl TaskCoordinator {
         plan: &TaskPlan,
         budget: Budget,
         depth: u8,
+        task_span: Option<SpanId>,
     ) -> Result<ExecutionReport, ExecutionError> {
-        plan.validate()
-            .map_err(|e| ExecutionError(e.to_string()))?;
+        plan.validate().map_err(|e| ExecutionError(e.to_string()))?;
         let order = plan
             .topo_order()
             .map_err(|e| ExecutionError(e.to_string()))?;
@@ -310,11 +362,13 @@ impl TaskCoordinator {
             .map(|(i, id)| (id.as_str(), i))
             .collect();
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indegree: Vec<usize> = vec![0; n];
         for edge in plan.edges() {
             let from = position[edge.from.as_str()];
             let to = position[edge.to.as_str()];
             children[from].push(to);
+            parents[to].push(from);
             indegree[to] += 1;
         }
 
@@ -327,7 +381,7 @@ impl TaskCoordinator {
         // All accounting goes through a shared ledger so concurrent drivers
         // (charges, retry backoff debits, degradation decisions) stay exact
         // under any completion order.
-        let shared = SharedBudget::new(budget);
+        let shared = SharedBudget::new(budget).with_metrics(&self.obs.metrics);
 
         // Results land in per-position slots so the report merges back into
         // topological order no matter when each node completes.
@@ -340,6 +394,11 @@ impl TaskCoordinator {
         // `max_in_flight == 1` exactly the sequential reference execution.
         let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut halt: Option<Halt> = None;
+        // Span ids per position, recorded at dispatch so children can parent
+        // under the earliest dependency's span. Dispatch happens on this
+        // single scheduler thread in sorted-ready order, so span ids are
+        // allocated deterministically even under parallel completion.
+        let mut span_ids: Vec<Option<SpanId>> = vec![None; n];
 
         loop {
             std::thread::scope(|scope| -> Result<(), ExecutionError> {
@@ -352,7 +411,9 @@ impl TaskCoordinator {
                     while halt.is_none() && in_flight < cap && !ready.is_empty() {
                         let i = ready.remove(0);
                         let node_id = order[i].as_str();
-                        let node = plan.node(node_id).expect("topo order references plan nodes");
+                        let node = plan
+                            .node(node_id)
+                            .expect("topo order references plan nodes");
 
                         // Graceful degradation: a skippable node (e.g. an
                         // optional guardrail check) is dropped outright once
@@ -373,6 +434,11 @@ impl TaskCoordinator {
                                 "node-skipped",
                                 json!({"node": node_id, "agent": node.agent}),
                             );
+                            self.obs.tracer.instant(
+                                "coordinator",
+                                format!("skip:{node_id}"),
+                                task_span,
+                            );
                             result_slots[i] = Some(NodeResult {
                                 node: node_id.to_string(),
                                 agent: node.agent.clone(),
@@ -392,14 +458,54 @@ impl TaskCoordinator {
                             continue;
                         }
 
+                        // The node span is opened here on the scheduler
+                        // thread (deterministic id order) and closed by the
+                        // driver when the node reaches a terminal state. It
+                        // parents under the earliest dependency's span, so
+                        // the trace tree mirrors the plan DAG.
+                        let parent = parents[i]
+                            .iter()
+                            .min()
+                            .and_then(|&p| span_ids[p])
+                            .or(task_span);
+                        let mut node_span = match parent {
+                            Some(pid) => self.obs.tracer.child_span(
+                                "coordinator",
+                                format!("node:{node_id}"),
+                                pid,
+                            ),
+                            None => self
+                                .obs
+                                .tracer
+                                .span("coordinator", format!("node:{node_id}")),
+                        };
+                        node_span.attr("agent", node.agent.clone());
+                        span_ids[i] = node_span.id();
+                        self.instruments.dispatches.inc();
+
                         let tx = done_tx.clone();
                         let node_budget = shared.clone();
                         scope.spawn(move || {
-                            let outcome = self.drive_node(plan, node, &node_budget);
+                            let outcome = self.drive_node(plan, node, &node_budget, node_span.id());
+                            if let Ok(Driven::Done { node_result, .. }) = &outcome {
+                                node_span.attr("ok", if node_result.ok { "true" } else { "false" });
+                                if node_result.cached {
+                                    node_span.attr("cached", "true");
+                                }
+                                if node_result.attempts > 1 {
+                                    node_span.attr("attempts", node_result.attempts.to_string());
+                                }
+                            }
+                            // Record the span before signalling completion so
+                            // the scheduler (and any snapshot it takes) never
+                            // observes a finished node with an open span.
+                            drop(node_span);
                             let _ = tx.send((i, outcome));
                         });
                         in_flight += 1;
                     }
+                    self.instruments.queue_depth.set(ready.len() as i64);
+                    self.instruments.in_flight.set(in_flight as i64);
 
                     if in_flight == 0 {
                         // Nothing running and nothing admissible: leave the
@@ -491,7 +597,8 @@ impl TaskCoordinator {
                         .ok()
                 });
                 if let Some(new_plan) = replacement {
-                    let inner = self.execute_inner(&new_plan, shared.snapshot(), depth + 1)?;
+                    let inner =
+                        self.execute_inner(&new_plan, shared.snapshot(), depth + 1, task_span)?;
                     return Ok(ExecutionReport {
                         task_id: plan.task_id.clone(),
                         outcome: Outcome::Replanned {
@@ -502,6 +609,7 @@ impl TaskCoordinator {
                         node_results: result_slots.into_iter().flatten().collect(),
                         degradations: note_slots.into_iter().flatten().collect(),
                         cache,
+                        metrics: None,
                     });
                 }
                 halt = None;
@@ -533,6 +641,7 @@ impl TaskCoordinator {
                     node_results,
                     degradations,
                     cache,
+                    metrics: None,
                 })
             }
             Some(Halt::Failure {
@@ -561,7 +670,12 @@ impl TaskCoordinator {
                         if let Ok(new_plan) =
                             tp.plan_subtasks(&plan.utterance, &subtasks, &excluded)
                         {
-                            let inner = self.execute_inner(&new_plan, budget.clone(), depth + 1)?;
+                            let inner = self.execute_inner(
+                                &new_plan,
+                                budget.clone(),
+                                depth + 1,
+                                task_span,
+                            )?;
                             return Ok(ExecutionReport {
                                 task_id: plan.task_id.clone(),
                                 outcome: Outcome::Replanned {
@@ -572,6 +686,7 @@ impl TaskCoordinator {
                                 node_results,
                                 degradations,
                                 cache,
+                                metrics: None,
                             });
                         }
                     }
@@ -615,6 +730,7 @@ impl TaskCoordinator {
         plan: &TaskPlan,
         node: &blueprint_planner::PlanNode,
         budget: &SharedBudget,
+        span: Option<SpanId>,
     ) -> Result<Driven, ExecutionError> {
         let node_id = node.id.as_str();
         // Subscribe to this task's agent reports before issuing any
@@ -650,6 +766,7 @@ impl TaskCoordinator {
             .map(|_| MemoCache::key(&node.agent, &inputs));
         if let (Some(memo), Some(key)) = (&self.memo, &memo_key) {
             if let Some(entry) = memo.lookup(key) {
+                self.instruments.memo_hits.inc();
                 self.replay_cached_outputs(plan, node, &entry);
                 budget.charge(0.0, 0, node.profile.accuracy);
                 budget.consume_projection(&node.profile);
@@ -678,7 +795,15 @@ impl TaskCoordinator {
 
         // Drive the node: breaker gate, instruction publish, report await,
         // retries with budget-debited backoff.
-        let mut attempt = self.run_node(plan, node_id, &node.agent, &inputs, &report_sub, budget)?;
+        let mut attempt = self.run_node(
+            plan,
+            node_id,
+            &node.agent,
+            &inputs,
+            &report_sub,
+            budget,
+            span,
+        )?;
         let mut executing_agent = node.agent.clone();
         let mut degradation = None;
 
@@ -688,8 +813,20 @@ impl TaskCoordinator {
             if let Some((fallback, penalty)) = self.ladder.fallback_for(&node.agent) {
                 let fallback = fallback.to_string();
                 if self.registry.get_spec(&fallback).is_ok() {
-                    let second =
-                        self.run_node(plan, node_id, &fallback, &inputs, &report_sub, budget)?;
+                    self.obs.tracer.instant(
+                        "coordinator",
+                        format!("fallback:{}->{fallback}", node.agent),
+                        span,
+                    );
+                    let second = self.run_node(
+                        plan,
+                        node_id,
+                        &fallback,
+                        &inputs,
+                        &report_sub,
+                        budget,
+                        span,
+                    )?;
                     if second.error.is_none() {
                         degradation = Some(DegradationNote {
                             from: node.agent.clone(),
@@ -817,6 +954,7 @@ impl TaskCoordinator {
     /// Drives one node to a terminal attempt outcome: checks the circuit
     /// breaker, publishes the instruction, awaits the report, and retries
     /// per the retry policy with backoff debited from the latency budget.
+    #[allow(clippy::too_many_arguments)]
     fn run_node(
         &self,
         plan: &TaskPlan,
@@ -825,6 +963,7 @@ impl TaskCoordinator {
         inputs: &Inputs,
         report_sub: &blueprint_streams::Subscription,
         budget: &SharedBudget,
+        span: Option<SpanId>,
     ) -> Result<NodeAttempt, ExecutionError> {
         // An open circuit fails fast: no instruction is issued, so the
         // struggling agent gets no more traffic until its cooldown elapses.
@@ -848,6 +987,7 @@ impl TaskCoordinator {
                 output_stream: format!("{}:task:{}:{}", self.scope, plan.task_id, node_id),
                 task_id: plan.task_id.clone(),
                 node_id: node_id.to_string(),
+                span: span.map(|s| s.0),
             };
             self.store
                 .publish_to(
@@ -883,6 +1023,12 @@ impl TaskCoordinator {
                 .is_some_and(|b| !b.allow(agent, self.now_micros()));
             if !circuit_open {
                 if let Some(delay) = self.retry.delay_before(attempts, spent_delay) {
+                    self.instruments.retries.inc();
+                    self.obs.tracer.instant(
+                        "coordinator",
+                        format!("retry:{agent}#{attempts}"),
+                        span,
+                    );
                     // The failed attempt's cost and the backoff are real
                     // spend the caller experienced (accuracy-neutral: the
                     // retry supersedes the failed answer).
@@ -924,6 +1070,7 @@ impl TaskCoordinator {
             output_stream: format!("{}:task:{}:{}", self.scope, plan.task_id, node_id),
             task_id: plan.task_id.clone(),
             node_id: node_id.to_string(),
+            span: None,
         };
         let _ = dlq.quarantine(
             &instruction.into_message().from_producer("task-coordinator"),
@@ -974,8 +1121,10 @@ impl TaskCoordinator {
                 // them in-memory via the outputs map owned by the caller —
                 // but resolve_input has no access; instead re-read from the
                 // producing node's report output stream.
-                let stream =
-                    blueprint_streams::StreamId::new(format!("{}:task:{}:{}", self.scope, plan.task_id, from));
+                let stream = blueprint_streams::StreamId::new(format!(
+                    "{}:task:{}:{}",
+                    self.scope, plan.task_id, from
+                ));
                 let history = self
                     .store
                     .read(&stream, 0)
@@ -1061,6 +1210,7 @@ impl TaskCoordinator {
             node_results,
             degradations,
             cache,
+            metrics: None,
         })
     }
 
@@ -1090,6 +1240,7 @@ impl TaskCoordinator {
             node_results,
             degradations,
             cache,
+            metrics: None,
         })
     }
 }
@@ -1238,10 +1389,8 @@ mod tests {
                 .unwrap();
             factory.spawn(a, "session:1").unwrap();
         }
-        let coordinator =
-            TaskCoordinator::new(store, "session:1", registry.clone()).with_report_timeout(
-                Duration::from_secs(5),
-            );
+        let coordinator = TaskCoordinator::new(store, "session:1", registry.clone())
+            .with_report_timeout(Duration::from_secs(5));
         (factory, coordinator, registry)
     }
 
@@ -1305,12 +1454,8 @@ mod tests {
     #[test]
     fn continue_policy_pushes_through_overrun() {
         let (factory, _, registry) = setup(&["alpha", "beta"]);
-        let coordinator = TaskCoordinator::new(
-            factory.store().clone(),
-            "session:1",
-            registry,
-        )
-        .with_policy(OverrunPolicy::Continue);
+        let coordinator = TaskCoordinator::new(factory.store().clone(), "session:1", registry)
+            .with_policy(OverrunPolicy::Continue);
         let plan = chain_plan("t4", &["alpha", "beta"]);
         let report = coordinator
             .execute(&plan, QosConstraints::none().with_max_cost(1.2))
@@ -1454,12 +1599,11 @@ mod tests {
                 .with_input(ParamSpec::required("text", "t", DataType::Text))
                 .with_output(ParamSpec::required("out", "o", DataType::Text))
                 .with_profile(CostProfile::new(est_cost, 1_000, 0.95));
-            let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-                |inputs: &Inputs, ctx: &AgentContext| {
+            let proc: Arc<dyn Processor> =
+                Arc::new(FnProcessor::new(|inputs: &Inputs, ctx: &AgentContext| {
                     ctx.charge_cost(0.05);
                     Ok(Outputs::new().with("out", json!(inputs.require_str("text")?)))
-                },
-            ));
+                }));
             factory.register(spec.clone(), proc).unwrap();
             registry.register(spec).unwrap();
             factory.spawn(name, "session:1").unwrap();
@@ -1657,9 +1801,11 @@ mod tests {
     fn failed_agent_falls_back_down_the_degradation_ladder() {
         let (factory, coordinator, registry) = setup(&["econ-up"]);
         failing_agent(&factory, &registry, "premium-up");
-        let coordinator = coordinator.with_degradation(
-            DegradationLadder::new().with_fallback("premium-up", "econ-up", 0.1),
-        );
+        let coordinator = coordinator.with_degradation(DegradationLadder::new().with_fallback(
+            "premium-up",
+            "econ-up",
+            0.1,
+        ));
         let plan = chain_plan("tf", &["premium-up"]);
         let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();
         match &report.outcome {
@@ -1710,12 +1856,15 @@ mod tests {
             .with_input(ParamSpec::required("jobs", "job listings", DataType::Table))
             .with_output(ParamSpec::required("count", "job count", DataType::Number))
             .with_profile(CostProfile::new(0.1, 100, 1.0));
-        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-            |inputs: &Inputs, _: &AgentContext| {
-                let n = inputs.require("jobs")?.as_array().map(Vec::len).unwrap_or(0);
+        let proc: Arc<dyn Processor> =
+            Arc::new(FnProcessor::new(|inputs: &Inputs, _: &AgentContext| {
+                let n = inputs
+                    .require("jobs")?
+                    .as_array()
+                    .map(Vec::len)
+                    .unwrap_or(0);
                 Ok(Outputs::new().with("count", json!(n)))
-            },
-        ));
+            }));
         factory.register(spec.clone(), proc).unwrap();
         registry.register(spec).unwrap();
         factory.spawn("counter", "session:1").unwrap();
@@ -1734,8 +1883,8 @@ mod tests {
         dp.add_source(Arc::new(RelationalSource::new("hr-db", db)));
         dp.add_source(Arc::new(ParametricSource::new("gpt", llm)));
 
-        let coordinator = TaskCoordinator::new(store, "session:1", registry)
-            .with_data_planner(Arc::new(dp));
+        let coordinator =
+            TaskCoordinator::new(store, "session:1", registry).with_data_planner(Arc::new(dp));
 
         let mut plan = TaskPlan::new(
             "t9",
@@ -1803,7 +1952,10 @@ mod tests {
         plan
     }
 
-    fn sleepy_coordinator(branches: usize, millis: u64) -> (AgentFactory, TaskCoordinator, Vec<String>) {
+    fn sleepy_coordinator(
+        branches: usize,
+        millis: u64,
+    ) -> (AgentFactory, TaskCoordinator, Vec<String>) {
         let agents: Vec<String> = (0..branches).map(|i| format!("sleep-{i}")).collect();
         let store = StreamStore::new();
         let factory = AgentFactory::new(store.clone());
@@ -1825,7 +1977,11 @@ mod tests {
         assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
         // Results merge back into topological order even though the branches
         // complete in arbitrary order.
-        let ids: Vec<&str> = report.node_results.iter().map(|r| r.node.as_str()).collect();
+        let ids: Vec<&str> = report
+            .node_results
+            .iter()
+            .map(|r| r.node.as_str())
+            .collect();
         assert_eq!(ids, ["n1", "n2", "n3", "n4", "n5", "n6"]);
         assert!((report.budget.spent_cost - 6.0 * 0.25).abs() < 1e-9);
         // Six 40 ms branches overlap; a sequential walk needs at least 240 ms.
@@ -1846,8 +2002,7 @@ mod tests {
     #[test]
     fn bounded_parallelism_caps_in_flight_nodes() {
         let (_factory, coordinator, agents) = sleepy_coordinator(6, 30);
-        let coordinator =
-            coordinator.with_scheduler(SchedulerMode::Parallel { max_in_flight: 2 });
+        let coordinator = coordinator.with_scheduler(SchedulerMode::Parallel { max_in_flight: 2 });
         let plan = fanout_plan("t-cap", &agents);
         let start = std::time::Instant::now();
         let report = coordinator.execute(&plan, QosConstraints::none()).unwrap();

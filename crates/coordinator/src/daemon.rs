@@ -87,8 +87,8 @@ impl Drop for CoordinatorDaemon {
 mod tests {
     use super::*;
     use blueprint_agents::{
-        AgentContext, AgentFactory, AgentSpec, CostProfile, DataType, FnProcessor, Inputs,
-        Outputs, ParamSpec, Processor,
+        AgentContext, AgentFactory, AgentSpec, CostProfile, DataType, FnProcessor, Inputs, Outputs,
+        ParamSpec, Processor,
     };
     use blueprint_planner::{InputBinding, PlanNode};
     use blueprint_registry::AgentRegistry;
@@ -105,20 +105,15 @@ mod tests {
             .with_input(ParamSpec::required("text", "t", DataType::Text))
             .with_output(ParamSpec::required("out", "o", DataType::Text))
             .with_profile(CostProfile::new(0.1, 100, 1.0));
-        let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-            |inputs: &Inputs, _: &AgentContext| {
+        let proc: Arc<dyn Processor> =
+            Arc::new(FnProcessor::new(|inputs: &Inputs, _: &AgentContext| {
                 Ok(Outputs::new().with("out", json!(inputs.require_str("text")?)))
-            },
-        ));
+            }));
         factory.register(spec.clone(), proc).unwrap();
         registry.register(spec).unwrap();
         factory.spawn("echo", "session:1").unwrap();
 
-        let coordinator = Arc::new(TaskCoordinator::new(
-            store.clone(),
-            "session:1",
-            registry,
-        ));
+        let coordinator = Arc::new(TaskCoordinator::new(store.clone(), "session:1", registry));
         let mut daemon =
             CoordinatorDaemon::spawn(coordinator, store.clone(), QosConstraints::none()).unwrap();
 

@@ -25,9 +25,7 @@ use blueprint_agents::{
     AgentContext, AgentFactory, AgentSpec, CostProfile, DataType, FnProcessor, Inputs, Outputs,
     ParamSpec, Processor,
 };
-use blueprint_coordinator::{
-    ExecutionReport, MemoCache, Outcome, SchedulerMode, TaskCoordinator,
-};
+use blueprint_coordinator::{ExecutionReport, MemoCache, Outcome, SchedulerMode, TaskCoordinator};
 use blueprint_optimizer::QosConstraints;
 use blueprint_planner::{InputBinding, PlanNode, TaskPlan};
 use blueprint_registry::AgentRegistry;
@@ -71,7 +69,9 @@ fn register_join(factory: &AgentFactory, registry: &AgentRegistry, arity: usize)
     ));
     factory.register(spec.clone(), proc).unwrap();
     registry.register(spec).unwrap();
-    factory.spawn(&format!("join-{arity}"), "session:1").unwrap();
+    factory
+        .spawn(&format!("join-{arity}"), "session:1")
+        .unwrap();
 }
 
 /// Maps raw generator output to a DAG: node `i` depends on up to two
@@ -106,11 +106,7 @@ fn build_plan(raw_deps: &[Vec<usize>]) -> TaskPlan {
             agent: format!("join-{arity}"),
             task: format!("step {i}"),
             inputs,
-            profile: CostProfile::new(
-                0.125 * (arity + 1) as f64,
-                1_000 * (arity + 1) as u64,
-                1.0,
-            ),
+            profile: CostProfile::new(0.125 * (arity + 1) as f64, 1_000 * (arity + 1) as u64, 1.0),
         });
     }
     plan
@@ -156,9 +152,8 @@ fn without_latency(report: &ExecutionReport) -> Vec<blueprint_coordinator::NodeR
 
 /// Raw dependency material: 1..8 nodes, each with 0..=2 raw dep picks.
 fn deps_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    (1usize..8).prop_flat_map(|n| {
-        prop::collection::vec(prop::collection::vec(0usize..1000, 0..3), n)
-    })
+    (1usize..8)
+        .prop_flat_map(|n| prop::collection::vec(prop::collection::vec(0usize..1000, 0..3), n))
 }
 
 proptest! {

@@ -36,6 +36,7 @@ pub use blueprint_coordinator as coordinator;
 pub use blueprint_datastore as datastore;
 pub use blueprint_hrdomain as hrdomain;
 pub use blueprint_llmsim as llmsim;
+pub use blueprint_observability as observability;
 pub use blueprint_optimizer as optimizer;
 pub use blueprint_planner as planner;
 pub use blueprint_registry as registry;

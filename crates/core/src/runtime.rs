@@ -10,10 +10,12 @@ use blueprint_coordinator::{
     TaskCoordinator,
 };
 use blueprint_datastore::{
-    DataSource, DocumentSource, FaultInjectedSource, GraphSource, KvSource, RelationalSource,
+    DataSource, DocumentSource, FaultInjectedSource, GraphSource, InstrumentedSource, KvSource,
+    RelationalSource,
 };
 use blueprint_hrdomain::{register_guardrails, register_hr_agents, HrConfig, HrDataset};
 use blueprint_llmsim::{ModelProfile, ParametricSource, SimLlm};
+use blueprint_observability::{MetricsRegistry, MetricsSnapshot, Observability, Trace, Tracer};
 use blueprint_optimizer::{Objective, QosConstraints};
 use blueprint_planner::{DataPlanner, PlanError, TaskPlan, TaskPlanner};
 use blueprint_registry::{AgentRegistry, DataRegistry};
@@ -83,6 +85,8 @@ pub struct BlueprintBuilder {
     ladder: DegradationLadder,
     scheduler: SchedulerMode,
     memo_capacity: Option<usize>,
+    tracing: bool,
+    metrics: bool,
 }
 
 impl Default for BlueprintBuilder {
@@ -102,6 +106,8 @@ impl Default for BlueprintBuilder {
             ladder: DegradationLadder::new(),
             scheduler: SchedulerMode::default(),
             memo_capacity: None,
+            tracing: false,
+            metrics: false,
         }
     }
 }
@@ -200,12 +206,47 @@ impl BlueprintBuilder {
         self
     }
 
+    /// Arms span tracing: every task execution records a trace tree stamped
+    /// from the shared simulated clock (deterministic, byte-stable).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Arms the metrics registry: named instruments meter stream publishes,
+    /// agent invocations, retries, breaker trips, memo hits, budget debits,
+    /// model calls, and data-source queries across the whole runtime.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
     /// Assembles the runtime.
     pub fn build(self) -> Result<Blueprint, CoreError> {
         let store = StreamStore::new();
         let factory = Arc::new(AgentFactory::new(store.clone()));
         let agent_registry = Arc::new(AgentRegistry::new());
         let data_registry = Arc::new(DataRegistry::new());
+
+        // Tracing and metrics arm independently; spans are stamped from the
+        // same simulated clock the streams database uses, so trace times line
+        // up with message sequence times.
+        let observability = Observability {
+            tracer: if self.tracing {
+                Tracer::new(store.clock().clone())
+            } else {
+                Tracer::disarmed()
+            },
+            metrics: if self.metrics {
+                MetricsRegistry::new()
+            } else {
+                MetricsRegistry::disarmed()
+            },
+        };
+        if observability.is_armed() {
+            store.set_metrics(&observability.metrics);
+            factory.set_observability(observability.clone());
+        }
 
         let injector = self.fault_plan.map(|p| Arc::new(FaultInjector::new(p)));
         if let Some(inj) = &injector {
@@ -218,19 +259,32 @@ impl BlueprintBuilder {
         if let Some(b) = &breakers {
             agent_registry.set_breakers(Arc::clone(b));
             factory.set_breakers(Arc::clone(b));
+            if observability.metrics.is_armed() {
+                b.set_metrics(&observability.metrics);
+            }
         }
         // Storage-backed sources get their faults at the data-query site;
-        // the primary model carries its own model-call faults.
+        // the primary model carries its own model-call faults. Metering
+        // wraps outermost so injected outages count as query errors.
+        let metrics = observability.metrics.clone();
         let wrap_source = |src: Arc<dyn DataSource>| -> Arc<dyn DataSource> {
-            match &injector {
+            let src: Arc<dyn DataSource> = match &injector {
                 Some(inj) => Arc::new(FaultInjectedSource::wrap(src, Arc::clone(inj))),
                 None => src,
+            };
+            if metrics.is_armed() {
+                Arc::new(InstrumentedSource::wrap(src, &metrics))
+            } else {
+                src
             }
         };
 
         let mut sim = SimLlm::new(self.model.clone());
         if let Some(inj) = &injector {
             sim = sim.with_faults(Arc::clone(inj));
+        }
+        if observability.metrics.is_armed() {
+            sim.set_metrics(&observability.metrics);
         }
         let llm = Arc::new(sim);
 
@@ -272,13 +326,20 @@ impl BlueprintBuilder {
             Arc::clone(&llm),
         )));
         for extra in &self.extra_models {
+            let extra_llm = SimLlm::new(extra.clone());
+            if observability.metrics.is_armed() {
+                extra_llm.set_metrics(&observability.metrics);
+            }
             data_planner.add_source(Arc::new(ParametricSource::new(
                 format!("gpt-{}", extra.name.trim_start_matches("sim-")),
-                Arc::new(SimLlm::new(extra.clone())),
+                Arc::new(extra_llm),
             )));
         }
 
-        let task_planner = Arc::new(TaskPlanner::new(Arc::clone(&agent_registry), Arc::clone(&llm)));
+        let task_planner = Arc::new(TaskPlanner::new(
+            Arc::clone(&agent_registry),
+            Arc::clone(&llm),
+        ));
         let sessions = SessionManager::new(store.clone());
 
         Ok(Blueprint {
@@ -300,6 +361,7 @@ impl BlueprintBuilder {
             ladder: self.ladder,
             scheduler: self.scheduler,
             memo: self.memo_capacity.map(|cap| Arc::new(MemoCache::new(cap))),
+            observability,
         })
     }
 }
@@ -324,6 +386,7 @@ pub struct Blueprint {
     ladder: DegradationLadder,
     scheduler: SchedulerMode,
     memo: Option<Arc<MemoCache>>,
+    observability: Observability,
 }
 
 impl Blueprint {
@@ -387,6 +450,23 @@ impl Blueprint {
         self.memo.as_ref()
     }
 
+    /// The runtime's observability handles (disarmed no-ops unless
+    /// [`BlueprintBuilder::with_tracing`] / [`BlueprintBuilder::with_metrics`]
+    /// were requested).
+    pub fn observability(&self) -> &Observability {
+        &self.observability
+    }
+
+    /// Snapshot of the recorded trace so far (empty when tracing is off).
+    pub fn trace(&self) -> Trace {
+        self.observability.tracer.snapshot()
+    }
+
+    /// Snapshot of every instrument (empty when metrics are off).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.observability.metrics.snapshot()
+    }
+
     /// Starts a session: creates its scope, spawns an instance of every
     /// registered agent into it, and attaches a coordinator + daemon.
     pub fn start_session(&self) -> Result<BlueprintSession, CoreError> {
@@ -401,24 +481,33 @@ impl Blueprint {
             session.add_agent(&name)?;
             instances.push(id);
         }
-        let mut coordinator =
-            TaskCoordinator::new(self.store.clone(), scope.clone(), Arc::clone(&self.agent_registry))
-                .with_data_planner(Arc::clone(&self.data_planner))
-                .with_task_planner(Arc::clone(&self.task_planner))
-                .with_policy(self.policy)
-                .with_report_timeout(self.report_timeout)
-                .with_retry_policy(self.retry.clone())
-                .with_degradation(self.ladder.clone())
-                .with_scheduler(self.scheduler);
+        let mut coordinator = TaskCoordinator::new(
+            self.store.clone(),
+            scope.clone(),
+            Arc::clone(&self.agent_registry),
+        )
+        .with_data_planner(Arc::clone(&self.data_planner))
+        .with_task_planner(Arc::clone(&self.task_planner))
+        .with_policy(self.policy)
+        .with_report_timeout(self.report_timeout)
+        .with_retry_policy(self.retry.clone())
+        .with_degradation(self.ladder.clone())
+        .with_scheduler(self.scheduler);
         if let Some(b) = &self.breakers {
             coordinator = coordinator.with_breakers(Arc::clone(b));
         }
         if let Some(m) = &self.memo {
             coordinator = coordinator.with_memoization(Arc::clone(m));
         }
+        if self.observability.is_armed() {
+            coordinator = coordinator.with_observability(self.observability.clone());
+        }
         let coordinator = Arc::new(coordinator);
-        let daemon =
-            CoordinatorDaemon::spawn(Arc::clone(&coordinator), self.store.clone(), self.constraints)?;
+        let daemon = CoordinatorDaemon::spawn(
+            Arc::clone(&coordinator),
+            self.store.clone(),
+            self.constraints,
+        )?;
         Ok(BlueprintSession {
             session,
             coordinator,
@@ -476,7 +565,9 @@ impl BlueprintSession {
     pub fn say(&self, text: &str) -> Result<(), CoreError> {
         self.session.publish(
             "user",
-            Message::data(text).with_tag("user-text").from_producer("user"),
+            Message::data(text)
+                .with_tag("user-text")
+                .from_producer("user"),
         )?;
         Ok(())
     }
@@ -531,7 +622,10 @@ mod tests {
     }
 
     fn blueprint() -> Blueprint {
-        Blueprint::builder().with_hr_domain(small_hr()).build().unwrap()
+        Blueprint::builder()
+            .with_hr_domain(small_hr())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -667,7 +761,10 @@ mod tests {
         assert!(bp.agent_registry().contains("fact-verifier"));
         // A session spawns them like any other agent and they serve work.
         let session = bp.start_session().unwrap();
-        assert!(session.session().participants().contains(&"content-moderator".to_string()));
+        assert!(session
+            .session()
+            .participants()
+            .contains(&"content-moderator".to_string()));
     }
 
     #[test]
@@ -692,6 +789,60 @@ mod tests {
         assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
         assert!(report.degradations.is_empty());
         assert_eq!(bp.fault_injector().unwrap().total(), 0);
+    }
+
+    #[test]
+    fn observability_wiring_reaches_every_layer() {
+        let bp = Blueprint::builder()
+            .with_hr_domain(small_hr())
+            .with_tracing()
+            .with_metrics()
+            .build()
+            .unwrap();
+        assert!(bp.observability().is_armed());
+        let session = bp.start_session().unwrap();
+        let report = session
+            .handle("I am looking for a data scientist position in SF bay area.")
+            .unwrap();
+        assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+
+        // Metrics reached every instrumented layer the running example touches.
+        let snap = bp.metrics();
+        assert!(snap.counter("blueprint.streams.publishes") > 0);
+        assert_eq!(snap.counter("blueprint.agents.invocations"), 3);
+        assert_eq!(snap.counter("blueprint.coordinator.dispatches"), 3);
+        assert!(snap.counter("blueprint.llmsim.calls") > 0);
+        assert!(snap.counter("blueprint.datastore.queries") > 0);
+        assert!(snap.counter("blueprint.optimizer.budget_debits") > 0);
+        // The report carries the same snapshot for offline inspection.
+        let attached = report.metrics.expect("armed run attaches metrics");
+        assert_eq!(
+            attached.counter("blueprint.coordinator.dispatches"),
+            snap.counter("blueprint.coordinator.dispatches")
+        );
+
+        // The trace is one tree: a task root whose node spans follow the
+        // 3-node plan, each with a child invoke span.
+        let trace = bp.trace();
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1, "trace: {}", trace.render_text());
+        assert!(roots[0].name.starts_with("task:"));
+        let nodes = trace.children_of(roots[0].id);
+        assert_eq!(nodes.len(), 1, "chain plan: one root node");
+        assert!(trace.find("invoke:profiler").is_some());
+    }
+
+    #[test]
+    fn disarmed_runtime_records_nothing() {
+        let bp = blueprint();
+        let session = bp.start_session().unwrap();
+        let report = session
+            .handle("I am looking for a data scientist position in SF bay area.")
+            .unwrap();
+        assert!(report.outcome.succeeded());
+        assert!(report.metrics.is_none());
+        assert!(bp.trace().spans.is_empty());
+        assert!(bp.metrics().counters.is_empty());
     }
 
     #[test]

@@ -59,9 +59,15 @@ mod tests {
             DataError::UnknownColumn("x".into()).to_string(),
             "unknown column: x"
         );
-        assert!(DataError::TypeError("t".into()).to_string().contains("type"));
-        assert!(DataError::Eval("e".into()).to_string().contains("evaluation"));
-        assert!(DataError::NotFound("n".into()).to_string().contains("not found"));
+        assert!(DataError::TypeError("t".into())
+            .to_string()
+            .contains("type"));
+        assert!(DataError::Eval("e".into())
+            .to_string()
+            .contains("evaluation"));
+        assert!(DataError::NotFound("n".into())
+            .to_string()
+            .contains("not found"));
         assert!(DataError::Schema("s".into()).to_string().contains("schema"));
         assert_eq!(
             DataError::Unavailable("hr-db offline".into()).to_string(),

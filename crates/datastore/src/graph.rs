@@ -234,10 +234,14 @@ mod tests {
         ] {
             g.add_node(id, "title", json!({"name": name})).unwrap();
         }
-        g.add_edge("ml-engineer", "data-scientist", "related_to").unwrap();
-        g.add_edge("data-analyst", "data-scientist", "specializes_into").unwrap();
-        g.add_edge("data-scientist", "research-scientist", "related_to").unwrap();
-        g.add_edge("statistician", "data-scientist", "synonym_of").unwrap();
+        g.add_edge("ml-engineer", "data-scientist", "related_to")
+            .unwrap();
+        g.add_edge("data-analyst", "data-scientist", "specializes_into")
+            .unwrap();
+        g.add_edge("data-scientist", "research-scientist", "related_to")
+            .unwrap();
+        g.add_edge("statistician", "data-scientist", "synonym_of")
+            .unwrap();
         g
     }
 
@@ -251,7 +255,10 @@ mod tests {
     #[test]
     fn node_lookup() {
         let g = taxonomy();
-        assert_eq!(g.node("data-scientist").unwrap().props["name"], json!("data scientist"));
+        assert_eq!(
+            g.node("data-scientist").unwrap().props["name"],
+            json!("data scientist")
+        );
         assert!(g.node("ghost").is_err());
     }
 
@@ -294,14 +301,22 @@ mod tests {
         let ids: Vec<&str> = related.iter().map(|n| n.id.as_str()).collect();
         assert_eq!(
             ids,
-            ["data-analyst", "ml-engineer", "research-scientist", "statistician"]
+            [
+                "data-analyst",
+                "ml-engineer",
+                "research-scientist",
+                "statistician"
+            ]
         );
     }
 
     #[test]
     fn traverse_depth_zero_reaches_nothing() {
         let g = taxonomy();
-        assert!(g.traverse("data-scientist", None, 0, true).unwrap().is_empty());
+        assert!(g
+            .traverse("data-scientist", None, 0, true)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub use kv::KvStore;
 pub use relational::{RelationalDb, ResultSet, Table};
 pub use schema::{Column, ColumnType, Schema};
 pub use source::{
-    CostEstimate, DataSource, DocumentSource, FaultInjectedSource, GraphSource, KvSource,
-    RelationalSource, SourceQuery, SourceResult,
+    CostEstimate, DataSource, DocumentSource, FaultInjectedSource, GraphSource, InstrumentedSource,
+    KvSource, RelationalSource, SourceQuery, SourceResult,
 };
 pub use value::{Datum, Row};
 

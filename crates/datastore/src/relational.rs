@@ -47,7 +47,10 @@ impl Table {
         self.schema.check_row(&row)?;
         let idx = self.rows.len();
         for (col, index) in self.indices.iter_mut() {
-            index.entry(DatumKey::from(&row[*col])).or_default().push(idx);
+            index
+                .entry(DatumKey::from(&row[*col]))
+                .or_default()
+                .push(idx);
         }
         self.rows.push(row);
         Ok(())
@@ -137,7 +140,13 @@ impl ResultSet {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &cells {
             let line: Vec<String> = row
@@ -435,10 +444,7 @@ impl RelationalDb {
                 SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
                 SelectItem::Wildcard => false,
             })
-            || select
-                .having
-                .as_ref()
-                .is_some_and(Expr::contains_aggregate);
+            || select.having.as_ref().is_some_and(Expr::contains_aggregate);
 
         let (columns, projected) = if is_aggregate {
             aggregate_path(select, rows, &scope)?
@@ -607,8 +613,16 @@ fn execute_join(
         right: b,
     } = &join.on
     {
-        if let (Expr::Column { table: ta, name: na }, Expr::Column { table: tb, name: nb }) =
-            (a.as_ref(), b.as_ref())
+        if let (
+            Expr::Column {
+                table: ta,
+                name: na,
+            },
+            Expr::Column {
+                table: tb,
+                name: nb,
+            },
+        ) = (a.as_ref(), b.as_ref())
         {
             let ra = scope.resolve(ta.as_deref(), na)?;
             let rb = scope.resolve(tb.as_deref(), nb)?;
@@ -786,9 +800,7 @@ fn sort_result(result: &mut ResultSet, select: &SelectStmt, scope: &Scope) -> Re
     let mut keys = Vec::new();
     for ok in &select.order_by {
         let as_output = match &ok.expr {
-            Expr::Column { table: None, name } => {
-                result.columns.iter().position(|c| c == name)
-            }
+            Expr::Column { table: None, name } => result.columns.iter().position(|c| c == name),
             _ => {
                 let n = name_of(&ok.expr);
                 result.columns.iter().position(|c| *c == n)
@@ -948,11 +960,7 @@ fn eval(expr: &Expr, row: &[Datum], scope: &Scope) -> Result<Datum> {
     }
 }
 
-fn eval_logic(
-    op: BinOp,
-    left: Datum,
-    right: impl FnOnce() -> Result<Datum>,
-) -> Result<Datum> {
+fn eval_logic(op: BinOp, left: Datum, right: impl FnOnce() -> Result<Datum>) -> Result<Datum> {
     let lb = match &left {
         Datum::Null => None,
         Datum::Bool(b) => Some(*b),
@@ -1008,7 +1016,10 @@ fn eval_binop(op: BinOp, l: Datum, r: Datum) -> Result<Datum> {
             let cmp_ok = matches!(
                 (&l, &r),
                 (Datum::Text(_), Datum::Text(_))
-                    | (Datum::Int(_) | Datum::Float(_), Datum::Int(_) | Datum::Float(_))
+                    | (
+                        Datum::Int(_) | Datum::Float(_),
+                        Datum::Int(_) | Datum::Float(_)
+                    )
             );
             if !cmp_ok {
                 return Err(DataError::TypeError(format!("cannot compare {l} with {r}")));
@@ -1044,9 +1055,7 @@ fn eval_binop(op: BinOp, l: Datum, r: Datum) -> Result<Datum> {
                     let (a, b) = match (l.as_f64(), r.as_f64()) {
                         (Some(a), Some(b)) => (a, b),
                         _ => {
-                            return Err(DataError::TypeError(format!(
-                                "arithmetic on {l} and {r}"
-                            )))
+                            return Err(DataError::TypeError(format!("arithmetic on {l} and {r}")))
                         }
                     };
                     match op {
@@ -1154,7 +1163,11 @@ fn eval_agg(expr: &Expr, group: &[Row], scope: &Scope) -> Result<Datum> {
                 .collect::<Result<_>>()?;
             eval_scalar_fn(name, &vals)
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let inner = eval_agg(expr, group, scope)?;
             let lits: Vec<Expr> = list
                 .iter()
@@ -1170,7 +1183,11 @@ fn eval_agg(expr: &Expr, group: &[Row], scope: &Scope) -> Result<Datum> {
                 &Scope::empty(),
             )
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_agg(expr, group, scope)?;
             let p = eval_agg(pattern, group, scope)?;
             eval(
@@ -1284,8 +1301,10 @@ mod tests {
 
     fn db() -> RelationalDb {
         let db = RelationalDb::new();
-        db.execute("CREATE TABLE jobs (id INT, title TEXT, city TEXT, salary FLOAT, company_id INT)")
-            .unwrap();
+        db.execute(
+            "CREATE TABLE jobs (id INT, title TEXT, city TEXT, salary FLOAT, company_id INT)",
+        )
+        .unwrap();
         db.execute("CREATE TABLE companies (id INT, name TEXT, size INT)")
             .unwrap();
         db.execute(
@@ -1423,7 +1442,9 @@ mod tests {
 
     #[test]
     fn limit_truncates() {
-        let r = db().execute("SELECT id FROM jobs ORDER BY id LIMIT 2").unwrap();
+        let r = db()
+            .execute("SELECT id FROM jobs ORDER BY id LIMIT 2")
+            .unwrap();
         assert_eq!(r.len(), 2);
     }
 
@@ -1437,7 +1458,9 @@ mod tests {
 
     #[test]
     fn tableless_select() {
-        let r = RelationalDb::new().execute("SELECT 1 + 2 AS three, 'x'").unwrap();
+        let r = RelationalDb::new()
+            .execute("SELECT 1 + 2 AS three, 'x'")
+            .unwrap();
         assert_eq!(r.columns, ["three", "x"]);
         assert_eq!(r.rows[0][0], Datum::Int(3));
     }
@@ -1471,7 +1494,9 @@ mod tests {
         let r = db.execute("SELECT COUNT(*) FROM t WHERE x > 0").unwrap();
         assert_eq!(r.rows[0][0], Datum::Int(2));
         // IS NULL finds them.
-        let r2 = db.execute("SELECT COUNT(*) FROM t WHERE x IS NULL").unwrap();
+        let r2 = db
+            .execute("SELECT COUNT(*) FROM t WHERE x IS NULL")
+            .unwrap();
         assert_eq!(r2.rows[0][0], Datum::Int(1));
         let r3 = db
             .execute("SELECT COUNT(*) FROM t WHERE x IS NOT NULL")

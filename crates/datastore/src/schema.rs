@@ -173,7 +173,12 @@ mod tests {
         assert!(ColumnType::Text.accepts(&Datum::Text("x".into())));
         assert!(ColumnType::Bool.accepts(&Datum::Bool(false)));
         // NULL everywhere.
-        for t in [ColumnType::Int, ColumnType::Float, ColumnType::Text, ColumnType::Bool] {
+        for t in [
+            ColumnType::Int,
+            ColumnType::Float,
+            ColumnType::Text,
+            ColumnType::Bool,
+        ] {
             assert!(t.accepts(&Datum::Null));
         }
     }

@@ -448,16 +448,85 @@ impl DataSource for FaultInjectedSource {
     }
 }
 
+/// Decorator metering queries against any [`DataSource`].
+///
+/// Every `query` call increments `blueprint.datastore.queries`; failures
+/// additionally increment `blueprint.datastore.errors`. Estimates and
+/// capability checks pass through unmetered — they are planning-time
+/// lookups, not data access.
+pub struct InstrumentedSource {
+    inner: Arc<dyn DataSource>,
+    queries: blueprint_observability::Counter,
+    errors: blueprint_observability::Counter,
+}
+
+impl InstrumentedSource {
+    /// Wraps `inner`, resolving the datastore instruments from `metrics`.
+    pub fn wrap(
+        inner: Arc<dyn DataSource>,
+        metrics: &blueprint_observability::MetricsRegistry,
+    ) -> Self {
+        InstrumentedSource {
+            inner,
+            queries: metrics.counter("blueprint.datastore.queries"),
+            errors: metrics.counter("blueprint.datastore.errors"),
+        }
+    }
+}
+
+impl DataSource for InstrumentedSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn modality(&self) -> &'static str {
+        self.inner.modality()
+    }
+
+    fn supports(&self, query: &SourceQuery) -> bool {
+        self.inner.supports(query)
+    }
+
+    fn estimate(&self, query: &SourceQuery) -> CostEstimate {
+        self.inner.estimate(query)
+    }
+
+    fn query(&self, query: &SourceQuery) -> Result<SourceResult> {
+        self.queries.inc();
+        let result = self.inner.query(query);
+        if result.is_err() {
+            self.errors.inc();
+        }
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn relational() -> RelationalSource {
         let db = Arc::new(RelationalDb::new());
-        db.execute("CREATE TABLE jobs (id INT, title TEXT)").unwrap();
+        db.execute("CREATE TABLE jobs (id INT, title TEXT)")
+            .unwrap();
         db.execute("INSERT INTO jobs VALUES (1, 'ds'), (2, 'mle')")
             .unwrap();
         RelationalSource::new("hr-db", db)
+    }
+
+    #[test]
+    fn instrumented_source_meters_queries_and_errors() {
+        let metrics = blueprint_observability::MetricsRegistry::new();
+        let s = InstrumentedSource::wrap(Arc::new(relational()), &metrics);
+        assert_eq!(s.modality(), "relational");
+        s.query(&SourceQuery::Sql("SELECT 1".into())).unwrap();
+        assert!(s.query(&SourceQuery::KvGet("x".into())).is_err());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("blueprint.datastore.queries"), 2);
+        assert_eq!(snap.counter("blueprint.datastore.errors"), 1);
+        // Planning-time lookups are unmetered.
+        s.estimate(&SourceQuery::Sql("SELECT 1".into()));
+        assert_eq!(metrics.snapshot().counter("blueprint.datastore.queries"), 2);
     }
 
     #[test]
@@ -467,7 +536,9 @@ mod tests {
         assert!(s.supports(&SourceQuery::Sql("SELECT 1".into())));
         assert!(!s.supports(&SourceQuery::KvGet("x".into())));
         let r = s
-            .query(&SourceQuery::Sql("SELECT title FROM jobs ORDER BY id".into()))
+            .query(&SourceQuery::Sql(
+                "SELECT title FROM jobs ORDER BY id".into(),
+            ))
             .unwrap();
         assert_eq!(r.rows, 2);
         assert_eq!(r.data[0]["title"], json!("ds"));
@@ -611,10 +682,7 @@ mod tests {
         assert!(faulty.supports(&q));
         assert_eq!(faulty.estimate(&q), relational().estimate(&q));
         // ...but the query path reports a transient outage, tagged in the log.
-        assert!(matches!(
-            faulty.query(&q),
-            Err(DataError::Unavailable(_))
-        ));
+        assert!(matches!(faulty.query(&q), Err(DataError::Unavailable(_))));
         assert_eq!(always.count(FaultSite::DataQuery), 1);
 
         // A clean injector passes queries straight through.

@@ -216,8 +216,7 @@ impl Expr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             Expr::FnCall { name, args, .. } => {
-                AGGREGATES.contains(&name.as_str())
-                    || args.iter().any(Expr::contains_aggregate)
+                AGGREGATES.contains(&name.as_str()) || args.iter().any(Expr::contains_aggregate)
             }
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)

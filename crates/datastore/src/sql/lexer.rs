@@ -150,9 +150,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                             s.push(ch);
                             i += 1;
                         }
-                        None => {
-                            return Err(DataError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(DataError::Parse("unterminated string literal".into())),
                     }
                 }
                 tokens.push(Token::Str(s));

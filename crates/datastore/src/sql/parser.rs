@@ -84,7 +84,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Word(w)) => Ok(w.to_ascii_lowercase()),
-            other => Err(DataError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DataError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -482,8 +484,8 @@ mod tests {
 
     #[test]
     fn parse_create_table() {
-        let stmt = parse("CREATE TABLE jobs (id INT, title TEXT, salary FLOAT, remote BOOL)")
-            .unwrap();
+        let stmt =
+            parse("CREATE TABLE jobs (id INT, title TEXT, salary FLOAT, remote BOOL)").unwrap();
         match stmt {
             Stmt::CreateTable { name, columns } => {
                 assert_eq!(name, "jobs");
@@ -535,10 +537,10 @@ mod tests {
 
     #[test]
     fn parse_not_like_and_is_null() {
-        let Stmt::Select(s) = parse(
-            "SELECT * FROM t WHERE a NOT LIKE '%x%' AND b IS NOT NULL AND c IS NULL",
-        )
-        .unwrap() else {
+        let Stmt::Select(s) =
+            parse("SELECT * FROM t WHERE a NOT LIKE '%x%' AND b IS NOT NULL AND c IS NULL")
+                .unwrap()
+        else {
             panic!()
         };
         let w = s.where_clause.unwrap();
@@ -558,7 +560,11 @@ mod tests {
         };
         // Must parse as 1 + (2 * 3).
         match expr {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected: {other:?}"),
@@ -567,13 +573,16 @@ mod tests {
 
     #[test]
     fn parse_parenthesized_or() {
-        let Stmt::Select(s) =
-            parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap()
+        let Stmt::Select(s) = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap()
         else {
             panic!()
         };
         match s.where_clause.unwrap() {
-            Expr::Binary { op: BinOp::And, left, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                ..
+            } => {
                 assert!(matches!(*left, Expr::Binary { op: BinOp::Or, .. }));
             }
             other => panic!("unexpected: {other:?}"),
@@ -623,8 +632,7 @@ mod tests {
 
     #[test]
     fn function_with_args() {
-        let Stmt::Select(s) = parse("SELECT LOWER(title), SUM(salary) FROM jobs").unwrap()
-        else {
+        let Stmt::Select(s) = parse("SELECT LOWER(title), SUM(salary) FROM jobs").unwrap() else {
             panic!()
         };
         assert_eq!(s.items.len(), 2);

@@ -131,9 +131,7 @@ impl PartialEq for Datum {
             (Datum::Bool(a), Datum::Bool(b)) => a == b,
             (Datum::Int(a), Datum::Int(b)) => a == b,
             (Datum::Float(a), Datum::Float(b)) => a == b,
-            (Datum::Int(a), Datum::Float(b)) | (Datum::Float(b), Datum::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Datum::Int(a), Datum::Float(b)) | (Datum::Float(b), Datum::Int(a)) => *a as f64 == *b,
             _ => false,
         }
     }
@@ -203,7 +201,10 @@ impl From<&Datum> for DatumKey {
             Datum::Null => DatumKey::Null,
             Datum::Int(i) => DatumKey::Int(*i),
             Datum::Float(f) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     DatumKey::Int(*f as i64)
                 } else {
@@ -255,7 +256,10 @@ mod tests {
             Datum::Text("a".into()).sql_cmp(&Datum::Text("b".into())),
             Ordering::Less
         );
-        assert_eq!(Datum::Bool(false).sql_cmp(&Datum::Bool(true)), Ordering::Less);
+        assert_eq!(
+            Datum::Bool(false).sql_cmp(&Datum::Bool(true)),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -290,7 +294,10 @@ mod tests {
     fn datum_key_normalizes_whole_floats() {
         assert_eq!(DatumKey::from(&Datum::Float(2.0)), DatumKey::Int(2));
         assert_eq!(DatumKey::from(&Datum::Int(2)), DatumKey::Int(2));
-        assert!(matches!(DatumKey::from(&Datum::Float(2.5)), DatumKey::Float(_)));
+        assert!(matches!(
+            DatumKey::from(&Datum::Float(2.5)),
+            DatumKey::Float(_)
+        ));
     }
 
     #[test]

@@ -15,8 +15,7 @@ use serde_json::{json, Value};
 
 use blueprint_agents::{
     ActivationMode, AgentContext, AgentError, AgentFactory, AgentSpec, CostProfile, DataType,
-    Deployment, FnProcessor, Inputs, Outputs, ParamSpec, Processor, StreamBinding, UiField,
-    UiForm,
+    Deployment, FnProcessor, Inputs, Outputs, ParamSpec, Processor, StreamBinding, UiField, UiForm,
 };
 use blueprint_llmsim::SimLlm;
 use blueprint_planner::{InputBinding, PlanNode, TaskPlan};
@@ -64,27 +63,33 @@ pub fn register_hr_agents(
             "profiler",
             "collect job seeker profile information from the user via a UI form",
         )
-        .with_input(ParamSpec::required("text", "the user utterance", DataType::Text))
+        .with_input(ParamSpec::required(
+            "text",
+            "the user utterance",
+            DataType::Text,
+        ))
         .with_output(ParamSpec::required(
             "profile",
             "the collected job seeker profile with title, location, skills",
             DataType::Json,
         ))
         .with_profile(CostProfile::new(0.5, 60_000, 0.95));
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let text = inputs.require_str("text")?;
-            // Present the profile form (declarative UI, rendered elsewhere).
-            let form = UiForm::new("profile", "Job Seeker Profile")
-                .with_field(UiField::text("title", "Desired title"))
-                .with_field(UiField::text("location", "Preferred location"))
-                .with_field(UiField::button("submit", "Submit"));
-            ctx.emit("ui", form.into_message())?;
-            let (criteria, usage) = llm.extract_criteria(text);
-            charge(ctx, usage);
-            let mut profile = criteria.to_json();
-            profile["experience_years"] = json!(5);
-            Ok(Outputs::new().with("profile", profile))
-        }));
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let text = inputs.require_str("text")?;
+                // Present the profile form (declarative UI, rendered elsewhere).
+                let form = UiForm::new("profile", "Job Seeker Profile")
+                    .with_field(UiField::text("title", "Desired title"))
+                    .with_field(UiField::text("location", "Preferred location"))
+                    .with_field(UiField::button("submit", "Submit"));
+                ctx.emit("ui", form.into_message())?;
+                let (criteria, usage) = llm.extract_criteria(text);
+                charge(ctx, usage);
+                let mut profile = criteria.to_json();
+                profile["experience_years"] = json!(5);
+                Ok(Outputs::new().with("profile", profile))
+            },
+        ));
         add(spec, proc)?;
     }
 
@@ -117,44 +122,53 @@ pub fn register_hr_agents(
         ))
         .with_profile(CostProfile::new(2.0, 120_000, 0.9))
         .with_deployment(Deployment::gpu(2));
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let profile = inputs.require("job_seeker_data")?;
-            let jobs: Vec<Value> = inputs
-                .require("jobs")?
-                .as_array()
-                .cloned()
-                .unwrap_or_default();
-            let related: Vec<String> = profile
-                .get("title")
-                .and_then(Value::as_str)
-                .map(|t| {
-                    dataset2
-                        .taxonomy
-                        .traverse(&slug(t), None, 1, true)
-                        .unwrap_or_default()
-                        .into_iter()
-                        .filter_map(|n| {
-                            n.props.get("name").and_then(Value::as_str).map(str::to_string)
-                        })
-                        .collect()
-                })
-                .unwrap_or_default();
-            ctx.charge_cost(0.002 * jobs.len() as f64);
-            ctx.charge_latency_micros(100 + 20 * jobs.len() as u64);
-            let ranked = rank_jobs(profile, &jobs, &related, 10);
-            let matches: Vec<Value> = ranked
-                .into_iter()
-                .map(|m| json!({"job": m.job, "score": m.score, "why": m.explanation}))
-                .collect();
-            Ok(Outputs::new().with("matches", Value::Array(matches)))
-        }));
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let profile = inputs.require("job_seeker_data")?;
+                let jobs: Vec<Value> = inputs
+                    .require("jobs")?
+                    .as_array()
+                    .cloned()
+                    .unwrap_or_default();
+                let related: Vec<String> = profile
+                    .get("title")
+                    .and_then(Value::as_str)
+                    .map(|t| {
+                        dataset2
+                            .taxonomy
+                            .traverse(&slug(t), None, 1, true)
+                            .unwrap_or_default()
+                            .into_iter()
+                            .filter_map(|n| {
+                                n.props
+                                    .get("name")
+                                    .and_then(Value::as_str)
+                                    .map(str::to_string)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                ctx.charge_cost(0.002 * jobs.len() as f64);
+                ctx.charge_latency_micros(100 + 20 * jobs.len() as u64);
+                let ranked = rank_jobs(profile, &jobs, &related, 10);
+                let matches: Vec<Value> = ranked
+                    .into_iter()
+                    .map(|m| json!({"job": m.job, "score": m.score, "why": m.explanation}))
+                    .collect();
+                Ok(Outputs::new().with("matches", Value::Array(matches)))
+            },
+        ));
         add(spec, proc)?;
     }
 
     // ── PRESENTER ────────────────────────────────────────────────────────
     {
         let spec = AgentSpec::new("presenter", "present results and content to the end user")
-            .with_input(ParamSpec::required("content", "the content to present", DataType::Any))
+            .with_input(ParamSpec::required(
+                "content",
+                "the content to present",
+                DataType::Any,
+            ))
             .with_output(ParamSpec::required(
                 "rendered",
                 "the rendered presentation text",
@@ -165,7 +179,10 @@ pub fn register_hr_agents(
             let content = inputs.require("content")?;
             ctx.charge_latency_micros(1_000);
             let rendered = render_content(content);
-            ctx.emit("display", Message::data(rendered.clone()).with_tag("display"))?;
+            ctx.emit(
+                "display",
+                Message::data(rendered.clone()).with_tag("display"),
+            )?;
             Ok(Outputs::new().with("rendered", json!(rendered)))
         }));
         add(spec, proc)?;
@@ -178,7 +195,11 @@ pub fn register_hr_agents(
             "intent-classifier",
             "classify the intent of a user utterance in the conversation",
         )
-        .with_input(ParamSpec::required("text", "the user utterance", DataType::Text))
+        .with_input(ParamSpec::required(
+            "text",
+            "the user utterance",
+            DataType::Text,
+        ))
         .with_output(ParamSpec::required(
             "intent",
             "the identified intent with the original text",
@@ -188,20 +209,22 @@ pub fn register_hr_agents(
         .with_activation(ActivationMode::Hybrid)
         .with_output_tag("intent")
         .with_profile(CostProfile::new(0.2, 30_000, 0.93));
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let text = inputs.require_str("text")?;
-            let (intent, confidence, usage) = llm2.classify_intent(text);
-            charge(ctx, usage);
-            Ok(Outputs::new().with(
-                "intent",
-                json!({
-                    "intent": format!("{intent:?}"),
-                    "tag": intent.tag(),
-                    "confidence": confidence,
-                    "text": text,
-                }),
-            ))
-        }));
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let text = inputs.require_str("text")?;
+                let (intent, confidence, usage) = llm2.classify_intent(text);
+                charge(ctx, usage);
+                Ok(Outputs::new().with(
+                    "intent",
+                    json!({
+                        "intent": format!("{intent:?}"),
+                        "tag": intent.tag(),
+                        "confidence": confidence,
+                        "text": text,
+                    }),
+                ))
+            },
+        ));
         add(spec, proc)?;
     }
 
@@ -212,8 +235,16 @@ pub fn register_hr_agents(
             "nl2q",
             "translate a natural language question into a database query such as SQL",
         )
-        .with_input(ParamSpec::required("question", "the question text", DataType::Text))
-        .with_output(ParamSpec::required("query", "the SQL query", DataType::Text))
+        .with_input(ParamSpec::required(
+            "question",
+            "the question text",
+            DataType::Text,
+        ))
+        .with_output(ParamSpec::required(
+            "query",
+            "the SQL query",
+            DataType::Text,
+        ))
         .with_binding(StreamBinding::tagged("question", ["nlq"]))
         .with_activation(ActivationMode::Hybrid)
         .with_output_tag("sql")
@@ -265,42 +296,57 @@ pub fn register_hr_agents(
             }
             values.insert(source_col.to_string(), vals);
         }
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let question = inputs.require_str("question")?;
-            let (sql, usage) = llm2.nl_to_sql(question, &tables, &values);
-            charge(ctx, usage);
-            let sql = sql.ok_or_else(|| {
-                AgentError::ProcessorFailed(format!("could not translate: {question}"))
-            })?;
-            Ok(Outputs::new().with("query", json!(sql)))
-        }));
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let question = inputs.require_str("question")?;
+                let (sql, usage) = llm2.nl_to_sql(question, &tables, &values);
+                charge(ctx, usage);
+                let sql = sql.ok_or_else(|| {
+                    AgentError::ProcessorFailed(format!("could not translate: {question}"))
+                })?;
+                Ok(Outputs::new().with("query", json!(sql)))
+            },
+        ));
         add(spec, proc)?;
     }
 
     // ── SQL EXECUTOR (decentralized, Fig 10 step 4) ──────────────────────
     {
         let dataset2 = Arc::clone(&dataset);
-        let spec = AgentSpec::new("sql-executor", "execute a SQL query against the HR database")
-            .with_input(ParamSpec::required("query", "the SQL query text", DataType::Text))
-            .with_output(ParamSpec::required("rows", "the query result rows", DataType::Table))
-            .with_binding(StreamBinding::tagged("query", ["sql"]))
-            .with_activation(ActivationMode::Hybrid)
-            .with_output_tag("rows")
-            .with_profile(CostProfile::new(0.01, 5_000, 1.0))
-            .with_deployment(Deployment {
-                kind: blueprint_agents::DeploymentKind::DataProximate,
-                ..Default::default()
-            });
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let sql = inputs.require_str("query")?;
-            ctx.charge_cost(0.001);
-            ctx.charge_latency_micros(2_000);
-            let rs = dataset2
-                .db
-                .execute(sql)
-                .map_err(|e| AgentError::ProcessorFailed(e.to_string()))?;
-            Ok(Outputs::new().with("rows", rs.to_json()))
-        }));
+        let spec = AgentSpec::new(
+            "sql-executor",
+            "execute a SQL query against the HR database",
+        )
+        .with_input(ParamSpec::required(
+            "query",
+            "the SQL query text",
+            DataType::Text,
+        ))
+        .with_output(ParamSpec::required(
+            "rows",
+            "the query result rows",
+            DataType::Table,
+        ))
+        .with_binding(StreamBinding::tagged("query", ["sql"]))
+        .with_activation(ActivationMode::Hybrid)
+        .with_output_tag("rows")
+        .with_profile(CostProfile::new(0.01, 5_000, 1.0))
+        .with_deployment(Deployment {
+            kind: blueprint_agents::DeploymentKind::DataProximate,
+            ..Default::default()
+        });
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let sql = inputs.require_str("query")?;
+                ctx.charge_cost(0.001);
+                ctx.charge_latency_micros(2_000);
+                let rs = dataset2
+                    .db
+                    .execute(sql)
+                    .map_err(|e| AgentError::ProcessorFailed(e.to_string()))?;
+                Ok(Outputs::new().with("rows", rs.to_json()))
+            },
+        ));
         add(spec, proc)?;
     }
 
@@ -316,25 +362,28 @@ pub fn register_hr_agents(
             "the query result rows to explain",
             DataType::Table,
         ))
-        .with_output(ParamSpec::required("summary", "the explanation text", DataType::Text))
+        .with_output(ParamSpec::required(
+            "summary",
+            "the explanation text",
+            DataType::Text,
+        ))
         .with_binding(StreamBinding::tagged("rows", ["rows"]))
         .with_activation(ActivationMode::Hybrid)
         .with_output_tag("summary")
         .with_profile(CostProfile::new(1.0, 90_000, 0.92));
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let rows = inputs.require("rows")?;
-            let (summary, usage) = llm2.summarize_rows(rows);
-            charge(ctx, usage);
-            // LLM output is itself a stream (§V-A): emit the summary token
-            // by token so renderers can display it incrementally.
-            for token in blueprint_llmsim::SimLlm::stream_tokens(&summary) {
-                ctx.emit(
-                    "summary-tokens",
-                    Message::data(token).with_tag("token"),
-                )?;
-            }
-            Ok(Outputs::new().with("summary", json!(summary)))
-        }));
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let rows = inputs.require("rows")?;
+                let (summary, usage) = llm2.summarize_rows(rows);
+                charge(ctx, usage);
+                // LLM output is itself a stream (§V-A): emit the summary token
+                // by token so renderers can display it incrementally.
+                for token in blueprint_llmsim::SimLlm::stream_tokens(&summary) {
+                    ctx.emit("summary-tokens", Message::data(token).with_tag("token"))?;
+                }
+                Ok(Outputs::new().with("summary", json!(summary)))
+            },
+        ));
         add(spec, proc)?;
     }
 
@@ -357,22 +406,24 @@ pub fn register_hr_agents(
             DataType::Text,
         ))
         .with_profile(CostProfile::new(1.5, 100_000, 0.92));
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let job_id = inputs
-                .require("job_id")?
-                .as_i64()
-                .ok_or_else(|| AgentError::ProcessorFailed("job_id must be a number".into()))?;
-            let rs = dataset2
-                .db
-                .execute(&format!(
-                    "SELECT a.name, a.title, a.city, ap.status FROM applications ap \
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let job_id = inputs
+                    .require("job_id")?
+                    .as_i64()
+                    .ok_or_else(|| AgentError::ProcessorFailed("job_id must be a number".into()))?;
+                let rs = dataset2
+                    .db
+                    .execute(&format!(
+                        "SELECT a.name, a.title, a.city, ap.status FROM applications ap \
                      JOIN applicants a ON ap.applicant_id = a.id WHERE ap.job_id = {job_id}"
-                ))
-                .map_err(|e| AgentError::ProcessorFailed(e.to_string()))?;
-            let (summary, usage) = llm2.summarize_rows(&rs.to_json());
-            charge(ctx, usage);
-            Ok(Outputs::new().with("summary", json!(format!("Job {job_id}: {summary}"))))
-        }));
+                    ))
+                    .map_err(|e| AgentError::ProcessorFailed(e.to_string()))?;
+                let (summary, usage) = llm2.summarize_rows(&rs.to_json());
+                charge(ctx, usage);
+                Ok(Outputs::new().with("summary", json!(format!("Job {job_id}: {summary}"))))
+            },
+        ));
         add(spec, proc)?;
     }
 
@@ -383,25 +434,35 @@ pub fn register_hr_agents(
             "responder",
             "respond conversationally to the user with a grounded completion",
         )
-        .with_input(ParamSpec::required("text", "the user utterance", DataType::Text))
-        .with_output(ParamSpec::required("reply", "the conversational reply", DataType::Text))
+        .with_input(ParamSpec::required(
+            "text",
+            "the user utterance",
+            DataType::Text,
+        ))
+        .with_output(ParamSpec::required(
+            "reply",
+            "the conversational reply",
+            DataType::Text,
+        ))
         .with_profile(CostProfile::new(0.3, 50_000, 0.9));
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let text = inputs.require_str("text")?;
-            let t = text.to_lowercase();
-            let (reply, usage) = if t.contains("hello") || t.contains("hi ") || t.starts_with("hi")
-            {
-                (
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let text = inputs.require_str("text")?;
+                let t = text.to_lowercase();
+                let (reply, usage) =
+                    if t.contains("hello") || t.contains("hi ") || t.starts_with("hi") {
+                        (
                     "Hello! Ask me about jobs, applicants, or say what role you're looking for."
                         .to_string(),
                     blueprint_llmsim::Usage::default(),
                 )
-            } else {
-                llm2.complete(text)
-            };
-            charge(ctx, usage);
-            Ok(Outputs::new().with("reply", json!(reply)))
-        }));
+                    } else {
+                        llm2.complete(text)
+                    };
+                charge(ctx, usage);
+                Ok(Outputs::new().with("reply", json!(reply)))
+            },
+        ));
         add(spec, proc)?;
     }
 
@@ -419,77 +480,79 @@ pub fn register_hr_agents(
         .with_binding(StreamBinding::tagged("input", ["ui-event", "intent"]))
         .with_activation(ActivationMode::Decentralized)
         .with_profile(CostProfile::new(0.05, 5_000, 1.0));
-        let proc = Arc::new(FnProcessor::new(move |inputs: &Inputs, ctx: &AgentContext| {
-            let input = inputs.require("input")?;
-            ctx.charge_latency_micros(1_000);
-            // UI event: a job selection → emit the job id and a plan to
-            // summarize its applicants (Fig 9 steps 2-3).
-            if let Some(obj) = input.as_object() {
-                if obj.get("field").and_then(Value::as_str) == Some("job") {
-                    let job_id = obj.get("value").cloned().unwrap_or(Value::Null);
-                    ctx.emit(
-                        "jobs-selected",
-                        Message::data_json(job_id.clone()).with_tag("job-selected"),
-                    )?;
-                    let mut plan = TaskPlan::new(
-                        format!("ae-{}", PLAN_COUNTER.fetch_add(1, Ordering::Relaxed)),
-                        format!("summarize applicants for job {job_id}"),
-                    );
-                    let mut node_inputs = std::collections::BTreeMap::new();
-                    node_inputs.insert("job_id".to_string(), InputBinding::Literal(job_id));
-                    plan.push(PlanNode {
-                        id: "n1".into(),
-                        agent: "summarizer".into(),
-                        task: "summarize the applicants for the selected job".into(),
-                        inputs: node_inputs,
-                        profile: CostProfile::new(1.5, 100_000, 0.92),
-                    });
-                    ctx.emit("plans", plan.into_message())?;
-                    return Ok(Outputs::new());
-                }
-                // Classified intent: open-ended query → tag it NLQ so the
-                // NL2Q agent picks it up (Fig 10 step 3).
-                match obj.get("tag").and_then(Value::as_str) {
-                    Some("intent-open-query") => {
-                        let text = obj
-                            .get("text")
-                            .and_then(Value::as_str)
-                            .unwrap_or_default()
-                            .to_string();
-                        ctx.emit("nlq", Message::data(text).with_tag("nlq"))?;
-                        return Ok(Outputs::new());
-                    }
-                    // Greetings and unclassifiable turns route to the
-                    // conversational responder via a plan (same mechanism
-                    // as Fig 9's summarizer plan).
-                    Some("intent-greeting") | Some("intent-unknown") => {
-                        let text = obj
-                            .get("text")
-                            .and_then(Value::as_str)
-                            .unwrap_or_default()
-                            .to_string();
+        let proc = Arc::new(FnProcessor::new(
+            move |inputs: &Inputs, ctx: &AgentContext| {
+                let input = inputs.require("input")?;
+                ctx.charge_latency_micros(1_000);
+                // UI event: a job selection → emit the job id and a plan to
+                // summarize its applicants (Fig 9 steps 2-3).
+                if let Some(obj) = input.as_object() {
+                    if obj.get("field").and_then(Value::as_str) == Some("job") {
+                        let job_id = obj.get("value").cloned().unwrap_or(Value::Null);
+                        ctx.emit(
+                            "jobs-selected",
+                            Message::data_json(job_id.clone()).with_tag("job-selected"),
+                        )?;
                         let mut plan = TaskPlan::new(
                             format!("ae-{}", PLAN_COUNTER.fetch_add(1, Ordering::Relaxed)),
-                            text.clone(),
+                            format!("summarize applicants for job {job_id}"),
                         );
                         let mut node_inputs = std::collections::BTreeMap::new();
-                        node_inputs
-                            .insert("text".to_string(), InputBinding::Literal(json!(text)));
+                        node_inputs.insert("job_id".to_string(), InputBinding::Literal(job_id));
                         plan.push(PlanNode {
                             id: "n1".into(),
-                            agent: "responder".into(),
-                            task: "respond conversationally to the user".into(),
+                            agent: "summarizer".into(),
+                            task: "summarize the applicants for the selected job".into(),
                             inputs: node_inputs,
-                            profile: CostProfile::new(0.3, 50_000, 0.9),
+                            profile: CostProfile::new(1.5, 100_000, 0.92),
                         });
                         ctx.emit("plans", plan.into_message())?;
                         return Ok(Outputs::new());
                     }
-                    _ => {}
+                    // Classified intent: open-ended query → tag it NLQ so the
+                    // NL2Q agent picks it up (Fig 10 step 3).
+                    match obj.get("tag").and_then(Value::as_str) {
+                        Some("intent-open-query") => {
+                            let text = obj
+                                .get("text")
+                                .and_then(Value::as_str)
+                                .unwrap_or_default()
+                                .to_string();
+                            ctx.emit("nlq", Message::data(text).with_tag("nlq"))?;
+                            return Ok(Outputs::new());
+                        }
+                        // Greetings and unclassifiable turns route to the
+                        // conversational responder via a plan (same mechanism
+                        // as Fig 9's summarizer plan).
+                        Some("intent-greeting") | Some("intent-unknown") => {
+                            let text = obj
+                                .get("text")
+                                .and_then(Value::as_str)
+                                .unwrap_or_default()
+                                .to_string();
+                            let mut plan = TaskPlan::new(
+                                format!("ae-{}", PLAN_COUNTER.fetch_add(1, Ordering::Relaxed)),
+                                text.clone(),
+                            );
+                            let mut node_inputs = std::collections::BTreeMap::new();
+                            node_inputs
+                                .insert("text".to_string(), InputBinding::Literal(json!(text)));
+                            plan.push(PlanNode {
+                                id: "n1".into(),
+                                agent: "responder".into(),
+                                task: "respond conversationally to the user".into(),
+                                inputs: node_inputs,
+                                profile: CostProfile::new(0.3, 50_000, 0.9),
+                            });
+                            ctx.emit("plans", plan.into_message())?;
+                            return Ok(Outputs::new());
+                        }
+                        _ => {}
+                    }
                 }
-            }
-            Ok(Outputs::new())
-        }));
+                Ok(Outputs::new())
+            },
+        ));
         add(spec, proc)?;
     }
 
@@ -541,7 +604,12 @@ mod tests {
     use blueprint_streams::{Selector, StreamId, StreamStore, TagFilter};
     use std::time::Duration;
 
-    fn setup() -> (StreamStore, AgentFactory, Arc<AgentRegistry>, Arc<HrDataset>) {
+    fn setup() -> (
+        StreamStore,
+        AgentFactory,
+        Arc<AgentRegistry>,
+        Arc<HrDataset>,
+    ) {
         let store = StreamStore::new();
         let factory = AgentFactory::new(store.clone());
         let registry = Arc::new(AgentRegistry::new());
@@ -572,12 +640,10 @@ mod tests {
         let id = factory.spawn("profiler", "session:1").unwrap();
         let out = factory
             .with_instance(id, |h| {
-                h.host().execute_now(
-                    Inputs::new().with(
-                        "text",
-                        json!("I am looking for a data scientist position in SF bay area."),
-                    ),
-                )
+                h.host().execute_now(Inputs::new().with(
+                    "text",
+                    json!("I am looking for a data scientist position in SF bay area."),
+                ))
             })
             .unwrap()
             .unwrap();
@@ -637,8 +703,7 @@ mod tests {
         let id = factory.spawn("summarizer", "session:1").unwrap();
         let out = factory
             .with_instance(id, |h| {
-                h.host()
-                    .execute_now(Inputs::new().with("job_id", json!(1)))
+                h.host().execute_now(Inputs::new().with("job_id", json!(1)))
             })
             .unwrap()
             .unwrap();
@@ -741,7 +806,10 @@ mod tests {
             .filter_map(|m| m.text().map(str::to_string))
             .collect();
         assert!(!tokens.is_empty());
-        assert_eq!(tokens.join(" "), full.split_whitespace().collect::<Vec<_>>().join(" "));
+        assert_eq!(
+            tokens.join(" "),
+            full.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
     }
 
     #[test]
@@ -755,17 +823,26 @@ mod tests {
             })
             .unwrap()
             .unwrap();
-        assert!(out.get("reply").unwrap().as_str().unwrap().starts_with("Hello!"));
+        assert!(out
+            .get("reply")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("Hello!"));
         // Grounded completion for knowledge questions.
         let out2 = factory
             .with_instance(id, |h| {
-                h.host().execute_now(
-                    Inputs::new().with("text", json!("cities in the sf bay area")),
-                )
+                h.host()
+                    .execute_now(Inputs::new().with("text", json!("cities in the sf bay area")))
             })
             .unwrap()
             .unwrap();
-        assert!(out2.get("reply").unwrap().as_str().unwrap().contains("san francisco"));
+        assert!(out2
+            .get("reply")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("san francisco"));
     }
 
     #[test]
@@ -774,9 +851,8 @@ mod tests {
         let id = factory.spawn("presenter", "session:1").unwrap();
         let out = factory
             .with_instance(id, |h| {
-                h.host().execute_now(
-                    Inputs::new().with("content", json!([{"id": 1, "title": "ds"}])),
-                )
+                h.host()
+                    .execute_now(Inputs::new().with("content", json!([{"id": 1, "title": "ds"}])))
             })
             .unwrap()
             .unwrap();
@@ -802,9 +878,14 @@ mod tests {
             output_stream: "session:1:intent-out".into(),
             task_id: "t".into(),
             node_id: "n".into(),
+            span: None,
         };
         store
-            .publish_to("session:1:instructions", ["instructions"], instr.into_message())
+            .publish_to(
+                "session:1:instructions",
+                ["instructions"],
+                instr.into_message(),
+            )
             .unwrap();
         let out = out_sub.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(out.payload["tag"], json!("intent-greeting"));

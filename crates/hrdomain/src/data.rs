@@ -257,8 +257,12 @@ impl HrDataset {
             .expect("applications schema"),
         )
         .expect("create applications");
-        const STATUSES: [(&str, u32); 4] =
-            [("applied", 50), ("screening", 25), ("interview", 15), ("offer", 10)];
+        const STATUSES: [(&str, u32); 4] = [
+            ("applied", 50),
+            ("screening", 25),
+            ("interview", 15),
+            ("offer", 10),
+        ];
         for i in 0..config.applications {
             db.insert_row(
                 "applications",
@@ -392,7 +396,11 @@ impl HrDataset {
 
 /// Slugifies a title into a taxonomy node id.
 pub fn slug(title: &str) -> String {
-    title.to_lowercase().split_whitespace().collect::<Vec<_>>().join("-")
+    title
+        .to_lowercase()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join("-")
 }
 
 #[cfg(test)]
@@ -424,8 +432,12 @@ mod tests {
     fn generation_is_deterministic() {
         let a = small();
         let b = small();
-        let qa = a.db.execute("SELECT * FROM jobs ORDER BY id LIMIT 5").unwrap();
-        let qb = b.db.execute("SELECT * FROM jobs ORDER BY id LIMIT 5").unwrap();
+        let qa =
+            a.db.execute("SELECT * FROM jobs ORDER BY id LIMIT 5")
+                .unwrap();
+        let qb =
+            b.db.execute("SELECT * FROM jobs ORDER BY id LIMIT 5")
+                .unwrap();
         assert_eq!(qa, qb);
     }
 
@@ -444,18 +456,16 @@ mod tests {
     #[test]
     fn titles_are_skewed_toward_data_roles() {
         let d = HrDataset::generate(HrConfig::default());
-        let r = d
-            .db
-            .execute("SELECT COUNT(*) FROM jobs WHERE title = 'data scientist'")
-            .unwrap();
+        let r =
+            d.db.execute("SELECT COUNT(*) FROM jobs WHERE title = 'data scientist'")
+                .unwrap();
         let ds = match r.rows[0][0] {
             Datum::Int(n) => n,
             _ => 0,
         };
-        let r2 = d
-            .db
-            .execute("SELECT COUNT(*) FROM jobs WHERE title = 'statistician'")
-            .unwrap();
+        let r2 =
+            d.db.execute("SELECT COUNT(*) FROM jobs WHERE title = 'statistician'")
+                .unwrap();
         let stat = match r2.rows[0][0] {
             Datum::Int(n) => n,
             _ => 0,
@@ -467,10 +477,9 @@ mod tests {
     fn indices_exist_for_hot_columns() {
         let d = small();
         // Index probes should agree with full scans.
-        let by_index = d
-            .db
-            .execute("SELECT COUNT(*) FROM jobs WHERE city = 'san francisco'")
-            .unwrap();
+        let by_index =
+            d.db.execute("SELECT COUNT(*) FROM jobs WHERE city = 'san francisco'")
+                .unwrap();
         assert!(matches!(by_index.rows[0][0], Datum::Int(_)));
     }
 
@@ -507,16 +516,18 @@ mod tests {
     #[test]
     fn slug_formats() {
         assert_eq!(slug("Data Scientist"), "data-scientist");
-        assert_eq!(slug("machine learning engineer"), "machine-learning-engineer");
+        assert_eq!(
+            slug("machine learning engineer"),
+            "machine-learning-engineer"
+        );
     }
 
     #[test]
     fn salaries_are_positive_and_plausible() {
         let d = small();
-        let r = d
-            .db
-            .execute("SELECT MIN(salary), MAX(salary) FROM jobs")
-            .unwrap();
+        let r =
+            d.db.execute("SELECT MIN(salary), MAX(salary) FROM jobs")
+                .unwrap();
         let min = r.rows[0][0].as_f64().unwrap();
         let max = r.rows[0][1].as_f64().unwrap();
         assert!(min > 50_000.0);

@@ -30,7 +30,10 @@ pub struct ModerationVerdict {
 /// moderation model; the categories mirror common policy families).
 const BLOCKLIST: [(&str, &str); 6] = [
     ("ssn", "personally identifiable information (SSN)"),
-    ("social security", "personally identifiable information (SSN)"),
+    (
+        "social security",
+        "personally identifiable information (SSN)",
+    ),
     ("password", "credential exposure"),
     ("discriminate", "discriminatory hiring language"),
     ("only young", "age-discriminatory language"),
@@ -90,14 +93,14 @@ pub fn verify_counts(claim: &str, rows: &Value) -> (bool, String) {
         return (true, "no numeric claims found".to_string());
     }
     if claimed.contains(&n) {
-        (true, format!("claimed count {n} matches the {n} source rows"))
+        (
+            true,
+            format!("claimed count {n} matches the {n} source rows"),
+        )
     } else {
         (
             false,
-            format!(
-                "claim mentions {:?} but the source has {n} rows",
-                claimed
-            ),
+            format!("claim mentions {:?} but the source has {n} rows", claimed),
         )
     }
 }
@@ -114,15 +117,19 @@ pub fn register_guardrails(
         "content-moderator",
         "moderate content for policy violations and personally identifiable information",
     )
-    .with_input(ParamSpec::required("text", "the content to check", DataType::Text))
+    .with_input(ParamSpec::required(
+        "text",
+        "the content to check",
+        DataType::Text,
+    ))
     .with_output(ParamSpec::required(
         "verdict",
         "allowed flag with violation reasons",
         DataType::Json,
     ))
     .with_profile(CostProfile::new(0.05, 10_000, 0.97));
-    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-        |inputs: &Inputs, ctx: &AgentContext| {
+    let proc: Arc<dyn Processor> =
+        Arc::new(FnProcessor::new(|inputs: &Inputs, ctx: &AgentContext| {
             let text = inputs.require_str("text")?;
             ctx.charge_cost(0.01);
             ctx.charge_latency_micros(2_000);
@@ -131,8 +138,7 @@ pub fn register_guardrails(
                 "verdict",
                 json!({"allowed": verdict.allowed, "reasons": verdict.reasons}),
             ))
-        },
-    ));
+        }));
     factory.register(spec.clone(), proc)?;
     registry
         .register(spec)
@@ -144,16 +150,24 @@ pub fn register_guardrails(
         "fact-verifier",
         "verify that numeric claims in a summary are supported by the source rows",
     )
-    .with_input(ParamSpec::required("claim", "the summary text to verify", DataType::Text))
-    .with_input(ParamSpec::required("rows", "the source rows", DataType::Table))
+    .with_input(ParamSpec::required(
+        "claim",
+        "the summary text to verify",
+        DataType::Text,
+    ))
+    .with_input(ParamSpec::required(
+        "rows",
+        "the source rows",
+        DataType::Table,
+    ))
     .with_output(ParamSpec::required(
         "verdict",
         "supported flag with an explanation",
         DataType::Json,
     ))
     .with_profile(CostProfile::new(0.1, 20_000, 0.95));
-    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-        |inputs: &Inputs, ctx: &AgentContext| {
+    let proc: Arc<dyn Processor> =
+        Arc::new(FnProcessor::new(|inputs: &Inputs, ctx: &AgentContext| {
             let claim = inputs.require_str("claim")?;
             let rows = inputs.require("rows")?;
             ctx.charge_cost(0.02);
@@ -163,8 +177,7 @@ pub fn register_guardrails(
                 "verdict",
                 json!({"supported": supported, "explanation": explanation}),
             ))
-        },
-    ));
+        }));
     factory.register(spec.clone(), proc)?;
     registry
         .register(spec)

@@ -207,7 +207,8 @@ mod tests {
 
     #[test]
     fn score_is_capped_at_one() {
-        let job = json!({"id": 1, "title": "data scientist", "city": "san francisco", "remote": true});
+        let job =
+            json!({"id": 1, "title": "data scientist", "city": "san francisco", "remote": true});
         let (score, _) = match_score(&profile(), &job, &[]);
         assert!(score <= 1.0);
     }

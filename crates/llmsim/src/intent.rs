@@ -54,14 +54,29 @@ pub(crate) fn classify(text: &str) -> (Intent, f64) {
     if has(&["add ", "remove ", "shortlist", "my list", "drop "]) {
         return (Intent::ListCommand, 0.85);
     }
-    if has(&["looking for", "find me", "position", "job in", "roles in", "openings"]) {
+    if has(&[
+        "looking for",
+        "find me",
+        "position",
+        "job in",
+        "roles in",
+        "openings",
+    ]) {
         return (Intent::JobSearch, 0.9);
     }
-    if has(&["my name is", "i have", "years of experience", "my skills", "i know"]) {
+    if has(&[
+        "my name is",
+        "i have",
+        "years of experience",
+        "my skills",
+        "i know",
+    ]) {
         return (Intent::ProfileInfo, 0.8);
     }
-    if has(&["how many", "which ", "what ", "who ", "show me", "list ", "count", "average", "do ", "does "])
-        || t.ends_with('?')
+    if has(&[
+        "how many", "which ", "what ", "who ", "show me", "list ", "count", "average", "do ",
+        "does ",
+    ]) || t.ends_with('?')
     {
         return (Intent::OpenEndedQuery, 0.85);
     }

@@ -20,8 +20,7 @@ pub struct KnowledgeBase {
 /// token-overlap scores ("cities in the X" matching any "... in the ..."
 /// topic).
 const STOPWORDS: [&str; 14] = [
-    "a", "an", "the", "in", "of", "for", "to", "are", "is", "what", "which", "list", "me",
-    "please",
+    "a", "an", "the", "in", "of", "for", "to", "are", "is", "what", "which", "list", "me", "please",
 ];
 
 fn normalize(topic: &str) -> String {
@@ -96,9 +95,10 @@ impl KnowledgeBase {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.facts
-            .write()
-            .insert(normalize(topic), answers.into_iter().map(Into::into).collect());
+        self.facts.write().insert(
+            normalize(topic),
+            answers.into_iter().map(Into::into).collect(),
+        );
     }
 
     /// Looks up the best-matching topic for a question: the topic sharing
@@ -112,10 +112,7 @@ impl KnowledgeBase {
         let qtokens: Vec<&str> = qnorm.split(' ').filter(|t| !t.is_empty()).collect();
         let mut best: Option<(usize, &String, &Vec<String>)> = None;
         for (topic, answers) in facts.iter() {
-            let overlap = topic
-                .split(' ')
-                .filter(|t| qtokens.contains(t))
-                .count();
+            let overlap = topic.split(' ').filter(|t| qtokens.contains(t)).count();
             let better = match best {
                 Some((b, bt, _)) => overlap > b || (overlap == b && topic < bt),
                 None => true,

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 
 use blueprint_datastore::{CostEstimate, DataError, DataSource, SourceQuery, SourceResult};
+use blueprint_observability::{Counter, MetricsRegistry};
 use blueprint_resilience::{FaultInjector, InjectedFault};
 
 use crate::intent::{classify, Intent};
@@ -65,7 +66,14 @@ const KNOWN_TITLES: [&str; 8] = [
 
 /// Skills the extractor recognizes.
 const KNOWN_SKILLS: [&str; 8] = [
-    "python", "sql", "statistics", "machine learning", "pytorch", "java", "rust", "communication",
+    "python",
+    "sql",
+    "statistics",
+    "machine learning",
+    "pytorch",
+    "java",
+    "rust",
+    "communication",
 ];
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -81,12 +89,22 @@ fn count_tokens(text: &str) -> usize {
     text.split_whitespace().count()
 }
 
+/// Named instruments for one simulated model (disarmed no-ops by default).
+#[derive(Debug, Clone, Default)]
+struct LlmInstruments {
+    /// `blueprint.llmsim.calls` — model-head invocations metered via usage.
+    calls: Counter,
+    /// `blueprint.llmsim.tokens_out` — total generated tokens.
+    tokens_out: Counter,
+}
+
 /// A deterministic simulated LLM at a given tier.
 pub struct SimLlm {
     profile: ModelProfile,
     kb: Arc<KnowledgeBase>,
     faults: Option<Arc<FaultInjector>>,
     calls: AtomicU64,
+    instruments: parking_lot::RwLock<LlmInstruments>,
 }
 
 impl SimLlm {
@@ -97,6 +115,7 @@ impl SimLlm {
             kb: Arc::new(KnowledgeBase::builtin()),
             faults: None,
             calls: AtomicU64::new(0),
+            instruments: parking_lot::RwLock::new(LlmInstruments::default()),
         }
     }
 
@@ -107,7 +126,17 @@ impl SimLlm {
             kb,
             faults: None,
             calls: AtomicU64::new(0),
+            instruments: parking_lot::RwLock::new(LlmInstruments::default()),
         }
+    }
+
+    /// Reports model usage into `blueprint.llmsim.calls` and
+    /// `blueprint.llmsim.tokens_out`. Late-bindable, like fault injection.
+    pub fn set_metrics(&self, metrics: &MetricsRegistry) {
+        *self.instruments.write() = LlmInstruments {
+            calls: metrics.counter("blueprint.llmsim.calls"),
+            tokens_out: metrics.counter("blueprint.llmsim.tokens_out"),
+        };
     }
 
     /// Attaches a fault injector: model calls may transiently fail or stall.
@@ -140,6 +169,11 @@ impl SimLlm {
     }
 
     fn usage(&self, tokens_in: usize, tokens_out: usize) -> Usage {
+        // Every head meters through here, so it is the single choke point
+        // for model-call instrumentation.
+        let instruments = self.instruments.read().clone();
+        instruments.calls.inc();
+        instruments.tokens_out.add(tokens_out as u64);
         Usage {
             tokens_in,
             tokens_out,
@@ -280,10 +314,7 @@ impl SimLlm {
             }
             s
         };
-        let usage = self.usage(
-            arr.len().saturating_mul(8) + 4,
-            count_tokens(&summary),
-        );
+        let usage = self.usage(arr.len().saturating_mul(8) + 4, count_tokens(&summary));
         (summary, usage)
     }
 
@@ -303,7 +334,10 @@ impl SimLlm {
     /// acknowledgment.
     pub fn complete(&self, prompt: &str) -> (String, Usage) {
         if matches!(self.call_fault("complete"), Some(InjectedFault::FailCall)) {
-            let text = format!("[{}] transient model error; please retry.", self.profile.name);
+            let text = format!(
+                "[{}] transient model error; please retry.",
+                self.profile.name
+            );
             let usage = self.usage(count_tokens(prompt), count_tokens(&text));
             return (text, usage);
         }
@@ -445,7 +479,8 @@ mod tests {
 
     #[test]
     fn extraction_finds_skills() {
-        let (c, _) = large().extract_criteria("I know python and sql, looking for ml roles in oakland");
+        let (c, _) =
+            large().extract_criteria("I know python and sql, looking for ml roles in oakland");
         assert!(c.skills.contains(&"python".to_string()));
         assert!(c.skills.contains(&"sql".to_string()));
         assert_eq!(c.location.as_deref(), Some("oakland"));
@@ -607,12 +642,24 @@ mod tests {
         let llm = Arc::new(SimLlm::new(ModelProfile::large()).with_faults(always_fail));
         let src = ParametricSource::new("gpt-knowledge", llm);
         let q = SourceQuery::Knowledge("cities in the sf bay area".into());
-        assert!(matches!(
-            src.query(&q),
-            Err(DataError::Unavailable(_))
-        ));
+        assert!(matches!(src.query(&q), Err(DataError::Unavailable(_))));
         // Estimates stay intact so the planner can still price the source.
         assert!(src.estimate(&q).cost_units > 0.0);
+    }
+
+    #[test]
+    fn metrics_meter_calls_and_tokens() {
+        let metrics = MetricsRegistry::new();
+        let llm = large();
+        llm.set_metrics(&metrics);
+        let (_, _, u1) = llm.classify_intent(RUNNING_EXAMPLE);
+        let (_, u2) = llm.extract_criteria(RUNNING_EXAMPLE);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("blueprint.llmsim.calls"), 2);
+        assert_eq!(
+            snap.counter("blueprint.llmsim.tokens_out"),
+            (u1.tokens_out + u2.tokens_out) as u64
+        );
     }
 
     #[test]

@@ -71,11 +71,7 @@ pub fn nl2sql(
     for (i, tok) in qtokens.iter().enumerate() {
         if (tok == "per" || tok == "by") && i + 1 < qtokens.len() {
             let cand = singular(&qtokens[i + 1]);
-            if let Some((c, _)) = table
-                .columns
-                .iter()
-                .find(|(c, _)| singular(c) == cand)
-            {
+            if let Some((c, _)) = table.columns.iter().find(|(c, _)| singular(c) == cand) {
                 group_col = Some(c.clone());
             }
         }
@@ -162,7 +158,10 @@ pub fn nl2sql(
                     .is_some_and(|vals| vals.iter().any(|v| q.contains(v.as_str())));
                 if !known_value_hit
                     && i >= 2
-                    && matches!(qtokens[i - 2].as_str(), "with" | "have" | "has" | "know" | "knows")
+                    && matches!(
+                        qtokens[i - 2].as_str(),
+                        "with" | "have" | "has" | "know" | "knows"
+                    )
                 {
                     predicates.push(format!("{col} LIKE '%{prev}%'"));
                 }
@@ -297,8 +296,12 @@ mod tests {
 
     #[test]
     fn top_n_limit() {
-        let sql = nl2sql("top 3 cities by city count of applicants", &schema(), &values())
-            .unwrap();
+        let sql = nl2sql(
+            "top 3 cities by city count of applicants",
+            &schema(),
+            &values(),
+        )
+        .unwrap();
         assert!(sql.ends_with("LIMIT 3"));
     }
 

@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use blueprint_agents::CostProfile;
+use blueprint_observability::{Counter, MetricsRegistry};
 
 /// Hard QoS limits on a task.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -50,7 +51,9 @@ impl QosConstraints {
     /// True if a profile satisfies every limit.
     pub fn admits(&self, p: &CostProfile) -> bool {
         self.max_cost.is_none_or(|m| p.cost_per_call <= m)
-            && self.max_latency_micros.is_none_or(|m| p.latency_micros <= m)
+            && self
+                .max_latency_micros
+                .is_none_or(|m| p.latency_micros <= m)
             && self.min_accuracy.is_none_or(|m| p.accuracy >= m)
     }
 }
@@ -185,6 +188,7 @@ impl Budget {
 #[derive(Clone)]
 pub struct SharedBudget {
     inner: Arc<Mutex<Budget>>,
+    debits: Counter,
 }
 
 impl SharedBudget {
@@ -192,11 +196,19 @@ impl SharedBudget {
     pub fn new(budget: Budget) -> Self {
         SharedBudget {
             inner: Arc::new(Mutex::new(budget)),
+            debits: Counter::default(),
         }
+    }
+
+    /// Reports every debit into `blueprint.optimizer.budget_debits`.
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.debits = metrics.counter("blueprint.optimizer.budget_debits");
+        self
     }
 
     /// Charges the actual QoS of one completed step (see [`Budget::charge`]).
     pub fn charge(&self, actual_cost: f64, actual_latency_micros: u64, step_accuracy: f64) {
+        self.debits.inc();
         self.inner
             .lock()
             .charge(actual_cost, actual_latency_micros, step_accuracy);

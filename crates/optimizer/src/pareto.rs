@@ -173,10 +173,9 @@ fn greedy(
                 let mut alt = choice.clone();
                 alt[n] = o;
                 let alt_total = compose(nodes, &alt);
-                let improvement = violation(constraints, &total) - violation(constraints, &alt_total);
-                if improvement > 0.0
-                    && best_fix.as_ref().is_none_or(|(b, _, _)| improvement > *b)
-                {
+                let improvement =
+                    violation(constraints, &total) - violation(constraints, &alt_total);
+                if improvement > 0.0 && best_fix.as_ref().is_none_or(|(b, _, _)| improvement > *b) {
                     best_fix = Some((improvement, n, o));
                 }
             }
@@ -289,12 +288,7 @@ mod tests {
             optimize_choices(&[], Objective::MinCost, &QosConstraints::none()),
             Some(vec![])
         );
-        assert!(optimize_choices(
-            &[vec![]],
-            Objective::MinCost,
-            &QosConstraints::none()
-        )
-        .is_none());
+        assert!(optimize_choices(&[vec![]], Objective::MinCost, &QosConstraints::none()).is_none());
         let nodes = vec![tiers()];
         assert!(optimize_choices(
             &nodes,

@@ -7,8 +7,7 @@ use blueprint_optimizer::{
 use proptest::prelude::*;
 
 fn profile_strategy() -> impl Strategy<Value = CostProfile> {
-    (0.0f64..20.0, 0u64..500_000, 0.0f64..1.0)
-        .prop_map(|(c, l, a)| CostProfile::new(c, l, a))
+    (0.0f64..20.0, 0u64..500_000, 0.0f64..1.0).prop_map(|(c, l, a)| CostProfile::new(c, l, a))
 }
 
 fn candidates_strategy() -> impl Strategy<Value = Vec<Candidate<usize>>> {

@@ -143,7 +143,10 @@ impl DataPlan {
                 }
             }
             if !seen.insert(n.id.as_str()) {
-                return Err(PlanError::InvalidPlan(format!("duplicate node id: {}", n.id)));
+                return Err(PlanError::InvalidPlan(format!(
+                    "duplicate node id: {}",
+                    n.id
+                )));
             }
         }
         if !self.nodes.is_empty() && self.node(&self.output).is_none() {
@@ -200,13 +203,21 @@ impl DataPlan {
                 DataOp::Literal { value } => format!("literal({value})"),
                 DataOp::Q2NL { fragment } => format!("q2nl(\"{fragment}\")"),
                 DataOp::Knowledge { source } => format!("knowledge[{source}]"),
-                DataOp::GraphExpand { source, node, depth } => {
+                DataOp::GraphExpand {
+                    source,
+                    node,
+                    depth,
+                } => {
                     format!("graph-expand[{source}]({node}, depth {depth})")
                 }
                 DataOp::SqlTemplate { source, template } => {
                     format!("sql[{source}]: {template}")
                 }
-                DataOp::DocSearch { source, query, limit } => {
+                DataOp::DocSearch {
+                    source,
+                    query,
+                    limit,
+                } => {
                     format!("doc-search[{source}](\"{query}\", limit {limit})")
                 }
                 DataOp::Extract => "extract".to_string(),
@@ -309,7 +320,9 @@ mod tests {
         });
         plan.push(DataNode {
             id: "b".into(),
-            op: DataOp::Q2NL { fragment: "f".into() },
+            op: DataOp::Q2NL {
+                fragment: "f".into(),
+            },
             inputs: vec![],
             estimate: CostEstimate::FREE,
         });

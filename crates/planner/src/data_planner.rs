@@ -197,13 +197,12 @@ impl DataPlanner {
                 let id = self.next_id();
                 match graph {
                     Some(g)
-                        if g
-                            .query(&SourceQuery::GraphRelated {
-                                node: node_id.clone(),
-                                edge_type: None,
-                                depth: 1,
-                            })
-                            .is_ok() =>
+                        if g.query(&SourceQuery::GraphRelated {
+                            node: node_id.clone(),
+                            edge_type: None,
+                            depth: 1,
+                        })
+                        .is_ok() =>
                     {
                         let estimate = g.estimate(&SourceQuery::GraphRelated {
                             node: node_id.clone(),
@@ -260,7 +259,9 @@ impl DataPlanner {
             template.push_str(&conjuncts.join(" AND "));
         }
         let estimate = relational.estimate(&SourceQuery::Sql(template.clone()));
-        self.registry.record_usage(relational.name(), utterance).ok();
+        self.registry
+            .record_usage(relational.name(), utterance)
+            .ok();
         plan.push(DataNode {
             id: self.next_id(),
             op: DataOp::SqlTemplate {
@@ -324,9 +325,7 @@ impl DataPlanner {
         let lit = self.next_id();
         plan.push(DataNode {
             id: lit.clone(),
-            op: DataOp::Literal {
-                value: json!(text),
-            },
+            op: DataOp::Literal { value: json!(text) },
             inputs: vec![],
             estimate: CostEstimate::FREE,
         });
@@ -537,7 +536,10 @@ fn pluralize(noun: &str) -> String {
             return format!("{stem}ies");
         }
     }
-    if lower.ends_with('s') || lower.ends_with('x') || lower.ends_with("ch") || lower.ends_with("sh")
+    if lower.ends_with('s')
+        || lower.ends_with('x')
+        || lower.ends_with("ch")
+        || lower.ends_with("sh")
     {
         return format!("{lower}es");
     }
@@ -701,9 +703,7 @@ mod tests {
         // database, so direct NL2Q returns nothing while the decomposed
         // plan succeeds.
         let (p, db) = planner();
-        let plan = p
-            .plan_nl2q_direct(RUNNING_EXAMPLE, &db, "hr-db")
-            .unwrap();
+        let plan = p.plan_nl2q_direct(RUNNING_EXAMPLE, &db, "hr-db").unwrap();
         let result = p.execute(&plan).unwrap();
         let direct_rows = result.value.as_array().unwrap().len();
         let decomposed = p
@@ -782,12 +782,20 @@ mod tests {
         // Cost-min without constraints picks the tiny tier...
         p.set_objective(Objective::MinCost);
         let plan = p.plan_job_query(RUNNING_EXAMPLE).unwrap();
-        let knowledge = plan.nodes.iter().find(|n| n.op.name() == "knowledge").unwrap();
+        let knowledge = plan
+            .nodes
+            .iter()
+            .find(|n| n.op.name() == "knowledge")
+            .unwrap();
         assert!(matches!(&knowledge.op, DataOp::Knowledge { source } if source == "gpt-tiny"));
         // ...but an accuracy floor forces the large tier.
         p.set_constraints(QosConstraints::none().with_min_accuracy(0.95));
         let plan2 = p.plan_job_query(RUNNING_EXAMPLE).unwrap();
-        let knowledge2 = plan2.nodes.iter().find(|n| n.op.name() == "knowledge").unwrap();
+        let knowledge2 = plan2
+            .nodes
+            .iter()
+            .find(|n| n.op.name() == "knowledge")
+            .unwrap();
         assert!(matches!(&knowledge2.op, DataOp::Knowledge { source } if source == "gpt-large"));
     }
 
@@ -872,7 +880,9 @@ mod tests {
     #[test]
     fn satisfy_routes_job_requests_to_decomposition() {
         let (p, _) = planner();
-        let result = p.satisfy("available job listings", RUNNING_EXAMPLE).unwrap();
+        let result = p
+            .satisfy("available job listings", RUNNING_EXAMPLE)
+            .unwrap();
         assert_eq!(result.value.as_array().unwrap().len(), 3);
     }
 
@@ -924,9 +934,6 @@ mod tests {
             inputs: vec![],
             estimate: CostEstimate::FREE,
         });
-        assert!(matches!(
-            p.execute(&plan),
-            Err(PlanError::NoSourceFor(_))
-        ));
+        assert!(matches!(p.execute(&plan), Err(PlanError::NoSourceFor(_))));
     }
 }

@@ -47,15 +47,25 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PlanError::NoAgentFor("x".into()).to_string().contains("no agent"));
-        assert!(PlanError::NoSourceFor("x".into()).to_string().contains("no data source"));
-        assert!(PlanError::InvalidPlan("c".into()).to_string().contains("invalid"));
+        assert!(PlanError::NoAgentFor("x".into())
+            .to_string()
+            .contains("no agent"));
+        assert!(PlanError::NoSourceFor("x".into())
+            .to_string()
+            .contains("no data source"));
+        assert!(PlanError::InvalidPlan("c".into())
+            .to_string()
+            .contains("invalid"));
         let u = PlanError::UnboundParameter {
             node: "n1".into(),
             param: "jobs".into(),
         };
         assert_eq!(u.to_string(), "unbound required parameter jobs on node n1");
-        assert!(PlanError::Infeasible("i".into()).to_string().contains("feasible"));
-        assert!(PlanError::Execution("e".into()).to_string().contains("failed"));
+        assert!(PlanError::Infeasible("i".into())
+            .to_string()
+            .contains("feasible"));
+        assert!(PlanError::Execution("e".into())
+            .to_string()
+            .contains("failed"));
     }
 }

@@ -111,7 +111,10 @@ impl TaskPlan {
         let mut ids = HashSet::new();
         for n in &self.nodes {
             if !ids.insert(n.id.as_str()) {
-                return Err(PlanError::InvalidPlan(format!("duplicate node id: {}", n.id)));
+                return Err(PlanError::InvalidPlan(format!(
+                    "duplicate node id: {}",
+                    n.id
+                )));
             }
         }
         for n in &self.nodes {
@@ -366,7 +369,9 @@ mod tests {
         );
         plan.push(a);
         plan.push(b);
-        assert!(matches!(plan.validate(), Err(PlanError::InvalidPlan(msg)) if msg.contains("cycle")));
+        assert!(
+            matches!(plan.validate(), Err(PlanError::InvalidPlan(msg)) if msg.contains("cycle"))
+        );
     }
 
     #[test]

@@ -238,7 +238,11 @@ impl TaskPlanner {
                 let node_id = refined.nodes[pos].id.clone();
                 for later in refined.nodes.iter_mut().skip(pos + 1) {
                     for binding in later.inputs.values_mut() {
-                        if let InputBinding::FromNode { node: from_id, output } = binding {
+                        if let InputBinding::FromNode {
+                            node: from_id,
+                            output,
+                        } = binding
+                        {
                             if from_id == &node_id && spec.output(output).is_none() {
                                 if let Some(first_out) = spec.outputs.first() {
                                     *output = first_out.name.clone();
@@ -248,7 +252,11 @@ impl TaskPlanner {
                     }
                 }
             }
-            PlanFeedback::PinInput { agent, param, value } => {
+            PlanFeedback::PinInput {
+                agent,
+                param,
+                value,
+            } => {
                 let Some(node) = refined.nodes.iter_mut().find(|n| &n.agent == agent) else {
                     return Err(PlanError::InvalidPlan(format!(
                         "plan has no node for agent {agent}"
@@ -362,7 +370,11 @@ mod tests {
                 "profiler",
                 "collect job seeker profile information from the user via a form",
             )
-            .with_input(ParamSpec::required("text", "the user utterance", DataType::Text))
+            .with_input(ParamSpec::required(
+                "text",
+                "the user utterance",
+                DataType::Text,
+            ))
             .with_output(ParamSpec::required(
                 "profile",
                 "the collected job seeker profile",
@@ -419,16 +431,35 @@ mod tests {
                 "nl2q",
                 "translate a natural language question into a database query such as SQL",
             )
-            .with_input(ParamSpec::required("question", "the question", DataType::Text))
-            .with_output(ParamSpec::required("query", "the database query", DataType::Text))
+            .with_input(ParamSpec::required(
+                "question",
+                "the question",
+                DataType::Text,
+            ))
+            .with_output(ParamSpec::required(
+                "query",
+                "the database query",
+                DataType::Text,
+            ))
             .with_profile(CostProfile::new(1.0, 80_000, 0.9)),
         )
         .unwrap();
         r.register(
-            AgentSpec::new("sql-executor", "execute a database query against the warehouse")
-                .with_input(ParamSpec::required("query", "the SQL query text", DataType::Text))
-                .with_output(ParamSpec::required("rows", "the result rows", DataType::Table))
-                .with_profile(CostProfile::new(0.01, 5_000, 1.0)),
+            AgentSpec::new(
+                "sql-executor",
+                "execute a database query against the warehouse",
+            )
+            .with_input(ParamSpec::required(
+                "query",
+                "the SQL query text",
+                DataType::Text,
+            ))
+            .with_output(ParamSpec::required(
+                "rows",
+                "the result rows",
+                DataType::Table,
+            ))
+            .with_profile(CostProfile::new(0.01, 5_000, 1.0)),
         )
         .unwrap();
         r.register(
@@ -441,7 +472,11 @@ mod tests {
                 "the query result rows to explain",
                 DataType::Table,
             ))
-            .with_output(ParamSpec::required("summary", "the explanation", DataType::Text))
+            .with_output(ParamSpec::required(
+                "summary",
+                "the explanation",
+                DataType::Text,
+            ))
             .with_profile(CostProfile::new(1.0, 90_000, 0.92)),
         )
         .unwrap();
@@ -509,7 +544,10 @@ mod tests {
         let p = planner();
         let before = p.registry().get("profiler").unwrap().usage_count;
         p.plan(RUNNING_EXAMPLE).unwrap();
-        assert_eq!(p.registry().get("profiler").unwrap().usage_count, before + 1);
+        assert_eq!(
+            p.registry().get("profiler").unwrap().usage_count,
+            before + 1
+        );
     }
 
     #[test]
@@ -588,7 +626,11 @@ mod tests {
             .unwrap();
         assert_eq!(refined.nodes.len(), 2);
         assert!(refined.nodes.iter().all(|n| n.agent != "profiler"));
-        let matcher = refined.nodes.iter().find(|n| n.agent == "job-matcher").unwrap();
+        let matcher = refined
+            .nodes
+            .iter()
+            .find(|n| n.agent == "job-matcher")
+            .unwrap();
         assert_eq!(matcher.inputs["job_seeker_data"], InputBinding::FromUser);
         refined.validate().unwrap();
         // Original plan untouched.
@@ -603,7 +645,11 @@ mod tests {
             .refine(&plan, &PlanFeedback::RemoveAgent("job-matcher".into()))
             .unwrap();
         // Presenter now consumes the profiler's output directly.
-        let presenter = refined.nodes.iter().find(|n| n.agent == "presenter").unwrap();
+        let presenter = refined
+            .nodes
+            .iter()
+            .find(|n| n.agent == "presenter")
+            .unwrap();
         assert_eq!(
             presenter.inputs["content"],
             InputBinding::FromNode {
@@ -652,7 +698,11 @@ mod tests {
                 },
             )
             .unwrap();
-        let matcher = refined.nodes.iter().find(|n| n.agent == "job-matcher").unwrap();
+        let matcher = refined
+            .nodes
+            .iter()
+            .find(|n| n.agent == "job-matcher")
+            .unwrap();
         assert_eq!(
             matcher.inputs["criteria"],
             InputBinding::Literal(serde_json::json!("remote only"))

@@ -196,11 +196,7 @@ impl AgentRegistry {
             query,
             entries
                 .values()
-                .filter(|e| {
-                    breakers
-                        .as_ref()
-                        .is_none_or(|b| !b.is_open(&e.spec.name))
-                })
+                .filter(|e| breakers.as_ref().is_none_or(|b| !b.is_open(&e.spec.name)))
                 .map(|e| {
                     (
                         e.spec.name.as_str(),
@@ -248,8 +244,11 @@ mod tests {
             "assess the match quality between a job seeker profile and jobs",
         ))
         .unwrap();
-        r.register(spec("profiler", "collect job seeker profile information via a form"))
-            .unwrap();
+        r.register(spec(
+            "profiler",
+            "collect job seeker profile information via a form",
+        ))
+        .unwrap();
         r.register(spec("summarizer", "summarize documents into concise text"))
             .unwrap();
         r
@@ -354,7 +353,11 @@ mod tests {
         let d = r.get_spec("query-summarizer").unwrap();
         assert!(d.description.contains("SQL"));
         // Base is untouched.
-        assert!(r.get_spec("summarizer").unwrap().description.contains("documents"));
+        assert!(r
+            .get_spec("summarizer")
+            .unwrap()
+            .description
+            .contains("documents"));
     }
 
     #[test]
@@ -395,7 +398,11 @@ mod tests {
         r.set_breakers(Arc::clone(&breakers));
 
         // Healthy: both rankers are reachable.
-        let names: Vec<_> = r.search("rank applicants", 5).into_iter().map(|h| h.name).collect();
+        let names: Vec<_> = r
+            .search("rank applicants", 5)
+            .into_iter()
+            .map(|h| h.name)
+            .collect();
         assert!(names.contains(&"ranker-a".to_string()));
         assert!(names.contains(&"ranker-b".to_string()));
 
@@ -403,13 +410,21 @@ mod tests {
         breakers.record("ranker-a", false, 0);
         breakers.record("ranker-a", false, 0);
         assert_eq!(r.breaker_state("ranker-a"), BreakerState::Open);
-        let names: Vec<_> = r.search("rank applicants", 5).into_iter().map(|h| h.name).collect();
+        let names: Vec<_> = r
+            .search("rank applicants", 5)
+            .into_iter()
+            .map(|h| h.name)
+            .collect();
         assert!(!names.contains(&"ranker-a".to_string()));
         assert!(names.contains(&"ranker-b".to_string()));
 
         // Cooldown elapses → half-open probes are routable again.
         assert!(breakers.allow("ranker-a", 60_000));
-        let names: Vec<_> = r.search("rank applicants", 5).into_iter().map(|h| h.name).collect();
+        let names: Vec<_> = r
+            .search("rank applicants", 5)
+            .into_iter()
+            .map(|h| h.name)
+            .collect();
         assert!(names.contains(&"ranker-a".to_string()));
     }
 }

@@ -179,9 +179,7 @@ impl DataAsset {
     pub fn accessible_by(&self, principal: Option<&str>) -> bool {
         match principal {
             None => true,
-            Some(p) => {
-                self.restricted_to.is_empty() || self.restricted_to.iter().any(|a| a == p)
-            }
+            Some(p) => self.restricted_to.is_empty() || self.restricted_to.iter().any(|a| a == p),
         }
     }
 
@@ -533,7 +531,11 @@ mod tests {
     #[test]
     fn parametric_source_is_discoverable() {
         let r = seeded();
-        let hits = r.discover("cities in the sf bay area region", Some(DataModality::Parametric), 3);
+        let hits = r.discover(
+            "cities in the sf bay area region",
+            Some(DataModality::Parametric),
+            3,
+        );
         assert_eq!(hits[0].name, "gpt-knowledge");
     }
 

@@ -105,8 +105,11 @@ mod tests {
     #[test]
     fn rank_entries_limit_truncates() {
         let e = embed_text("x");
-        let entries: Vec<(&str, &str, &Embedding, f32)> =
-            vec![("a", "x", &e, 0.0), ("b", "x", &e, 0.0), ("c", "x", &e, 0.0)];
+        let entries: Vec<(&str, &str, &Embedding, f32)> = vec![
+            ("a", "x", &e, 0.0),
+            ("b", "x", &e, 0.0),
+            ("c", "x", &e, 0.0),
+        ];
         assert_eq!(rank_entries("x", entries, 2).len(), 2);
     }
 

@@ -8,6 +8,8 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+use blueprint_observability::{Counter, MetricsRegistry};
+
 /// Breaker lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BreakerState {
@@ -100,7 +102,10 @@ impl CircuitBreaker {
         match self.state {
             BreakerState::Closed => true,
             BreakerState::Open => {
-                if now_micros >= self.opened_at_micros.saturating_add(self.config.cooldown_micros)
+                if now_micros
+                    >= self
+                        .opened_at_micros
+                        .saturating_add(self.config.cooldown_micros)
                 {
                     self.state = BreakerState::HalfOpen;
                     self.probes_in_flight = 1;
@@ -181,6 +186,7 @@ impl CircuitBreaker {
 pub struct BreakerRegistry {
     config: BreakerConfig,
     breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
+    trips: Mutex<Counter>,
 }
 
 impl BreakerRegistry {
@@ -189,7 +195,14 @@ impl BreakerRegistry {
         BreakerRegistry {
             config,
             breakers: Mutex::new(BTreeMap::new()),
+            trips: Mutex::new(Counter::default()),
         }
+    }
+
+    /// Reports every closed/half-open → open transition into
+    /// `blueprint.resilience.breaker_trips`.
+    pub fn set_metrics(&self, metrics: &MetricsRegistry) {
+        *self.trips.lock() = metrics.counter("blueprint.resilience.breaker_trips");
     }
 
     /// Whether a call to `agent` may proceed at `now_micros`.
@@ -202,14 +215,21 @@ impl BreakerRegistry {
 
     /// Records a call outcome for `agent`.
     pub fn record(&self, agent: &str, ok: bool, now_micros: u64) {
-        let mut map = self.breakers.lock();
-        let breaker = map
-            .entry(agent.to_string())
-            .or_insert_with(|| CircuitBreaker::new(self.config.clone()));
-        if ok {
-            breaker.record_success(now_micros);
-        } else {
-            breaker.record_failure(now_micros);
+        let tripped = {
+            let mut map = self.breakers.lock();
+            let breaker = map
+                .entry(agent.to_string())
+                .or_insert_with(|| CircuitBreaker::new(self.config.clone()));
+            let was_open = breaker.state() == BreakerState::Open;
+            if ok {
+                breaker.record_success(now_micros);
+            } else {
+                breaker.record_failure(now_micros);
+            }
+            !was_open && breaker.state() == BreakerState::Open
+        };
+        if tripped {
+            self.trips.lock().inc();
         }
     }
 
@@ -267,6 +287,32 @@ mod tests {
             cooldown_micros: 1_000,
             half_open_probes: 1,
         }
+    }
+
+    #[test]
+    fn registry_counts_trips_once_per_transition() {
+        let metrics = MetricsRegistry::new();
+        let reg = BreakerRegistry::new(quick_config());
+        reg.set_metrics(&metrics);
+        reg.record("a", false, 0);
+        reg.record("a", false, 10); // trips here (min_samples=2, rate 1.0)
+        reg.record("a", false, 20); // already open: not a new trip
+        assert!(reg.is_open("a"));
+        assert_eq!(
+            metrics
+                .snapshot()
+                .counter("blueprint.resilience.breaker_trips"),
+            1
+        );
+        // Cooldown elapses, the probe fails: a second distinct trip.
+        assert!(reg.allow("a", 2_000));
+        reg.record("a", false, 2_000);
+        assert_eq!(
+            metrics
+                .snapshot()
+                .counter("blueprint.resilience.breaker_trips"),
+            2
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ mod tests {
         let (to, penalty) = ladder.fallback_for("sim-large").unwrap();
         assert_eq!(to, "sim-small");
         assert!((penalty - 0.08).abs() < 1e-9);
-        assert_eq!(ladder.chain_from("sim-large"), vec!["sim-small", "sim-tiny"]);
+        assert_eq!(
+            ladder.chain_from("sim-large"),
+            vec!["sim-small", "sim-tiny"]
+        );
         assert_eq!(ladder.fallback_for("sim-tiny"), None);
     }
 

@@ -443,10 +443,7 @@ mod tests {
     #[test]
     fn records_tag_site_and_key() {
         let inj = FaultInjector::new(FaultPlan::none(3).with_query_fail_rate(1.0));
-        assert_eq!(
-            inj.query_fault("hr:source"),
-            Some(InjectedFault::FailQuery)
-        );
+        assert_eq!(inj.query_fault("hr:source"), Some(InjectedFault::FailQuery));
         let recs = inj.records();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].site, FaultSite::DataQuery);

@@ -6,10 +6,10 @@ use proptest::prelude::*;
 fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
     (
         (
-            1u32..8,         // max_attempts
-            0u64..50_000,    // base_delay_micros
-            1.0f64..4.0,     // multiplier
-            0u64..200_000,   // max_delay_micros
+            1u32..8,       // max_attempts
+            0u64..50_000,  // base_delay_micros
+            1.0f64..4.0,   // multiplier
+            0u64..200_000, // max_delay_micros
         ),
         (
             0.0f64..0.9,     // jitter_frac

@@ -13,7 +13,9 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde_json::json;
 
-use blueprint_streams::{Message, Selector, StreamError, StreamId, StreamStore, Subscription, Tag, TagFilter};
+use blueprint_streams::{
+    Message, Selector, StreamError, StreamId, StreamStore, Subscription, Tag, TagFilter,
+};
 
 /// Result alias for session operations.
 pub type Result<T> = std::result::Result<T, StreamError>;
@@ -89,8 +91,11 @@ impl Session {
         }
         self.store.publish(
             &self.session_stream(),
-            Message::control(ops::AGENT_ENTER, json!({"agent": agent, "scope": self.scope}))
-                .from_producer(agent.to_string()),
+            Message::control(
+                ops::AGENT_ENTER,
+                json!({"agent": agent, "scope": self.scope}),
+            )
+            .from_producer(agent.to_string()),
         )?;
         Ok(())
     }
@@ -107,8 +112,11 @@ impl Session {
         }
         self.store.publish(
             &self.session_stream(),
-            Message::control(ops::AGENT_EXIT, json!({"agent": agent, "scope": self.scope}))
-                .from_producer(agent.to_string()),
+            Message::control(
+                ops::AGENT_EXIT,
+                json!({"agent": agent, "scope": self.scope}),
+            )
+            .from_producer(agent.to_string()),
         )?;
         Ok(())
     }
@@ -172,9 +180,7 @@ impl Session {
                 match op {
                     ops::AGENT_ENTER => Some(format!("enter {}", args["agent"].as_str()?)),
                     ops::AGENT_EXIT => Some(format!("exit {}", args["agent"].as_str()?)),
-                    ops::STREAM_CREATED => {
-                        Some(format!("stream {}", args["stream"].as_str()?))
-                    }
+                    ops::STREAM_CREATED => Some(format!("stream {}", args["stream"].as_str()?)),
                     _ => None,
                 }
             })
@@ -279,7 +285,11 @@ mod tests {
         let s2 = Session::create(store, 2).unwrap();
         s1.publish("a", Message::data("x")).unwrap();
         s2.publish("b", Message::data("y")).unwrap();
-        let ids: Vec<String> = s1.streams().iter().map(|i| i.as_str().to_string()).collect();
+        let ids: Vec<String> = s1
+            .streams()
+            .iter()
+            .map(|i| i.as_str().to_string())
+            .collect();
         assert!(ids.contains(&"session:1:a".to_string()));
         assert!(!ids.iter().any(|i| i.starts_with("session:2")));
     }

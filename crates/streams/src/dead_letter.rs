@@ -124,7 +124,8 @@ impl DeadLetterQueue {
             for tag in &entry.tags {
                 msg = msg.with_tag(tag.as_str());
             }
-            self.store.publish(target, msg.from_producer("dead-letter-replay"))?;
+            self.store
+                .publish(target, msg.from_producer("dead-letter-replay"))?;
             replayed += 1;
         }
         Ok(replayed)
@@ -195,7 +196,8 @@ mod tests {
 
         for i in 0..3 {
             let original = Message::data(format!("payload-{i}")).with_tag("work");
-            dlq.quarantine(&original, "agent crashed", 2, "writer").unwrap();
+            dlq.quarantine(&original, "agent crashed", 2, "writer")
+                .unwrap();
         }
         assert_eq!(dlq.len().unwrap(), 3);
 
@@ -221,7 +223,8 @@ mod tests {
                 TagFilter::all(),
             )
             .unwrap();
-        dlq.quarantine(&Message::data("x"), "boom", 1, "agent-a").unwrap();
+        dlq.quarantine(&Message::data("x"), "boom", 1, "agent-a")
+            .unwrap();
         let msg = sub.try_recv().unwrap().unwrap();
         assert_eq!(msg.control_op(), Some(DEAD_LETTER_OP));
     }

@@ -32,7 +32,6 @@
 //! assert_eq!(msg.payload.as_str(), Some("I am looking for a data scientist position"));
 //! ```
 
-pub mod clock;
 pub mod dead_letter;
 pub mod error;
 pub mod message;
@@ -41,7 +40,10 @@ pub mod store;
 pub mod stream;
 pub mod subscription;
 
-pub use clock::SimClock;
+// The simulated clock moved into `blueprint-observability` (span timestamps
+// come from the same clock); re-exported here so downstream importers of
+// `blueprint_streams::SimClock` keep working unchanged.
+pub use blueprint_observability::SimClock;
 pub use dead_letter::{DeadLetterEntry, DeadLetterQueue, DEAD_LETTER_OP, DEAD_LETTER_SEGMENT};
 pub use error::StreamError;
 pub use message::{Message, MessageId, MessageKind};

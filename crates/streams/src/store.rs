@@ -10,11 +10,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use blueprint_observability::{Counter, MetricsRegistry, SimClock};
 use blueprint_resilience::{FaultInjector, InjectedFault};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
 
-use crate::clock::SimClock;
 use crate::error::StreamError;
 use crate::message::{Message, MessageId};
 use crate::monitor::FlowMonitor;
@@ -77,6 +77,16 @@ impl StatCells {
     }
 }
 
+/// Named instruments the store reports into, resolved once at wiring time
+/// (see [`StreamStore::set_metrics`]) so the publish path pays one atomic
+/// add per counter and no registry lookup. Defaults to disarmed no-ops.
+#[derive(Clone, Default)]
+struct StreamInstruments {
+    publishes: Counter,
+    deliveries: Counter,
+    bytes_published: Counter,
+}
+
 #[derive(Debug)]
 struct SubEntry {
     id: u64,
@@ -104,6 +114,7 @@ pub struct StreamStore {
     clock: SimClock,
     monitor: FlowMonitor,
     faults: Arc<RwLock<Option<Arc<FaultInjector>>>>,
+    instruments: Arc<RwLock<StreamInstruments>>,
 }
 
 impl Default for StreamStore {
@@ -128,7 +139,20 @@ impl StreamStore {
             clock,
             monitor: FlowMonitor::new(),
             faults: Arc::new(RwLock::new(None)),
+            instruments: Arc::new(RwLock::new(StreamInstruments::default())),
         }
+    }
+
+    /// Attaches a metrics registry: subsequent publishes report into the
+    /// `blueprint.streams.*` instruments (in addition to the always-on
+    /// [`StoreStats`] counters). Mirrors [`StreamStore::set_fault_injector`]
+    /// for late binding after construction.
+    pub fn set_metrics(&self, metrics: &MetricsRegistry) {
+        *self.instruments.write() = StreamInstruments {
+            publishes: metrics.counter("blueprint.streams.publishes"),
+            deliveries: metrics.counter("blueprint.streams.deliveries"),
+            bytes_published: metrics.counter("blueprint.streams.bytes_published"),
+        };
     }
 
     /// Attaches a fault injector: subsequent publishes consult it for
@@ -278,6 +302,10 @@ impl StreamStore {
         stats
             .active_subscriptions
             .store(sub_count, Ordering::Relaxed);
+        let instruments = self.instruments.read().clone();
+        instruments.publishes.inc();
+        instruments.deliveries.add(delivered);
+        instruments.bytes_published.add(arc.payload_size() as u64);
         match &fault {
             Some(InjectedFault::DropMessage) => {
                 stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
@@ -548,7 +576,10 @@ mod tests {
     fn stream_tag_selector_sees_new_streams() {
         let store = StreamStore::new();
         let sub = store
-            .subscribe(Selector::StreamTagged(Tag::new("user-text")), TagFilter::all())
+            .subscribe(
+                Selector::StreamTagged(Tag::new("user-text")),
+                TagFilter::all(),
+            )
             .unwrap();
         // Stream created after the subscription still matches.
         let id = store.create_stream("later", ["user-text"]).unwrap();
@@ -559,8 +590,12 @@ mod tests {
     #[test]
     fn scope_selector_isolates_sessions() {
         let store = StreamStore::new();
-        let s1 = store.create_stream("session:1:user", Vec::<Tag>::new()).unwrap();
-        let s2 = store.create_stream("session:2:user", Vec::<Tag>::new()).unwrap();
+        let s1 = store
+            .create_stream("session:1:user", Vec::<Tag>::new())
+            .unwrap();
+        let s2 = store
+            .create_stream("session:2:user", Vec::<Tag>::new())
+            .unwrap();
         let sub = store
             .subscribe(Selector::Scope("session:1".into()), TagFilter::all())
             .unwrap();
@@ -690,11 +725,33 @@ mod tests {
     }
 
     #[test]
+    fn metrics_instruments_mirror_stats() {
+        let store = StreamStore::new();
+        let metrics = MetricsRegistry::new();
+        store.set_metrics(&metrics);
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let _sub = store
+            .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        store.publish(&id, Message::data("abcd")).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("blueprint.streams.publishes"), 1);
+        assert_eq!(snap.counter("blueprint.streams.deliveries"), 1);
+        assert_eq!(snap.counter("blueprint.streams.bytes_published"), 4);
+    }
+
+    #[test]
     fn list_streams_respects_scope() {
         let store = StreamStore::new();
-        store.create_stream("session:1:a", Vec::<Tag>::new()).unwrap();
-        store.create_stream("session:1:b", Vec::<Tag>::new()).unwrap();
-        store.create_stream("session:2:a", Vec::<Tag>::new()).unwrap();
+        store
+            .create_stream("session:1:a", Vec::<Tag>::new())
+            .unwrap();
+        store
+            .create_stream("session:1:b", Vec::<Tag>::new())
+            .unwrap();
+        store
+            .create_stream("session:2:a", Vec::<Tag>::new())
+            .unwrap();
         assert_eq!(store.list_streams(None).len(), 3);
         assert_eq!(store.list_streams(Some("session:1")).len(), 2);
     }
@@ -727,7 +784,11 @@ mod tests {
         let mut count = 0;
         while let Ok(Some(m)) = sub.try_recv() {
             if let Some(prev) = last {
-                assert!(m.seq > prev, "delivery out of order: {} after {prev}", m.seq);
+                assert!(
+                    m.seq > prev,
+                    "delivery out of order: {} after {prev}",
+                    m.seq
+                );
             }
             last = Some(m.seq);
             count += 1;

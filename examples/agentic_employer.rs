@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("employer types: \"How many applicants per city?\"");
     session.say("How many applicants per city?")?;
     let summary2 = summary_sub2.recv_timeout(Duration::from_secs(10))?;
-    println!("query summarizer → {}", summary2.payload.as_str().unwrap_or("?"));
+    println!(
+        "query summarizer → {}",
+        summary2.payload.as_str().unwrap_or("?")
+    );
 
     banner("The recorded message-flow trace (sequence diagram)");
     let trace = blueprint.store().monitor().render_sequence();

@@ -26,11 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_guardrails()
         .build()?;
     let session = blueprint.start_session()?;
-    let summaries = blueprint
-        .store()
-        .subscribe(Selector::AllStreams, TagFilter::any_of(["summary", "reply"]))?;
+    let summaries = blueprint.store().subscribe(
+        Selector::AllStreams,
+        TagFilter::any_of(["summary", "reply"]),
+    )?;
 
-    println!("blueprint chat — YourJourney HR domain loaded ({} agents).", blueprint.factory().registered().len());
+    println!(
+        "blueprint chat — YourJourney HR domain loaded ({} agents).",
+        blueprint.factory().registered().len()
+    );
     println!("Try: How many applicants per city?   (or /run, /plan, /trace, /quit)\n");
 
     let stdin = std::io::stdin();
@@ -83,7 +87,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "/trace" => {
                 let trace = blueprint.store().monitor().render_sequence();
-                for l in trace.lines().rev().take(15).collect::<Vec<_>>().into_iter().rev() {
+                for l in trace
+                    .lines()
+                    .rev()
+                    .take(15)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                {
                     println!("{l}");
                 }
             }
@@ -98,7 +109,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // Moderation gate, then the decentralized path (Fig 10).
                 let verdict = blueprint_core::hrdomain::moderate(text);
                 if !verdict.allowed {
-                    println!("sys> blocked by content moderation: {}", verdict.reasons.join("; "));
+                    println!(
+                        "sys> blocked by content moderation: {}",
+                        verdict.reasons.join("; ")
+                    );
                     continue;
                 }
                 session.say(text)?;

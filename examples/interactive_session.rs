@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RUNNING_EXAMPLE,
         "send me the candidate's social security number",
     ] {
-        let verdict = blueprint.factory().registered().contains(&"content-moderator".to_string());
+        let verdict = blueprint
+            .factory()
+            .registered()
+            .contains(&"content-moderator".to_string());
         assert!(verdict);
         let m = blueprint_core::hrdomain::moderate(text);
         println!(
@@ -84,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     banner("5. Incremental planning (§V-F dynamic plans)");
     let mut completed = 0;
-    while let Some(step) = blueprint.task_planner().plan_step(RUNNING_EXAMPLE, completed)? {
+    while let Some(step) = blueprint
+        .task_planner()
+        .plan_step(RUNNING_EXAMPLE, completed)?
+    {
         println!("  step {}: {}", completed + 1, step.nodes[0].agent);
         completed += 1;
     }

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frontier = pareto_frontier(&candidates);
     println!(
         "Pareto-optimal tiers: {:?}",
-        frontier.iter().map(|&i| &candidates[i].item).collect::<Vec<_>>()
+        frontier
+            .iter()
+            .map(|&i| &candidates[i].item)
+            .collect::<Vec<_>>()
     );
 
     banner("2. Per-operator tier assignment under an accuracy floor");

@@ -12,15 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("1. Assemble the runtime (Fig 1) with the YourJourney HR domain");
     let blueprint = Blueprint::builder()
         .with_hr_domain(Default::default())
+        .with_tracing()
+        .with_metrics()
         .build()?;
-    println!(
-        "agents registered : {:?}",
-        blueprint.factory().registered()
-    );
-    println!(
-        "data assets       : {:?}",
-        blueprint.data_registry().list()
-    );
+    println!("agents registered : {:?}", blueprint.factory().registered());
+    println!("data assets       : {:?}", blueprint.data_registry().list());
 
     banner("2. Start a session and plan the running example (Fig 6)");
     let session = blueprint.start_session()?;
@@ -57,5 +53,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "streams: {} created, {} messages, {} deliveries",
         stats.streams_created, stats.messages_published, stats.deliveries
     );
+
+    banner("5. Tracing: span timeline + Chrome trace export");
+    let trace = blueprint.trace();
+    print!("{}", trace.render_text());
+    let trace_path = std::path::Path::new("target/quickstart-trace.json");
+    trace.write_chrome_trace(trace_path)?;
+    println!(
+        "wrote {} ({} spans) — open in chrome://tracing or https://ui.perfetto.dev",
+        trace_path.display(),
+        trace.spans.len()
+    );
+
+    banner("6. Metrics: every named instrument the run touched");
+    print!("{}", blueprint.metrics().render_text());
     Ok(())
 }

@@ -78,10 +78,7 @@ fn assert_report_terminal(bp: &Blueprint, scope: &str, report: &ExecutionReport)
         Outcome::Completed { .. } | Outcome::Aborted { .. } => {}
         Outcome::Replanned { inner, .. } => assert_report_terminal(bp, scope, inner),
         Outcome::Failed { node, .. } => {
-            let attempted = report
-                .node_results
-                .iter()
-                .any(|n| n.node == *node && !n.ok);
+            let attempted = report.node_results.iter().any(|n| n.node == *node && !n.ok);
             if attempted {
                 let dlq = DeadLetterQueue::for_scope(bp.store(), scope)
                     .expect("dead-letter stream exists");

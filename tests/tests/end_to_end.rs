@@ -26,7 +26,11 @@ fn career_assistance_scenario_end_to_end() {
     let rendered = output["rendered"].as_str().unwrap();
     assert!(rendered.contains("item(s)"));
     // All three Fig 6 agents ran, in order.
-    let agents: Vec<&str> = report.node_results.iter().map(|n| n.agent.as_str()).collect();
+    let agents: Vec<&str> = report
+        .node_results
+        .iter()
+        .map(|n| n.agent.as_str())
+        .collect();
     assert_eq!(agents, ["profiler", "job-matcher", "presenter"]);
 }
 
@@ -104,7 +108,11 @@ fn budget_is_charged_across_agents_and_data_plans() {
     let report = session.handle(RUNNING_EXAMPLE).unwrap();
     // Agent charges: profiler (llm extract) + matcher (per-job) + presenter.
     // Data-plan charges: parametric knowledge for the region.
-    assert!(report.budget.spent_cost > 0.3, "spent {}", report.budget.spent_cost);
+    assert!(
+        report.budget.spent_cost > 0.3,
+        "spent {}",
+        report.budget.spent_cost
+    );
     assert!(report.budget.spent_latency_micros > 100_000);
     // Per-node records agree with the ledger within the data-plan share.
     let node_cost: f64 = report.node_results.iter().map(|n| n.cost).sum();

@@ -102,11 +102,10 @@ fn flaky_agent_is_replanned_around() {
         .with_input(ParamSpec::required("content", "c", DataType::Any))
         .with_output(ParamSpec::required("rendered", "r", DataType::Text))
         .with_profile(CostProfile::new(0.1, 100, 0.9));
-    let good_proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
-        |inputs: &Inputs, _: &AgentContext| {
+    let good_proc: Arc<dyn Processor> =
+        Arc::new(FnProcessor::new(|inputs: &Inputs, _: &AgentContext| {
             Ok(Outputs::new().with("rendered", json!(inputs.require("content")?.to_string())))
-        },
-    ));
+        }));
     factory.register(good_spec.clone(), good_proc).unwrap();
     registry.register(good_spec).unwrap();
 
@@ -160,7 +159,10 @@ fn factory_restart_resets_instance_state() {
         })
         .unwrap()
         .unwrap();
-    assert_eq!(out.get("profile").unwrap()["title"], json!("data scientist"));
+    assert_eq!(
+        out.get("profile").unwrap()["title"],
+        json!("data scientist")
+    );
 }
 
 #[test]

@@ -71,7 +71,10 @@ fn pinned_input_reaches_the_agent() {
         .filter_map(|m| ExecuteAgent::from_message(m))
         .find(|e| e.agent == "job-matcher")
         .unwrap();
-    assert_eq!(matcher_instr.inputs.get("criteria"), Some(&json!("remote only")));
+    assert_eq!(
+        matcher_instr.inputs.get("criteria"),
+        Some(&json!("remote only"))
+    );
 }
 
 #[test]
@@ -95,6 +98,7 @@ fn moderator_blocks_pii_through_the_stream_path() {
         output_stream: format!("{scope}:moderation"),
         task_id: "mod-1".into(),
         node_id: "n1".into(),
+        span: None,
     };
     bp.store()
         .publish_to(
@@ -144,6 +148,7 @@ fn verifier_checks_summarizer_claims_end_to_end() {
         output_stream: format!("{scope}:verification"),
         task_id: "verify-1".into(),
         node_id: "n1".into(),
+        span: None,
     };
     bp.store()
         .publish_to(

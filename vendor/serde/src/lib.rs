@@ -150,7 +150,9 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn deserialize(value: &Value) -> Result<Self, Error> {
-        value.as_f64().ok_or_else(|| Error::custom("expected number"))
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom("expected number"))
     }
 }
 
@@ -195,7 +197,9 @@ impl Serialize for char {
 
 impl Deserialize for char {
     fn deserialize(value: &Value) -> Result<Self, Error> {
-        let s = value.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected char"))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
@@ -345,10 +349,7 @@ mod tests {
         assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
         assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
         assert!(bool::deserialize(&true.serialize()).unwrap());
-        assert_eq!(
-            Option::<String>::deserialize(&Value::Null).unwrap(),
-            None
-        );
+        assert_eq!(Option::<String>::deserialize(&Value::Null).unwrap(), None);
     }
 
     #[test]
@@ -369,10 +370,7 @@ mod tests {
             m
         );
         let t = ("x".to_string(), 2u64);
-        assert_eq!(
-            <(String, u64)>::deserialize(&t.serialize()).unwrap(),
-            t
-        );
+        assert_eq!(<(String, u64)>::deserialize(&t.serialize()).unwrap(), t);
     }
 
     #[test]

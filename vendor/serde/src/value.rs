@@ -403,7 +403,9 @@ value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl From<f64> for Value {
     fn from(f: f64) -> Value {
-        Number::from_f64(f).map(Value::Number).unwrap_or(Value::Null)
+        Number::from_f64(f)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
     }
 }
 

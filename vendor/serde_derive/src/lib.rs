@@ -44,8 +44,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Scans an attribute token (`#` already consumed; `group` is the `[...]`)
@@ -366,8 +372,7 @@ fn gen_serialize(item: &Item) -> String {
                         );
                     }
                     Shape::Named(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let mut inner = String::from("let mut __inner = ::serde::Map::new(); ");
                         for f in fields {
                             let _ = write!(

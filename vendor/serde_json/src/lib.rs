@@ -95,10 +95,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn skip_ws(&mut self) {
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b' ' | b'\t' | b'\n' | b'\r')
-        ) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
@@ -227,8 +224,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(Error::custom("invalid surrogate pair"));
                                 }
-                                let c =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(c)
                             } else {
                                 char::from_u32(hi)
@@ -259,8 +255,8 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| Error::custom("invalid unicode escape"))?;
-        let v = u32::from_str_radix(hex, 16)
-            .map_err(|_| Error::custom("invalid unicode escape"))?;
+        let v =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid unicode escape"))?;
         self.pos += 4;
         Ok(v)
     }
@@ -294,9 +290,7 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::custom("invalid number"))?;
         if is_float {
-            let f: f64 = text
-                .parse()
-                .map_err(|_| Error::custom("invalid number"))?;
+            let f: f64 = text.parse().map_err(|_| Error::custom("invalid number"))?;
             Number::from_f64(f)
                 .map(Value::Number)
                 .ok_or_else(|| Error::custom("non-finite number"))
@@ -306,9 +300,7 @@ impl<'a> Parser<'a> {
             Ok(Value::Number(Number::NegInt(i)))
         } else {
             // Integer out of 64-bit range: keep it as a float.
-            let f: f64 = text
-                .parse()
-                .map_err(|_| Error::custom("invalid number"))?;
+            let f: f64 = text.parse().map_err(|_| Error::custom("invalid number"))?;
             Ok(Value::Number(Number::Float(f)))
         }
     }
