@@ -1,4 +1,4 @@
-.PHONY: all build test fmt lint bench bench-json bench-check chaos
+.PHONY: all build test fmt lint bench bench-json bench-check chaos serving serving-bench
 
 all: build lint test
 
@@ -38,3 +38,15 @@ bench-check:
 # faults. Lint runs as its own CI job, not as a dependency here.
 chaos:
 	CHAOS_SEEDS="7 21 42" cargo test -p integration-tests --test chaos -- --nocapture
+
+# Serving gate: the session-isolation property battery at the 256-case
+# acceptance bar plus the pinned-seed 16-session golden serving run.
+serving:
+	PROPTEST_CASES=256 cargo test -p blueprint-session --test isolation_properties
+	cargo test -p integration-tests --test serving
+
+# Throughput sweep: the deterministic load generator replays the mixed
+# workload across 1/8/64 sessions and writes BENCH_serving.json at the repo
+# root (override the destination with BENCH_OUT=path).
+serving-bench:
+	cargo run --release -p blueprint-bench --bin loadgen -- --sessions 1,8,64

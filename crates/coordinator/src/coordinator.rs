@@ -167,6 +167,7 @@ pub struct ExecutionReport {
 pub struct TaskCoordinator {
     store: StreamStore,
     scope: String,
+    instr_scope: Option<String>,
     registry: Arc<AgentRegistry>,
     data_planner: Option<Arc<DataPlanner>>,
     task_planner: Option<Arc<TaskPlanner>>,
@@ -215,6 +216,7 @@ impl TaskCoordinator {
         TaskCoordinator {
             store,
             scope: scope.into(),
+            instr_scope: None,
             registry,
             data_planner: None,
             task_planner: None,
@@ -229,6 +231,21 @@ impl TaskCoordinator {
             obs: Observability::disarmed(),
             instruments: CoordInstruments::default(),
         }
+    }
+
+    /// Routes agent instructions (and the matching report subscription) to a
+    /// different scope than the session's — the serving runtime points every
+    /// session's coordinator at one shared agent-pool scope while task
+    /// output/status streams stay under the session. Defaults to the session
+    /// scope itself.
+    pub fn with_instruction_scope(mut self, scope: impl Into<String>) -> Self {
+        self.instr_scope = Some(scope.into());
+        self
+    }
+
+    /// The scope agents listen on for instructions and publish reports to.
+    pub fn instruction_scope(&self) -> &str {
+        self.instr_scope.as_deref().unwrap_or(&self.scope)
     }
 
     /// Attaches observability: executions record a `task:<task_id>` root
@@ -734,13 +751,16 @@ impl TaskCoordinator {
     ) -> Result<Driven, ExecutionError> {
         let node_id = node.id.as_str();
         // Subscribe to this task's agent reports before issuing any
-        // instruction so none can be missed. Each driver holds its own
-        // subscription; reports are correlated by `task:`/node tags, so
-        // concurrent drivers never cross wires.
+        // instruction so none can be missed. Agents always report to
+        // `<their scope>:reports`, so watching that one stream (instead of
+        // every stream) keeps the subscription on the reports stream's own
+        // shard. Each driver holds its own subscription; reports are
+        // correlated by `task:`/node tags, so concurrent drivers never
+        // cross wires.
         let report_sub = self
             .store
             .subscribe(
-                Selector::AllStreams,
+                Selector::Stream(format!("{}:reports", self.instruction_scope()).into()),
                 TagFilter::any_of([format!("task:{}", plan.task_id)]),
             )
             .map_err(|e| ExecutionError(e.to_string()))?;
@@ -991,7 +1011,7 @@ impl TaskCoordinator {
             };
             self.store
                 .publish_to(
-                    format!("{}:instructions", self.scope),
+                    format!("{}:instructions", self.instruction_scope()),
                     ["instructions"],
                     instruction.into_message().from_producer("task-coordinator"),
                 )

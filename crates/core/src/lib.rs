@@ -26,8 +26,10 @@
 //! ```
 
 pub mod runtime;
+pub mod serving;
 
 pub use runtime::{Blueprint, BlueprintBuilder, BlueprintSession, CoreError};
+pub use serving::{ServingRuntime, POOL_SCOPE};
 
 // Re-export the public surface of every layer so downstream users (examples,
 // benches, integration tests) need only this crate.

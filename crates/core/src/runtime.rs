@@ -36,6 +36,8 @@ pub enum CoreError {
     Execution(ExecutionError),
     /// Stream plumbing failed.
     Stream(blueprint_streams::StreamError),
+    /// The serving runtime's session router refused an operation.
+    Serving(blueprint_session::RouterError),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +47,7 @@ impl fmt::Display for CoreError {
             CoreError::Plan(e) => write!(f, "planning failed: {e}"),
             CoreError::Execution(e) => write!(f, "{e}"),
             CoreError::Stream(e) => write!(f, "stream error: {e}"),
+            CoreError::Serving(e) => write!(f, "serving error: {e}"),
         }
     }
 }
@@ -69,6 +72,12 @@ impl From<blueprint_streams::StreamError> for CoreError {
     }
 }
 
+impl From<blueprint_session::RouterError> for CoreError {
+    fn from(e: blueprint_session::RouterError) -> Self {
+        CoreError::Serving(e)
+    }
+}
+
 /// Configures and assembles a [`Blueprint`].
 pub struct BlueprintBuilder {
     hr_config: Option<HrConfig>,
@@ -87,6 +96,7 @@ pub struct BlueprintBuilder {
     memo_capacity: Option<usize>,
     tracing: bool,
     metrics: bool,
+    serving: Option<(usize, usize)>,
 }
 
 impl Default for BlueprintBuilder {
@@ -108,6 +118,7 @@ impl Default for BlueprintBuilder {
             memo_capacity: None,
             tracing: false,
             metrics: false,
+            serving: None,
         }
     }
 }
@@ -210,6 +221,15 @@ impl BlueprintBuilder {
     /// from the shared simulated clock (deterministic, byte-stable).
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Configures the multi-session serving runtime: up to `max_sessions`
+    /// concurrent sessions multiplexed over one shared agent pool, with at
+    /// most `max_in_flight` tasks executing at once across all sessions.
+    /// Obtain the runtime with [`Blueprint::serving`].
+    pub fn with_serving(mut self, max_sessions: usize, max_in_flight: usize) -> Self {
+        self.serving = Some((max_sessions, max_in_flight));
         self
     }
 
@@ -340,7 +360,7 @@ impl BlueprintBuilder {
             Arc::clone(&agent_registry),
             Arc::clone(&llm),
         ));
-        let sessions = SessionManager::new(store.clone());
+        let sessions = Arc::new(SessionManager::new(store.clone()));
 
         Ok(Blueprint {
             store,
@@ -362,22 +382,23 @@ impl BlueprintBuilder {
             scheduler: self.scheduler,
             memo: self.memo_capacity.map(|cap| Arc::new(MemoCache::new(cap))),
             observability,
+            serving: self.serving,
         })
     }
 }
 
 /// The assembled compound-AI runtime.
 pub struct Blueprint {
-    store: StreamStore,
-    factory: Arc<AgentFactory>,
+    pub(crate) store: StreamStore,
+    pub(crate) factory: Arc<AgentFactory>,
     agent_registry: Arc<AgentRegistry>,
     data_registry: Arc<DataRegistry>,
     llm: Arc<SimLlm>,
     dataset: Option<Arc<HrDataset>>,
-    task_planner: Arc<TaskPlanner>,
+    pub(crate) task_planner: Arc<TaskPlanner>,
     data_planner: Arc<DataPlanner>,
-    sessions: SessionManager,
-    constraints: QosConstraints,
+    pub(crate) sessions: Arc<SessionManager>,
+    pub(crate) constraints: QosConstraints,
     policy: OverrunPolicy,
     report_timeout: Duration,
     fault_injector: Option<Arc<FaultInjector>>,
@@ -386,7 +407,8 @@ pub struct Blueprint {
     ladder: DegradationLadder,
     scheduler: SchedulerMode,
     memo: Option<Arc<MemoCache>>,
-    observability: Observability,
+    pub(crate) observability: Observability,
+    pub(crate) serving: Option<(usize, usize)>,
 }
 
 impl Blueprint {
@@ -467,6 +489,30 @@ impl Blueprint {
         self.observability.metrics.snapshot()
     }
 
+    /// Builds a task coordinator for `scope` with every configured knob
+    /// (shared by [`Blueprint::start_session`] and the serving runtime).
+    pub(crate) fn build_coordinator(&self, scope: String) -> TaskCoordinator {
+        let mut coordinator =
+            TaskCoordinator::new(self.store.clone(), scope, Arc::clone(&self.agent_registry))
+                .with_data_planner(Arc::clone(&self.data_planner))
+                .with_task_planner(Arc::clone(&self.task_planner))
+                .with_policy(self.policy)
+                .with_report_timeout(self.report_timeout)
+                .with_retry_policy(self.retry.clone())
+                .with_degradation(self.ladder.clone())
+                .with_scheduler(self.scheduler);
+        if let Some(b) = &self.breakers {
+            coordinator = coordinator.with_breakers(Arc::clone(b));
+        }
+        if let Some(m) = &self.memo {
+            coordinator = coordinator.with_memoization(Arc::clone(m));
+        }
+        if self.observability.is_armed() {
+            coordinator = coordinator.with_observability(self.observability.clone());
+        }
+        coordinator
+    }
+
     /// Starts a session: creates its scope, spawns an instance of every
     /// registered agent into it, and attaches a coordinator + daemon.
     pub fn start_session(&self) -> Result<BlueprintSession, CoreError> {
@@ -481,28 +527,7 @@ impl Blueprint {
             session.add_agent(&name)?;
             instances.push(id);
         }
-        let mut coordinator = TaskCoordinator::new(
-            self.store.clone(),
-            scope.clone(),
-            Arc::clone(&self.agent_registry),
-        )
-        .with_data_planner(Arc::clone(&self.data_planner))
-        .with_task_planner(Arc::clone(&self.task_planner))
-        .with_policy(self.policy)
-        .with_report_timeout(self.report_timeout)
-        .with_retry_policy(self.retry.clone())
-        .with_degradation(self.ladder.clone())
-        .with_scheduler(self.scheduler);
-        if let Some(b) = &self.breakers {
-            coordinator = coordinator.with_breakers(Arc::clone(b));
-        }
-        if let Some(m) = &self.memo {
-            coordinator = coordinator.with_memoization(Arc::clone(m));
-        }
-        if self.observability.is_armed() {
-            coordinator = coordinator.with_observability(self.observability.clone());
-        }
-        let coordinator = Arc::new(coordinator);
+        let coordinator = Arc::new(self.build_coordinator(scope));
         let daemon = CoordinatorDaemon::spawn(
             Arc::clone(&coordinator),
             self.store.clone(),

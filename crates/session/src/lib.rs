@@ -7,6 +7,7 @@
 //! to scoping in programming languages. A [`SessionManager`] mints sessions
 //! with unique ids over a shared [`StreamStore`].
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -15,6 +16,13 @@ use serde_json::json;
 
 use blueprint_streams::{
     Message, Selector, StreamError, StreamId, StreamStore, Subscription, Tag, TagFilter,
+};
+
+pub mod router;
+
+pub use router::{
+    DispatchRecord, Disposition, JobOutcome, RouterError, ServingConfig, SessionJob, SessionReport,
+    SessionRouter, TaskCompletion,
 };
 
 /// Result alias for session operations.
@@ -34,6 +42,7 @@ pub mod ops {
 #[derive(Clone)]
 pub struct Session {
     store: StreamStore,
+    id: u64,
     scope: String,
     /// The root session stream (shared by nested scopes).
     session_stream: StreamId,
@@ -47,10 +56,16 @@ impl Session {
         let session_stream = store.ensure_stream(format!("{scope}:session"), ["session"])?;
         Ok(Session {
             store,
+            id,
             scope,
             session_stream,
             participants: Arc::new(RwLock::new(Vec::new())),
         })
+    }
+
+    /// The numeric session id (shared by nested scopes).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The scope prefix (`session:<id>`).
@@ -73,6 +88,7 @@ impl Session {
     pub fn nested(&self, segment: &str) -> Session {
         Session {
             store: self.store.clone(),
+            id: self.id,
             scope: format!("{}:{}", self.scope, segment.to_ascii_lowercase()),
             session_stream: self.session_stream.clone(),
             participants: Arc::clone(&self.participants),
@@ -188,10 +204,22 @@ impl Session {
     }
 }
 
-/// Mints sessions with unique ids.
+/// Bookkeeping for one live session.
+struct LiveSession {
+    scope: String,
+    last_active_micros: u64,
+}
+
+/// Mints sessions with unique ids and reaps retired/expired ones.
+///
+/// Every started session is tracked until [`SessionManager::retire`] (or a
+/// TTL sweep via [`SessionManager::reap_expired`]) removes its streams from
+/// the store — without reaping, a long-lived serving process would
+/// accumulate stream state for every session it ever served.
 pub struct SessionManager {
     store: StreamStore,
     next_id: AtomicU64,
+    live: RwLock<HashMap<u64, LiveSession>>,
 }
 
 impl SessionManager {
@@ -200,13 +228,69 @@ impl SessionManager {
         SessionManager {
             store,
             next_id: AtomicU64::new(1),
+            live: RwLock::new(HashMap::new()),
         }
     }
 
-    /// Starts a new session.
+    /// Starts a new session and tracks it as live.
     pub fn start(&self) -> Result<Session> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        Session::create(self.store.clone(), id)
+        let session = Session::create(self.store.clone(), id)?;
+        self.live.write().insert(
+            id,
+            LiveSession {
+                scope: session.scope().to_string(),
+                last_active_micros: self.store.clock().now_micros(),
+            },
+        );
+        Ok(session)
+    }
+
+    /// Marks a session as recently active (resets its TTL clock).
+    pub fn touch(&self, id: u64) {
+        if let Some(live) = self.live.write().get_mut(&id) {
+            live.last_active_micros = self.store.clock().now_micros();
+        }
+    }
+
+    /// Retires a session: removes every stream under its scope from the
+    /// store and stops tracking it. Returns the number of streams reaped.
+    /// Idempotent — retiring an unknown or already-retired id reaps nothing.
+    pub fn retire(&self, id: u64) -> usize {
+        let scope = match self.live.write().remove(&id) {
+            Some(live) => live.scope,
+            None => return 0,
+        };
+        self.store.remove_scope(&scope)
+    }
+
+    /// Reaps every live session idle for at least `ttl_micros` on the
+    /// store's clock, removing their streams. Returns the reaped ids.
+    pub fn reap_expired(&self, ttl_micros: u64) -> Vec<u64> {
+        let now = self.store.clock().now_micros();
+        let expired: Vec<u64> = self
+            .live
+            .read()
+            .iter()
+            .filter(|(_, s)| now.saturating_sub(s.last_active_micros) >= ttl_micros)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut reaped: Vec<u64> = expired
+            .into_iter()
+            .filter(|id| {
+                self.retire(*id);
+                true
+            })
+            .collect();
+        reaped.sort_unstable();
+        reaped
+    }
+
+    /// Ids of sessions currently tracked as live, ascending.
+    pub fn live_sessions(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.live.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// The shared store.
@@ -350,5 +434,45 @@ mod tests {
         let b = mgr.start().unwrap();
         assert_ne!(a.scope(), b.scope());
         assert!(mgr.store().contains(&a.session_stream()));
+        assert_eq!(mgr.live_sessions(), [a.id(), b.id()]);
+    }
+
+    #[test]
+    fn retire_reaps_session_streams_from_store() {
+        // Regression: retired sessions used to leak their streams for the
+        // life of the process.
+        let mgr = SessionManager::new(StreamStore::new());
+        let a = mgr.start().unwrap();
+        let b = mgr.start().unwrap();
+        a.publish("user", Message::data("hi")).unwrap();
+        a.publish("task:0:n1", Message::data("out")).unwrap();
+        b.publish("user", Message::data("yo")).unwrap();
+        assert!(!mgr.store().list_streams(Some(a.scope())).is_empty());
+        let reaped = mgr.retire(a.id());
+        assert_eq!(reaped, 3, "session stream + two published streams");
+        assert!(mgr.store().list_streams(Some(a.scope())).is_empty());
+        // Sibling session untouched; retiring again is a no-op.
+        assert_eq!(mgr.store().list_streams(Some(b.scope())).len(), 2);
+        assert_eq!(mgr.retire(a.id()), 0);
+        assert_eq!(mgr.live_sessions(), [b.id()]);
+    }
+
+    #[test]
+    fn reap_expired_sweeps_idle_sessions_only() {
+        let mgr = SessionManager::new(StreamStore::new());
+        let old = mgr.start().unwrap();
+        old.publish("user", Message::data("stale")).unwrap();
+        mgr.store().clock().advance_micros(10_000);
+        let fresh = mgr.start().unwrap();
+        fresh.publish("user", Message::data("live")).unwrap();
+        let reaped = mgr.reap_expired(5_000);
+        assert_eq!(reaped, [old.id()]);
+        assert!(mgr.store().list_streams(Some(old.scope())).is_empty());
+        assert!(!mgr.store().list_streams(Some(fresh.scope())).is_empty());
+        // Touch resets the TTL clock.
+        mgr.store().clock().advance_micros(10_000);
+        mgr.touch(fresh.id());
+        assert!(mgr.reap_expired(5_000).is_empty());
+        assert_eq!(mgr.live_sessions(), [fresh.id()]);
     }
 }

@@ -48,7 +48,7 @@ pub use dead_letter::{DeadLetterEntry, DeadLetterQueue, DEAD_LETTER_OP, DEAD_LET
 pub use error::StreamError;
 pub use message::{Message, MessageId, MessageKind};
 pub use monitor::{FlowEdge, FlowMonitor};
-pub use store::{StoreStats, StreamStore};
+pub use store::{StoreStats, StreamStore, SHARD_COUNT};
 pub use stream::{Stream, StreamId, StreamState};
 pub use subscription::{Selector, Subscription, TagFilter};
 

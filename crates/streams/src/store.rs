@@ -5,6 +5,23 @@
 //! exposes observability counters. It is the single shared data resource
 //! through which *all* data and control flows — which is precisely what makes
 //! the architecture observable and controllable (§V-A).
+//!
+//! # Sharding
+//!
+//! The store is internally sharded so concurrent sessions never contend on a
+//! single lock: every stream id maps to one of [`SHARD_COUNT`] shards via its
+//! *shard key* — `session:<id>` for session-scoped streams (first two `:`
+//! segments), the first segment otherwise. Each shard owns its streams and
+//! the subscriptions that can be proven to only ever match streams of that
+//! shard ([`Selector::Stream`] and unambiguous [`Selector::Scope`]s); the
+//! remaining subscriptions ([`Selector::AllStreams`], [`Selector::StreamTagged`],
+//! and the bare `session` scope) live on a global list consulted by every
+//! publish. The hot path of a session — publishing to and subscribing on its
+//! own streams — therefore takes only that session's shard lock.
+//!
+//! Per-stream delivery order is preserved: append and fan-out still happen
+//! under one critical section (the stream's shard lock), and publishers to
+//! the same stream serialize on that lock even when a subscriber is global.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +40,11 @@ use crate::subscription::{Selector, Subscription, TagFilter};
 use crate::tag::Tag;
 use crate::Result;
 
+/// Number of independently locked shards. A power of two comfortably above
+/// typical core counts: enough to keep concurrent sessions on distinct locks
+/// without bloating the per-store footprint.
+pub const SHARD_COUNT: usize = 16;
+
 /// Snapshot of the counters describing store activity (observability
 /// surface).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -31,8 +53,10 @@ pub struct StoreStats {
     pub streams_created: u64,
     /// Messages published across all streams.
     pub messages_published: u64,
-    /// Message deliveries to subscriptions (one message fanned out to three
-    /// subscribers counts three deliveries).
+    /// Message hand-offs to matching subscriptions (one message fanned out
+    /// to three subscribers counts three deliveries). Counted at fan-out,
+    /// before the receiver can observe the message; a hand-off to a
+    /// just-dropped subscriber still counts once before the entry is pruned.
     pub deliveries: u64,
     /// Total payload bytes published.
     pub bytes_published: u64,
@@ -48,8 +72,8 @@ pub struct StoreStats {
 
 /// Live counters behind [`StoreStats`]. Plain atomics keep the publish fast
 /// path lock-free on the stats side: counters are monotonic sums (relaxed
-/// `fetch_add` suffices) except `active_subscriptions`, a gauge overwritten
-/// with the subscription count observed under the store lock.
+/// `fetch_add` suffices) except `active_subscriptions`, a gauge adjusted with
+/// relaxed add/sub as subscriptions register, unregister, and get pruned.
 #[derive(Default)]
 struct StatCells {
     streams_created: AtomicU64,
@@ -95,10 +119,69 @@ struct SubEntry {
     tx: Sender<Arc<Message>>,
 }
 
+/// One independently locked slice of the store: its streams plus the
+/// subscriptions that can only ever match streams of this shard.
 #[derive(Default)]
-struct Inner {
+struct Shard {
     streams: HashMap<StreamId, Stream>,
     subs: Vec<SubEntry>,
+}
+
+/// Where a subscription lives, decided once at registration from its
+/// selector.
+enum SubHome {
+    /// The selector can only match streams of one shard.
+    Shard(usize),
+    /// The selector may match streams across shards (`AllStreams`,
+    /// `StreamTagged`, bare `session` scope): consulted on every publish.
+    Global,
+}
+
+/// FNV-1a over the shard key: cheap and deterministic across processes, so
+/// a given session always lands on the same shard.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard key of a stream id: `session:<id>` (first two segments) for
+/// session-scoped ids, the first `:` segment otherwise.
+fn shard_key(id: &str) -> &str {
+    let first_len = id.find(':').unwrap_or(id.len());
+    let first = &id[..first_len];
+    if first == "session" && first_len < id.len() {
+        let rest = &id[first_len + 1..];
+        let second_len = rest.find(':').unwrap_or(rest.len());
+        &id[..first_len + 1 + second_len]
+    } else {
+        first
+    }
+}
+
+fn shard_index(id: &str) -> usize {
+    (fnv1a(shard_key(id).as_bytes()) % SHARD_COUNT as u64) as usize
+}
+
+/// Routes a selector to the one shard it can match, or to the global list.
+fn route(selector: &Selector) -> SubHome {
+    match selector {
+        Selector::Stream(id) => SubHome::Shard(shard_index(id.as_str())),
+        Selector::Scope(prefix) => {
+            // A scope prefix pins a shard iff every stream under it shares
+            // one shard key. Bare `session` (no session id) spans them all.
+            let first_len = prefix.find(':').unwrap_or(prefix.len());
+            if &prefix[..first_len] == "session" && first_len == prefix.len() {
+                SubHome::Global
+            } else {
+                SubHome::Shard(shard_index(prefix))
+            }
+        }
+        Selector::AllStreams | Selector::StreamTagged(_) => SubHome::Global,
+    }
 }
 
 /// Thread-safe store of all streams plus the pub/sub fabric over them.
@@ -107,7 +190,8 @@ struct Inner {
 /// single store can be handed to every agent, planner, and coordinator.
 #[derive(Clone)]
 pub struct StreamStore {
-    inner: Arc<RwLock<Inner>>,
+    shards: Arc<Vec<RwLock<Shard>>>,
+    global_subs: Arc<RwLock<Vec<SubEntry>>>,
     next_msg_id: Arc<AtomicU64>,
     next_sub_id: Arc<AtomicU64>,
     stats: Arc<StatCells>,
@@ -132,7 +216,8 @@ impl StreamStore {
     /// Creates an empty store sharing the given clock.
     pub fn with_clock(clock: SimClock) -> Self {
         StreamStore {
-            inner: Arc::new(RwLock::new(Inner::default())),
+            shards: Arc::new((0..SHARD_COUNT).map(|_| RwLock::default()).collect()),
+            global_subs: Arc::new(RwLock::new(Vec::new())),
             next_msg_id: Arc::new(AtomicU64::new(1)),
             next_sub_id: Arc::new(AtomicU64::new(1)),
             stats: Arc::new(StatCells::default()),
@@ -178,6 +263,10 @@ impl StreamStore {
         &self.monitor
     }
 
+    fn shard_for(&self, id: &StreamId) -> &RwLock<Shard> {
+        &self.shards[shard_index(id.as_str())]
+    }
+
     /// Creates a new stream with the given id and stream-level tags.
     pub fn create_stream<I, T>(&self, id: impl Into<StreamId>, tags: I) -> Result<StreamId>
     where
@@ -188,12 +277,12 @@ impl StreamStore {
         if id.as_str().is_empty() {
             return Err(StreamError::Invalid("empty stream id".into()));
         }
-        let mut inner = self.inner.write();
-        if inner.streams.contains_key(&id) {
+        let mut shard = self.shard_for(&id).write();
+        if shard.streams.contains_key(&id) {
             return Err(StreamError::Duplicate(id));
         }
         let stream = Stream::new(id.clone(), tags, self.clock.now_micros());
-        inner.streams.insert(id.clone(), stream);
+        shard.streams.insert(id.clone(), stream);
         self.stats.streams_created.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
@@ -214,14 +303,14 @@ impl StreamStore {
 
     /// True if the stream exists.
     pub fn contains(&self, id: &StreamId) -> bool {
-        self.inner.read().streams.contains_key(id)
+        self.shard_for(id).read().streams.contains_key(id)
     }
 
     /// Adds a stream-level tag (retagging), waking up tag-based subscribers
     /// for *future* messages.
     pub fn tag_stream(&self, id: &StreamId, tag: impl Into<Tag>) -> Result<()> {
-        let mut inner = self.inner.write();
-        let stream = inner
+        let mut shard = self.shard_for(id).write();
+        let stream = shard
             .streams
             .get_mut(id)
             .ok_or_else(|| StreamError::NotFound(id.clone()))?;
@@ -243,69 +332,95 @@ impl StreamStore {
             .as_ref()
             .filter(|inj| inj.publish_armed())
             .and_then(|inj| inj.publish_fault(&format!("{}#{}", id.as_str(), msg.id.0)));
+        let copies: usize = match &fault {
+            Some(InjectedFault::DropMessage) => 0,
+            Some(InjectedFault::DuplicateMessage) => 2,
+            _ => 1,
+        };
 
-        // Append, deliver, and prune under one critical section: delivering
-        // outside the lock would let two concurrent publishers hand a
-        // subscriber seq 1 before seq 0 (the channels are unbounded, so the
-        // sends never block), and pruning by positions captured under an
-        // earlier lock could remove the wrong subscription.
-        let (arc, delivered, sub_count, delayed_txs) = {
-            let mut inner = self.inner.write();
-            let stream = inner
+        // Append, deliver, and prune under one critical section — the
+        // stream's shard lock: delivering outside it would let two
+        // concurrent publishers hand a subscriber seq 1 before seq 0 (the
+        // channels are unbounded, so the sends never block). Global
+        // subscribers are reached under a read lock taken *inside* the
+        // shard section, so per-stream order holds for them too; cross-shard
+        // publishes proceed in parallel. Lock order everywhere: shard(s)
+        // ascending, then the global list.
+        let mut delayed_txs: Vec<Sender<Arc<Message>>> = Vec::new();
+        let mut dead_global: Vec<u64> = Vec::new();
+        let instruments = self.instruments.read().clone();
+        let arc = {
+            let mut guard = self.shard_for(id).write();
+            let shard: &mut Shard = &mut guard;
+            let stream = shard
                 .streams
                 .get_mut(id)
                 .ok_or_else(|| StreamError::NotFound(id.clone()))?;
             let stream_tags = stream.tags().clone();
             let arc = stream.append(msg)?;
-            // Record the publish before any subscriber can observe the
-            // message: a fast consumer thread must never get its consume
-            // into the monitor ahead of the publish that caused it.
+            // Record the publish (monitor AND counters) before any
+            // subscriber can observe the message: a fast consumer thread
+            // must never act on a message whose publish is not yet counted —
+            // a metrics snapshot taken by whoever it unblocks would
+            // under-report an already-observable publish.
             self.monitor.record_publish(&arc.producer, id, &arc);
-            let mut delivered = 0u64;
-            let mut dead_ids: Vec<u64> = Vec::new();
-            let mut delayed_txs: Vec<Sender<Arc<Message>>> = Vec::new();
-            let copies: usize = match &fault {
-                Some(InjectedFault::DropMessage) => 0,
-                Some(InjectedFault::DuplicateMessage) => 2,
-                _ => 1,
-            };
-            for s in &inner.subs {
-                if s.selector.matches(id, &stream_tags) && s.filter.matches(&arc) {
-                    if matches!(&fault, Some(InjectedFault::DelayMessage { .. })) {
-                        delayed_txs.push(s.tx.clone());
-                        continue;
-                    }
-                    for _ in 0..copies {
-                        if s.tx.send(Arc::clone(&arc)).is_ok() {
-                            delivered += 1;
-                        } else {
-                            dead_ids.push(s.id);
-                            break;
-                        }
-                    }
-                }
-            }
-            if !dead_ids.is_empty() {
+            self.stats
+                .messages_published
+                .fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_published
+                .fetch_add(arc.payload_size() as u64, Ordering::Relaxed);
+            instruments.publishes.inc();
+            instruments.bytes_published.add(arc.payload_size() as u64);
+            let mut dead_local: Vec<u64> = Vec::new();
+            Self::fan_out(
+                &shard.subs,
+                id,
+                &stream_tags,
+                &arc,
+                &fault,
+                copies,
+                &self.stats,
+                &instruments,
+                &mut delayed_txs,
+                &mut dead_local,
+            );
+            if !dead_local.is_empty() {
                 // Prune by subscription id (stable under concurrent
                 // subscribe/unsubscribe), never by position.
-                inner.subs.retain(|s| !dead_ids.contains(&s.id));
+                let before = shard.subs.len();
+                shard.subs.retain(|s| !dead_local.contains(&s.id));
+                self.stats
+                    .active_subscriptions
+                    .fetch_sub((before - shard.subs.len()) as u64, Ordering::Relaxed);
             }
-            (arc, delivered, inner.subs.len() as u64, delayed_txs)
+            let globals = self.global_subs.read();
+            Self::fan_out(
+                &globals,
+                id,
+                &stream_tags,
+                &arc,
+                &fault,
+                copies,
+                &self.stats,
+                &instruments,
+                &mut delayed_txs,
+                &mut dead_global,
+            );
+            arc
         };
+        if !dead_global.is_empty() {
+            // Outside the shard lock: pruning by id is stable even if a
+            // racing publish collected the same dead entries.
+            let mut globals = self.global_subs.write();
+            let before = globals.len();
+            globals.retain(|s| !dead_global.contains(&s.id));
+            self.stats
+                .active_subscriptions
+                .fetch_sub((before - globals.len()) as u64, Ordering::Relaxed);
+        }
 
         let stats = &self.stats;
-        stats.messages_published.fetch_add(1, Ordering::Relaxed);
-        stats.deliveries.fetch_add(delivered, Ordering::Relaxed);
-        stats
-            .bytes_published
-            .fetch_add(arc.payload_size() as u64, Ordering::Relaxed);
-        stats
-            .active_subscriptions
-            .store(sub_count, Ordering::Relaxed);
-        let instruments = self.instruments.read().clone();
-        instruments.publishes.inc();
-        instruments.deliveries.add(delivered);
-        instruments.bytes_published.add(arc.payload_size() as u64);
         match &fault {
             Some(InjectedFault::DropMessage) => {
                 stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
@@ -329,18 +444,54 @@ impl StreamStore {
                 let stats = Arc::clone(&self.stats);
                 std::thread::spawn(move || {
                     std::thread::sleep(wait);
-                    let mut sent = 0u64;
                     for tx in delayed_txs {
-                        if tx.send(Arc::clone(&late)).is_ok() {
-                            sent += 1;
-                        }
+                        // Count before the send, like the immediate path.
+                        stats.deliveries.fetch_add(1, Ordering::Relaxed);
+                        instruments.deliveries.inc();
+                        let _ = tx.send(Arc::clone(&late));
                     }
-                    stats.deliveries.fetch_add(sent, Ordering::Relaxed);
                 });
             }
         }
 
         Ok(arc)
+    }
+
+    /// Delivers one appended message to every matching entry of one
+    /// subscription list, collecting dead entries for pruning by id. Each
+    /// hand-off is counted *before* its send: a receiver that observes the
+    /// message (and whatever it unblocks) must find the delivery already
+    /// metered. A send to a just-dropped subscriber still counts as one
+    /// delivery attempt; the entry is then pruned.
+    #[allow(clippy::too_many_arguments)]
+    fn fan_out(
+        subs: &[SubEntry],
+        id: &StreamId,
+        stream_tags: &std::collections::BTreeSet<Tag>,
+        arc: &Arc<Message>,
+        fault: &Option<InjectedFault>,
+        copies: usize,
+        stats: &StatCells,
+        instruments: &StreamInstruments,
+        delayed_txs: &mut Vec<Sender<Arc<Message>>>,
+        dead: &mut Vec<u64>,
+    ) {
+        for s in subs {
+            if s.selector.matches(id, stream_tags) && s.filter.matches(arc) {
+                if matches!(fault, Some(InjectedFault::DelayMessage { .. })) {
+                    delayed_txs.push(s.tx.clone());
+                    continue;
+                }
+                for _ in 0..copies {
+                    stats.deliveries.fetch_add(1, Ordering::Relaxed);
+                    instruments.deliveries.inc();
+                    if s.tx.send(Arc::clone(arc)).is_err() {
+                        dead.push(s.id);
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     /// Convenience: ensure the stream exists, then publish.
@@ -363,18 +514,19 @@ impl StreamStore {
     pub fn subscribe(&self, selector: Selector, filter: TagFilter) -> Result<Subscription> {
         let (tx, rx) = unbounded();
         let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut inner = self.inner.write();
-            inner.subs.push(SubEntry {
-                id,
-                selector: selector.clone(),
-                filter: filter.clone(),
-                tx,
-            });
-            self.stats
-                .active_subscriptions
-                .store(inner.subs.len() as u64, Ordering::Relaxed);
+        let entry = SubEntry {
+            id,
+            selector: selector.clone(),
+            filter: filter.clone(),
+            tx,
+        };
+        match route(&selector) {
+            SubHome::Shard(i) => self.shards[i].write().subs.push(entry),
+            SubHome::Global => self.global_subs.write().push(entry),
         }
+        self.stats
+            .active_subscriptions
+            .fetch_add(1, Ordering::Relaxed);
         Ok(Subscription {
             id,
             rx,
@@ -392,10 +544,62 @@ impl StreamStore {
     ) -> Result<Subscription> {
         let (tx, rx) = unbounded();
         let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.write();
-        // Replay under the lock so no published message is missed or duplicated.
-        let mut history: Vec<Arc<Message>> = Vec::new();
-        for stream in inner.streams.values() {
+        // Replay under lock so no published message is missed or duplicated:
+        // a shard-homed subscription needs only its shard's lock; a global
+        // one holds read locks on every shard (ascending, matching the
+        // publish lock order) until it is registered, which stalls
+        // publishers exactly for the catch-up window.
+        match route(&selector) {
+            SubHome::Shard(i) => {
+                let mut shard = self.shards[i].write();
+                let mut history = Self::matching_history(&shard.streams, &selector, &filter);
+                history.sort_by_key(|m| m.id);
+                for m in history {
+                    let _ = tx.send(m);
+                }
+                shard.subs.push(SubEntry {
+                    id,
+                    selector: selector.clone(),
+                    filter: filter.clone(),
+                    tx,
+                });
+            }
+            SubHome::Global => {
+                let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+                let mut history: Vec<Arc<Message>> = Vec::new();
+                for guard in &guards {
+                    history.extend(Self::matching_history(&guard.streams, &selector, &filter));
+                }
+                history.sort_by_key(|m| m.id);
+                for m in history {
+                    let _ = tx.send(m);
+                }
+                self.global_subs.write().push(SubEntry {
+                    id,
+                    selector: selector.clone(),
+                    filter: filter.clone(),
+                    tx,
+                });
+            }
+        }
+        self.stats
+            .active_subscriptions
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Subscription {
+            id,
+            rx,
+            selector,
+            filter,
+        })
+    }
+
+    fn matching_history(
+        streams: &HashMap<StreamId, Stream>,
+        selector: &Selector,
+        filter: &TagFilter,
+    ) -> Vec<Arc<Message>> {
+        let mut history = Vec::new();
+        for stream in streams.values() {
             if selector.matches(stream.id(), stream.tags()) {
                 history.extend(
                     stream
@@ -405,40 +609,33 @@ impl StreamStore {
                 );
             }
         }
-        history.sort_by_key(|m| m.id);
-        for m in history {
-            let _ = tx.send(m);
-        }
-        inner.subs.push(SubEntry {
-            id,
-            selector: selector.clone(),
-            filter: filter.clone(),
-            tx,
-        });
-        self.stats
-            .active_subscriptions
-            .store(inner.subs.len() as u64, Ordering::Relaxed);
-        Ok(Subscription {
-            id,
-            rx,
-            selector,
-            filter,
-        })
+        history
     }
 
     /// Removes a subscription by id. Unknown ids are ignored.
     pub fn unsubscribe(&self, sub_id: u64) {
-        let mut inner = self.inner.write();
-        inner.subs.retain(|s| s.id != sub_id);
+        let mut removed = 0usize;
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            let before = shard.subs.len();
+            shard.subs.retain(|s| s.id != sub_id);
+            removed += before - shard.subs.len();
+        }
+        {
+            let mut globals = self.global_subs.write();
+            let before = globals.len();
+            globals.retain(|s| s.id != sub_id);
+            removed += before - globals.len();
+        }
         self.stats
             .active_subscriptions
-            .store(inner.subs.len() as u64, Ordering::Relaxed);
+            .fetch_sub(removed as u64, Ordering::Relaxed);
     }
 
     /// Reads a stream's history starting at `from` (replay; does not consume).
     pub fn read(&self, id: &StreamId, from: u64) -> Result<Vec<Arc<Message>>> {
-        let inner = self.inner.read();
-        let stream = inner
+        let shard = self.shard_for(id).read();
+        let stream = shard
             .streams
             .get(id)
             .ok_or_else(|| StreamError::NotFound(id.clone()))?;
@@ -447,8 +644,8 @@ impl StreamStore {
 
     /// The most recent message on a stream.
     pub fn last(&self, id: &StreamId) -> Result<Option<Arc<Message>>> {
-        let inner = self.inner.read();
-        let stream = inner
+        let shard = self.shard_for(id).read();
+        let stream = shard
             .streams
             .get(id)
             .ok_or_else(|| StreamError::NotFound(id.clone()))?;
@@ -457,8 +654,8 @@ impl StreamStore {
 
     /// Lifecycle state of a stream.
     pub fn state(&self, id: &StreamId) -> Result<StreamState> {
-        let inner = self.inner.read();
-        let stream = inner
+        let shard = self.shard_for(id).read();
+        let stream = shard
             .streams
             .get(id)
             .ok_or_else(|| StreamError::NotFound(id.clone()))?;
@@ -472,15 +669,41 @@ impl StreamStore {
 
     /// Lists all stream ids, optionally restricted to a session scope.
     pub fn list_streams(&self, scope: Option<&str>) -> Vec<StreamId> {
-        let inner = self.inner.read();
-        let mut ids: Vec<StreamId> = inner
-            .streams
-            .keys()
-            .filter(|id| scope.is_none_or(|p| id.is_scoped_under(p)))
-            .cloned()
-            .collect();
+        let mut ids: Vec<StreamId> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            ids.extend(
+                shard
+                    .streams
+                    .keys()
+                    .filter(|id| scope.is_none_or(|p| id.is_scoped_under(p)))
+                    .cloned(),
+            );
+        }
         ids.sort();
         ids
+    }
+
+    /// Removes every stream scoped under `scope` (session reaping). Returns
+    /// the number of streams removed. Subscriptions are left in place: a
+    /// retired scope's streams receive no further publishes, so its
+    /// subscribers simply drain and disconnect when dropped.
+    pub fn remove_scope(&self, scope: &str) -> usize {
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            let doomed: Vec<StreamId> = shard
+                .streams
+                .keys()
+                .filter(|id| id.is_scoped_under(scope))
+                .cloned()
+                .collect();
+            for id in doomed {
+                shard.streams.remove(&id);
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Snapshot of the observability counters.
@@ -607,6 +830,23 @@ mod tests {
     }
 
     #[test]
+    fn bare_session_scope_spans_all_sessions() {
+        // `Scope("session")` cannot be pinned to one shard: it must see
+        // every session's streams via the global list.
+        let store = StreamStore::new();
+        let sub = store
+            .subscribe(Selector::Scope("session".into()), TagFilter::all())
+            .unwrap();
+        for i in 0..8 {
+            let id = store
+                .create_stream(format!("session:{i}:user"), Vec::<Tag>::new())
+                .unwrap();
+            store.publish(&id, Message::data(format!("m{i}"))).unwrap();
+        }
+        assert_eq!(sub.drain().len(), 8);
+    }
+
+    #[test]
     fn replay_subscription_catches_up_then_continues() {
         let store = StreamStore::new();
         let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
@@ -619,6 +859,30 @@ mod tests {
         let got: Vec<_> = (0..3).map(|_| sub.recv().unwrap()).collect();
         let texts: Vec<_> = got.iter().map(|m| m.text().unwrap()).collect();
         assert_eq!(texts, ["old1", "old2", "new"]);
+    }
+
+    #[test]
+    fn global_replay_merges_shards_in_message_id_order() {
+        let store = StreamStore::new();
+        // Streams on (very likely) different shards, interleaved publishes.
+        let a = store
+            .create_stream("session:1:out", Vec::<Tag>::new())
+            .unwrap();
+        let b = store
+            .create_stream("session:2:out", Vec::<Tag>::new())
+            .unwrap();
+        store.publish(&a, Message::data("a1")).unwrap();
+        store.publish(&b, Message::data("b1")).unwrap();
+        store.publish(&a, Message::data("a2")).unwrap();
+        let sub = store
+            .subscribe_with_replay(Selector::AllStreams, TagFilter::all())
+            .unwrap();
+        let texts: Vec<String> = sub
+            .drain()
+            .iter()
+            .map(|m| m.text().unwrap().to_string())
+            .collect();
+        assert_eq!(texts, ["a1", "b1", "a2"]);
     }
 
     #[test]
@@ -642,6 +906,18 @@ mod tests {
         let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
         let sub = store
             .subscribe(Selector::Stream(id.clone()), TagFilter::all())
+            .unwrap();
+        drop(sub);
+        store.publish(&id, Message::data("x")).unwrap();
+        assert_eq!(store.stats().active_subscriptions, 0);
+    }
+
+    #[test]
+    fn dropped_global_subscription_is_pruned_on_publish() {
+        let store = StreamStore::new();
+        let id = store.create_stream("s", Vec::<Tag>::new()).unwrap();
+        let sub = store
+            .subscribe(Selector::AllStreams, TagFilter::all())
             .unwrap();
         drop(sub);
         store.publish(&id, Message::data("x")).unwrap();
@@ -757,6 +1033,40 @@ mod tests {
     }
 
     #[test]
+    fn remove_scope_reaps_only_that_session() {
+        let store = StreamStore::new();
+        store
+            .create_stream("session:1:user", Vec::<Tag>::new())
+            .unwrap();
+        store
+            .create_stream("session:1:task:0:n1", Vec::<Tag>::new())
+            .unwrap();
+        let keep = store
+            .create_stream("session:2:user", Vec::<Tag>::new())
+            .unwrap();
+        assert_eq!(store.remove_scope("session:1"), 2);
+        assert!(store.list_streams(Some("session:1")).is_empty());
+        assert!(store.contains(&keep));
+        // Reaping is idempotent.
+        assert_eq!(store.remove_scope("session:1"), 0);
+    }
+
+    #[test]
+    fn shard_key_groups_sessions_and_top_level_scopes() {
+        assert_eq!(shard_key("session:42:user"), "session:42");
+        assert_eq!(shard_key("session:42:task:7:n1"), "session:42");
+        assert_eq!(shard_key("session:42"), "session:42");
+        assert_eq!(shard_key("session"), "session");
+        assert_eq!(shard_key("pool:instructions"), "pool");
+        assert_eq!(shard_key("plain"), "plain");
+        // Every stream of one session shares a shard.
+        assert_eq!(
+            shard_index("session:9:user"),
+            shard_index("session:9:task:3:n2")
+        );
+    }
+
+    #[test]
     fn concurrent_publishers_deliver_to_subscribers_in_seq_order() {
         // Delivery happens under the same critical section as the append,
         // so a subscriber must observe strictly increasing sequence numbers
@@ -794,6 +1104,50 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 1_000);
+    }
+
+    #[test]
+    fn concurrent_publishers_preserve_per_stream_order_for_global_subs() {
+        // A global (AllStreams) subscriber still sees each stream's messages
+        // in seq order: fan-out to the global list happens inside the
+        // publishing stream's shard section.
+        let store = StreamStore::new();
+        let sub = store
+            .subscribe(Selector::AllStreams, TagFilter::all())
+            .unwrap();
+        let ids: Vec<StreamId> = (0..4)
+            .map(|i| {
+                store
+                    .create_stream(format!("session:{i}:out"), Vec::<Tag>::new())
+                    .unwrap()
+            })
+            .collect();
+        let handles: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let store = store.clone();
+                let id = id.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        store.publish(&id, Message::data(format!("{i}"))).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut next_seq: HashMap<String, u64> = HashMap::new();
+        let mut count = 0;
+        while let Ok(Some(m)) = sub.try_recv() {
+            let source = m.text().unwrap().to_string();
+            let expected = next_seq.entry(source).or_insert(0);
+            assert_eq!(m.seq, *expected, "per-stream delivery out of order");
+            *expected += 1;
+            count += 1;
+        }
+        assert_eq!(count, 400);
     }
 
     #[test]

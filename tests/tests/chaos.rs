@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use blueprint_core::coordinator::{ExecutionReport, Outcome, SchedulerMode};
 use blueprint_core::resilience::{BreakerConfig, FaultPlan, RetryPolicy};
+use blueprint_core::session::Disposition;
 use blueprint_core::streams::{DeadLetterQueue, Selector, TagFilter};
 use blueprint_core::{Blueprint, CoreError};
 use integration_tests::small_hr;
@@ -168,6 +169,177 @@ fn decentralized_flow_never_hangs_under_chaos() {
             },
         );
     }
+}
+
+/// Classifies one serving completion as `(attempted_failure, fault_path)`.
+///
+/// `attempted_failure`: the (possibly replanned) outcome ended in a node
+/// failure that actually reached an agent — the complete-or-quarantined rule
+/// then requires a dead-letter in the session's own scope.
+/// `fault_path`: the task failed, aborted, errored, or replanned at all, so
+/// quarantined entries in its scope are legitimate. A task that avoids every
+/// fault path can never have quarantined anything (the coordinator only
+/// completes when no node failed), which is what makes the sibling-poisoning
+/// check below sound.
+fn audit_completion(disposition: &Disposition, output: &serde_json::Value) -> (bool, bool) {
+    fn walk(output: &serde_json::Value) -> (bool, bool) {
+        if let Some(obj) = output.as_object() {
+            if obj.contains_key("replanned") && obj.contains_key("outcome") {
+                let (attempted, _) = walk(&obj["outcome"]);
+                return (attempted, true);
+            }
+            if obj.contains_key("failed") {
+                let attempted = obj
+                    .get("attempted")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false);
+                return (attempted, true);
+            }
+        }
+        (false, false)
+    }
+    let (attempted, mut fault_path) = walk(output);
+    fault_path |= !matches!(disposition, Disposition::Completed);
+    (attempted, fault_path)
+}
+
+#[test]
+fn serving_sessions_contain_chaos_without_poisoning_siblings() {
+    // The chaos harness pointed at the serving runtime: several concurrent
+    // sessions share one agent pool while seeded faults fire. Per session,
+    // every submitted task must reach a terminal completion record that is
+    // complete-or-quarantined in that session's OWN scope, and a session
+    // whose tasks all stayed on the happy path must end with an empty
+    // dead-letter stream — a faulted sibling never poisons it.
+    const SESSIONS: usize = 3;
+    const TASKS: usize = 2;
+    for seed in chaos_seeds() {
+        with_watchdog(
+            format!("serving seed {seed}"),
+            Duration::from_secs(120),
+            move || {
+                let bp = Blueprint::builder()
+                    .with_hr_domain(small_hr())
+                    .with_fault_plan(FaultPlan::chaotic(seed))
+                    .with_retry_policy(RetryPolicy::standard(seed))
+                    .with_circuit_breakers(BreakerConfig::default())
+                    .with_report_timeout(Duration::from_millis(800))
+                    .with_serving(SESSIONS, 2)
+                    .build()
+                    .expect("chaotic serving blueprint assembles");
+                let serving = bp.serving().expect("serving runtime starts");
+                let ids: Vec<u64> = (0..SESSIONS)
+                    .map(|_| serving.open_session().expect("session opens"))
+                    .collect();
+                let scopes: Vec<String> = ids
+                    .iter()
+                    .map(|&id| serving.session_scope(id).unwrap())
+                    .collect();
+                let mut submitted = [0usize; SESSIONS];
+                for _turn in 0..TASKS {
+                    for (s, &id) in ids.iter().enumerate() {
+                        // Planning may trip an injected model fault; an Err
+                        // enqueues nothing and is a legitimate terminal
+                        // state, mirroring `assert_terminal` above.
+                        if serving.submit(id, RUNNING_EXAMPLE).is_ok() {
+                            submitted[s] += 1;
+                        }
+                    }
+                }
+                serving.await_idle();
+
+                for (s, &id) in ids.iter().enumerate() {
+                    // Audit quarantine BEFORE finish(): finishing a session
+                    // reaps its scope, dead-letters included.
+                    let quarantined = DeadLetterQueue::for_scope(bp.store(), &scopes[s])
+                        .expect("dead-letter stream")
+                        .len()
+                        .unwrap();
+                    let report = serving.finish(id).expect("session closes");
+                    assert_eq!(report.rejected, 0, "seed {seed} session {s}");
+                    assert_eq!(
+                        report.completions.len(),
+                        submitted[s],
+                        "seed {seed} session {s} lost tasks"
+                    );
+                    let mut fault_path = false;
+                    for c in &report.completions {
+                        let (attempted_failure, faulted) =
+                            audit_completion(&c.disposition, &c.output);
+                        fault_path |= faulted;
+                        if attempted_failure {
+                            assert!(
+                                quarantined > 0,
+                                "seed {seed} session {s}: attempted failure \
+                                 without quarantine: {:?}",
+                                c.output
+                            );
+                        }
+                    }
+                    if !fault_path {
+                        assert_eq!(
+                            quarantined, 0,
+                            "seed {seed} session {s}: clean session poisoned by a sibling"
+                        );
+                    }
+                }
+            },
+        );
+    }
+}
+
+#[test]
+fn fault_free_serving_run_completes_every_session() {
+    // Serving control group: with a zero-rate fault plan the same
+    // multi-session harness completes every task of every session with
+    // nothing quarantined anywhere.
+    const SESSIONS: usize = 3;
+    const TASKS: usize = 2;
+    with_watchdog(
+        "serving control run".to_string(),
+        Duration::from_secs(60),
+        || {
+            let bp = Blueprint::builder()
+                .with_hr_domain(small_hr())
+                .with_fault_plan(FaultPlan::none(0))
+                .with_retry_policy(RetryPolicy::standard(0))
+                .with_circuit_breakers(BreakerConfig::default())
+                .with_serving(SESSIONS, 2)
+                .build()
+                .unwrap();
+            let serving = bp.serving().unwrap();
+            let ids: Vec<u64> = (0..SESSIONS)
+                .map(|_| serving.open_session().unwrap())
+                .collect();
+            let scopes: Vec<String> = ids
+                .iter()
+                .map(|&id| serving.session_scope(id).unwrap())
+                .collect();
+            for _turn in 0..TASKS {
+                for &id in &ids {
+                    serving.submit(id, RUNNING_EXAMPLE).unwrap();
+                }
+            }
+            serving.await_idle();
+            for (s, &id) in ids.iter().enumerate() {
+                let quarantined = DeadLetterQueue::for_scope(bp.store(), &scopes[s])
+                    .unwrap()
+                    .len()
+                    .unwrap();
+                assert_eq!(quarantined, 0, "session {s}");
+                let report = serving.finish(id).unwrap();
+                assert_eq!(report.completions.len(), TASKS);
+                for c in &report.completions {
+                    assert!(
+                        matches!(c.disposition, Disposition::Completed),
+                        "session {s}: {:?}",
+                        c.output
+                    );
+                }
+            }
+            assert_eq!(bp.fault_injector().unwrap().total(), 0);
+        },
+    );
 }
 
 #[test]
