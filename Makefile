@@ -1,4 +1,4 @@
-.PHONY: all build test fmt lint bench bench-json bench-check chaos serving serving-bench
+.PHONY: all build test fmt lint bench bench-json bench-check chaos serving serving-bench ir docs
 
 all: build lint test
 
@@ -25,13 +25,17 @@ bench:
 bench-json:
 	cargo run --release -p blueprint-bench --bin bench_json
 
-# Bench-regression gate: regenerate the coordinator report into target/ and
-# compare its parallel/memoized medians against the committed baseline,
-# normalized by the sequential median so machine speed cancels out.
+# Bench-regression gate: regenerate the coordinator report and the
+# 64-session serving sweep point into target/ and compare their watched
+# medians (parallel/memoized for the coordinator; serving p50/p99 for the
+# router) against the committed baselines, normalized by the sequential
+# medians so machine speed cancels out.
 bench-check:
 	mkdir -p target
 	BENCH_OUT=target/BENCH_candidate.json cargo run --release -p blueprint-bench --bin bench_json
-	cargo run --release -p blueprint-bench --bin bench_check -- target/BENCH_candidate.json
+	BENCH_OUT=target/BENCH_serving_candidate.json cargo run --release -p blueprint-bench --bin loadgen -- --sessions 64
+	cargo run --release -p blueprint-bench --bin bench_check -- target/BENCH_candidate.json \
+		--serving target/BENCH_serving_candidate.json
 
 # Chaos suite: both interaction flows under three pinned fault seeds. Seeds
 # are fixed so CI failures reproduce locally with the exact same injected
@@ -50,3 +54,15 @@ serving:
 # root (override the destination with BENCH_OUT=path).
 serving-bench:
 	cargo run --release -p blueprint-bench --bin loadgen -- --sessions 1,8,64
+
+# Unified-IR gate: the IR unit tests, the lowering/execution equivalence
+# property battery (including the pinned adaptive re-optimization seeds),
+# and the joint optimizer search.
+ir:
+	cargo test -p blueprint-planner --lib ir::
+	cargo test -p blueprint-planner --test ir_properties
+	cargo test -p blueprint-optimizer --lib unified::
+
+# Rustdoc gate: the API docs must build without warnings.
+docs:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

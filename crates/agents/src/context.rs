@@ -9,7 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use blueprint_streams::{Message, SimClock, StreamId, StreamStore};
+use blueprint_observability::SimClock;
+use blueprint_streams::{Message, StreamId, StreamStore};
 
 use crate::Result;
 

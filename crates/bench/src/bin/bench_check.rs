@@ -1,24 +1,34 @@
-//! Bench-regression gate: compares a freshly generated coordinator bench
-//! report against the committed `BENCH_coordinator.json` baseline and fails
-//! (exit 1) when the `parallel` or `memoized` medians regress by more than
-//! the tolerance.
+//! Bench-regression gate: compares freshly generated bench reports against
+//! the committed baselines and fails (exit 1) when the watched medians
+//! regress by more than the tolerance.
 //!
-//! Usage: `bench_check <candidate.json> [baseline.json]`
-//! (or `make bench-check`, which regenerates the candidate first).
+//! Two reports are gated:
+//!
+//! * the coordinator report (`BENCH_coordinator.json`): `parallel` and
+//!   `memoized` medians of both sections;
+//! * the serving report (`BENCH_serving.json`, `--serving <candidate>`):
+//!   the serving arm's p50/p99 task latencies at the 64-session sweep point.
+//!
+//! Usage: `bench_check <candidate.json> [baseline.json]
+//!                     [--serving <candidate.json> [--serving-baseline <baseline.json>]]`
+//! (or `make bench-check`, which regenerates both candidates first).
 //!
 //! Absolute microseconds are not comparable across machines, so each
 //! section's candidate numbers are first normalized by the ratio of the
-//! sequential medians (candidate vs baseline): the sequential walk has no
-//! scheduler or cache in play, making it a pure machine-speed probe. The
-//! gate then checks the *normalized* parallel and memoized medians, i.e.
-//! "did the speedup the feature buys shrink", not "is this runner slower".
+//! sequential medians (candidate vs baseline): the sequential arm has no
+//! scheduler, cache, or router concurrency in play, making it a pure
+//! machine-speed probe (for the serving report the sequential p50 is a
+//! deterministic simulated-ledger value, so its ratio doubles as a sanity
+//! check that the workload itself did not change shape). The gate then
+//! checks the *normalized* medians, i.e. "did the speedup the feature buys
+//! shrink", not "is this runner slower".
 //!
 //! Sub-millisecond medians (the memoized fan-out replays in ~250µs) jitter
 //! by far more than 25% run to run on a shared machine, so the relative
 //! tolerance alone would flap. A median only fails when it is BOTH beyond
 //! the relative tolerance AND more than an absolute slack worse — real
-//! regressions here (a scheduler serializing, a cache stopping to hit) cost
-//! milliseconds, well past both gates.
+//! regressions here (a scheduler serializing, a cache stopping to hit, a
+//! router convoying sessions) cost milliseconds, well past both gates.
 //!
 //! `BENCH_CHECK_TOLERANCE` overrides the allowed relative regression
 //! (default 0.25 = 25%); `BENCH_CHECK_SLACK_US` overrides the absolute
@@ -31,13 +41,16 @@ use serde_json::Value;
 const DEFAULT_TOLERANCE: f64 = 0.25;
 const DEFAULT_SLACK_US: f64 = 500.0;
 
-/// The medians the gate watches, as (section, key) paths.
+/// The coordinator medians the gate watches, as (section, key) paths.
 const WATCHED: [(&str, &str); 4] = [
     ("fanout", "parallel_us"),
     ("fanout", "memoized_repeat_us"),
     ("running_example", "parallel_us"),
     ("running_example", "memoized_repeat_us"),
 ];
+
+/// The serving sweep point the gate watches.
+const SERVING_SESSIONS: u64 = 64;
 
 fn load(path: &str) -> Value {
     let text = std::fs::read_to_string(path)
@@ -51,13 +64,104 @@ fn median(doc: &Value, section: &str, key: &str) -> u64 {
         .unwrap_or_else(|| panic!("missing {section}.{key} in bench report"))
 }
 
+/// One watched median: candidate vs baseline after machine-speed
+/// normalization. Returns true when the median regressed past both gates.
+fn check(label: &str, base: f64, cand: f64, scale: f64, tolerance: f64, slack_us: f64) -> bool {
+    let normalized = cand / scale.max(f64::MIN_POSITIVE);
+    let regression = normalized / base.max(1.0) - 1.0;
+    let failed = regression > tolerance && normalized - base > slack_us;
+    let verdict = if failed { "FAIL" } else { "ok" };
+    println!(
+        "  {label:<20} {base:>8.0}µs -> {cand:>8.0}µs (normalized {normalized:>8.0}µs, \
+         {regression:+.1}%) {verdict}",
+        regression = regression * 100.0
+    );
+    failed
+}
+
+/// Gates the coordinator report's parallel/memoized medians.
+fn check_coordinator(baseline: &Value, candidate: &Value, tolerance: f64, slack_us: f64) -> bool {
+    let mut failed = false;
+    for section in ["fanout", "running_example"] {
+        let base_seq = median(baseline, section, "sequential_us");
+        let cand_seq = median(candidate, section, "sequential_us");
+        // Machine-speed normalizer: how much slower/faster this runner walks
+        // the same plan sequentially.
+        let scale = cand_seq as f64 / base_seq.max(1) as f64;
+        println!("{section}: sequential {base_seq}µs -> {cand_seq}µs (scale {scale:.2}x)");
+        for (s, key) in WATCHED.iter().filter(|(s, _)| *s == section) {
+            let base = median(baseline, s, key) as f64;
+            let cand = median(candidate, s, key) as f64;
+            failed |= check(key, base, cand, scale, tolerance, slack_us);
+        }
+    }
+    failed
+}
+
+/// Finds the sweep point for `sessions` in a serving report.
+fn sweep_point(doc: &Value, sessions: u64) -> &Value {
+    doc["sweep"]
+        .as_array()
+        .unwrap_or_else(|| panic!("serving report has no sweep array"))
+        .iter()
+        .find(|p| p["sessions"].as_u64() == Some(sessions))
+        .unwrap_or_else(|| panic!("serving report has no {sessions}-session sweep point"))
+}
+
+/// Gates the serving report's p50/p99 task latencies at the 64-session
+/// point. The latencies come off the simulated ledger: under concurrency an
+/// invocation absorbs siblings' clock charges, so the tail reflects router
+/// contention — exactly the medians a convoying regression would move.
+fn check_serving(baseline: &Value, candidate: &Value, tolerance: f64, slack_us: f64) -> bool {
+    let base_point = sweep_point(baseline, SERVING_SESSIONS);
+    let cand_point = sweep_point(candidate, SERVING_SESSIONS);
+    let base_seq = median(base_point, "sequential", "p50_us");
+    let cand_seq = median(cand_point, "sequential", "p50_us");
+    let scale = cand_seq as f64 / base_seq.max(1) as f64;
+    println!(
+        "serving @{SERVING_SESSIONS} sessions: sequential p50 {base_seq}µs -> {cand_seq}µs \
+         (scale {scale:.2}x)"
+    );
+    let mut failed = false;
+    for key in ["p50_us", "p99_us"] {
+        let base = median(base_point, "serving", key) as f64;
+        let cand = median(cand_point, "serving", key) as f64;
+        failed |= check(key, base, cand, scale, tolerance, slack_us);
+    }
+    failed
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let candidate_path = args
-        .next()
-        .expect("usage: bench_check <candidate.json> [baseline.json]");
-    let baseline_path = args.next().unwrap_or_else(|| {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let positional: Vec<&String> = {
+        // Skip flag names and their values to recover the positional args.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i].starts_with("--") {
+                i += 2;
+            } else {
+                out.push(&args[i]);
+                i += 1;
+            }
+        }
+        out
+    };
+    let candidate_path = positional
+        .first()
+        .map(|s| s.to_string())
+        .expect("usage: bench_check <candidate.json> [baseline.json] [--serving <candidate.json>]");
+    let baseline_path = positional.get(1).map(|s| s.to_string()).unwrap_or_else(|| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coordinator.json").to_string()
+    });
+    let serving_candidate_path = flag("--serving");
+    let serving_baseline_path = flag("--serving-baseline").unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string()
     });
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
         .ok()
@@ -68,40 +172,30 @@ fn main() -> ExitCode {
         .and_then(|t| t.parse::<f64>().ok())
         .unwrap_or(DEFAULT_SLACK_US);
 
-    let baseline = load(&baseline_path);
-    let candidate = load(&candidate_path);
     println!("baseline : {baseline_path}");
     println!("candidate: {candidate_path}");
+    if let Some(p) = &serving_candidate_path {
+        println!("serving baseline : {serving_baseline_path}");
+        println!("serving candidate: {p}");
+    }
     println!(
         "tolerance: {:.0}% normalized regression and at least {slack_us:.0}µs worse\n",
         tolerance * 100.0
     );
 
-    let mut failed = false;
-    for section in ["fanout", "running_example"] {
-        let base_seq = median(&baseline, section, "sequential_us");
-        let cand_seq = median(&candidate, section, "sequential_us");
-        // Machine-speed normalizer: how much slower/faster this runner walks
-        // the same plan sequentially.
-        let scale = cand_seq as f64 / base_seq.max(1) as f64;
-        println!("{section}: sequential {base_seq}µs -> {cand_seq}µs (scale {scale:.2}x)");
-        for (s, key) in WATCHED.iter().filter(|(s, _)| *s == section) {
-            let base = median(&baseline, s, key) as f64;
-            let cand = median(&candidate, s, key) as f64;
-            let normalized = cand / scale.max(f64::MIN_POSITIVE);
-            let regression = normalized / base.max(1.0) - 1.0;
-            let verdict = if regression > tolerance && normalized - base > slack_us {
-                failed = true;
-                "FAIL"
-            } else {
-                "ok"
-            };
-            println!(
-                "  {key:<20} {base:>8.0}µs -> {cand:>8.0}µs (normalized {normalized:>8.0}µs, \
-                 {regression:+.1}%) {verdict}",
-                regression = regression * 100.0
-            );
-        }
+    let mut failed = check_coordinator(
+        &load(&baseline_path),
+        &load(&candidate_path),
+        tolerance,
+        slack_us,
+    );
+    if let Some(serving_path) = serving_candidate_path {
+        failed |= check_serving(
+            &load(&serving_baseline_path),
+            &load(&serving_path),
+            tolerance,
+            slack_us,
+        );
     }
 
     if failed {

@@ -13,8 +13,9 @@
 
 use std::time::Duration;
 
-use blueprint_bench::{bench_blueprint, figure};
+use blueprint_bench::{bench_blueprint, figure, write_artifact};
 use blueprint_core::streams::{Selector, TagFilter};
+use serde_json::json;
 
 fn main() {
     figure("Fig 10", "Flow initiated from conversation");
@@ -74,4 +75,16 @@ fn main() {
     );
     println!("\n✓ participant order U → IC → AE → NL2Q → QE → QS reproduced");
     println!("✓ no coordinator participated: fully decentralized via tags");
+
+    write_artifact(
+        "fig10_conv_flow",
+        &json!({
+            "figure": "fig10",
+            "utterance": utterance,
+            "summary": summary.payload.as_str().unwrap_or("?"),
+            "participants": participants,
+            "ordering": "user → intent-classifier → agentic-employer → nl2q → sql-executor → query-summarizer",
+            "sequence": bp.store().monitor().render_sequence(),
+        }),
+    );
 }

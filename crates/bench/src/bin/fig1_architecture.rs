@@ -3,7 +3,8 @@
 //!
 //! Run with: `cargo run -p blueprint-bench --bin fig1_architecture`
 
-use blueprint_bench::{bench_blueprint, figure};
+use blueprint_bench::{bench_blueprint, figure, write_artifact};
+use serde_json::json;
 
 fn main() {
     figure(
@@ -58,5 +59,18 @@ fn main() {
     println!(
         "  containers   : {} instances running",
         bp.factory().stats().running_instances
+    );
+
+    write_artifact(
+        "fig1_architecture",
+        &json!({
+            "figure": "fig1",
+            "agents": bp.agent_registry().list(),
+            "data_assets": bp.data_registry().list(),
+            "data_sources": bp.data_planner().source_names(),
+            "session_scope": session.session().scope(),
+            "participants": session.session().participants(),
+            "running_instances": bp.factory().stats().running_instances,
+        }),
     );
 }

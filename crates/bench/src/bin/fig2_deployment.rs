@@ -3,8 +3,9 @@
 //!
 //! Run with: `cargo run -p blueprint-bench --bin fig2_deployment`
 
-use blueprint_bench::{bench_blueprint, figure};
+use blueprint_bench::{bench_blueprint, figure, write_artifact};
 use blueprint_core::agents::DeploymentKind;
+use serde_json::json;
 
 fn main() {
     figure(
@@ -62,5 +63,15 @@ fn main() {
     println!(
         "  drained: {} running",
         bp.factory().stats().running_instances
+    );
+
+    write_artifact(
+        "fig2_deployment",
+        &json!({
+            "figure": "fig2",
+            "clusters": clusters,
+            "restarts": bp.factory().stats().restarts,
+            "restarted_instance": { "old": ids[0], "new": new_id },
+        }),
     );
 }

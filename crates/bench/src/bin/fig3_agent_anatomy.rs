@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use blueprint_bench::figure;
+use blueprint_bench::{figure, write_artifact};
 use blueprint_core::agents::{
     AgentContext, AgentHost, AgentSpec, DataType, FnProcessor, Inputs, Outputs, ParamSpec,
     Processor, StreamBinding,
@@ -79,4 +79,15 @@ fn main() {
 
     println!("\nrecorded flow:");
     print!("{}", store.monitor().render_sequence());
+
+    write_artifact(
+        "fig3_agent_anatomy",
+        &json!({
+            "figure": "fig3",
+            "agent": "skill-extractor",
+            "trigger": "messages tagged [resume] on any stream",
+            "skills": out.payload,
+            "flow": store.monitor().render_sequence(),
+        }),
+    );
 }

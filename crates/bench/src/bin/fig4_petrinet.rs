@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run -p blueprint-bench --bin fig4_petrinet`
 
-use blueprint_bench::figure;
+use blueprint_bench::{figure, write_artifact};
 use blueprint_core::agents::{PairingPolicy, TriggerNet};
 use serde_json::json;
 
@@ -37,8 +37,9 @@ fn main() {
     println!("  fired tuple: {}", fired.to_json());
     show(&net, "after fire: p2 still queued");
     println!("  token → jobs place (j2) … fires with (p2, j2)");
-    let fired = net.offer("jobs", json!(["j2"])).expect("fires");
-    println!("  fired tuple: {}", fired.to_json());
+    let fired2 = net.offer("jobs", json!(["j2"])).expect("fires");
+    println!("  fired tuple: {}", fired2.to_json());
+    let zip_fires = vec![fired.to_json(), fired2.to_json()];
 
     println!("\nLatest policy (only the newest token matters):");
     let mut net = TriggerNet::new(["profile", "jobs"], PairingPolicy::Latest);
@@ -50,6 +51,7 @@ fn main() {
         "  three profile tokens queued; fired with {}",
         fired.to_json()
     );
+    let latest_fire = fired.to_json();
 
     println!("\nSticky policy (first place drives; others are retained context):");
     let mut net = TriggerNet::new(["query", "profile"], PairingPolicy::Sticky);
@@ -60,4 +62,14 @@ fn main() {
         .offer("query", json!("q2"))
         .expect("fires without a new profile token");
     println!("  fire 2: {} (profile context reused)", f2.to_json());
+
+    write_artifact(
+        "fig4_petrinet",
+        &json!({
+            "figure": "fig4",
+            "zip_fires": zip_fires,
+            "latest_fire": latest_fire,
+            "sticky_fires": [f1.to_json(), f2.to_json()],
+        }),
+    );
 }

@@ -3,7 +3,8 @@
 //!
 //! Run with: `cargo run -p blueprint-bench --bin fig5_data_registry`
 
-use blueprint_bench::{bench_blueprint, figure};
+use blueprint_bench::{bench_blueprint, figure, write_artifact};
+use serde_json::json;
 
 fn main() {
     figure(
@@ -41,6 +42,7 @@ fn main() {
     }
 
     println!("\ndiscovery queries:");
+    let mut discoveries = Vec::new();
     for (query, modality) in [
         ("job postings with title and city", None),
         ("resumes and skills of job seekers", None),
@@ -59,6 +61,7 @@ fn main() {
             .map(|h| format!("{} ({:.2})", h.name, h.score))
             .collect();
         println!("  \"{query}\" → {}", top.join(", "));
+        discoveries.push(json!({ "query": query, "hits": top }));
     }
 
     println!("\nschema of the top asset for the jobs query:");
@@ -69,4 +72,14 @@ fn main() {
     }
     println!("  connection: {}", asset.connection);
     println!("  rows: {}", asset.stats.rows);
+
+    write_artifact(
+        "fig5_data_registry",
+        &json!({
+            "figure": "fig5",
+            "assets": registry.list(),
+            "discoveries": discoveries,
+            "top_jobs_asset": { "name": asset.name, "rows": asset.stats.rows },
+        }),
+    );
 }

@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run -p blueprint-bench --bin fig6_task_plan`
 
-use blueprint_bench::{bench_blueprint, figure, RUNNING_EXAMPLE};
+use blueprint_bench::{bench_blueprint, figure, write_artifact, RUNNING_EXAMPLE};
+use blueprint_core::planner::PlanIr;
+use serde_json::json;
 
 fn main() {
     figure(
@@ -37,5 +39,31 @@ fn main() {
     println!(
         "topological order: {:?}",
         plan.topo_order().expect("acyclic")
+    );
+
+    // The same plan lowered into the unified IR, with every FromData binding
+    // spliced into the owning task node (§V-F ∘ §V-G in one DAG).
+    let ir = PlanIr::lower_spliced(&plan, bp.data_planner()).expect("lowers");
+    println!("\nlowered unified IR (data plans spliced in):");
+    print!("{}", ir.render_text());
+
+    write_artifact(
+        "fig6_task_plan",
+        &json!({
+            "figure": "fig6",
+            "utterance": RUNNING_EXAMPLE,
+            "intent": format!("{intent:?}"),
+            "subtasks": subtasks,
+            "plan": plan.render_text(),
+            "projected": {
+                "cost_units": profile.cost_per_call,
+                "latency_micros": profile.latency_micros,
+                "accuracy": profile.accuracy,
+            },
+            "edges": plan.edges().iter().map(|e| json!([e.from, e.to])).collect::<Vec<_>>(),
+            "topo_order": plan.topo_order().expect("acyclic"),
+            "ir": ir.render_text(),
+            "ir_nodes": ir.nodes.len(),
+        }),
     );
 }

@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run -p blueprint-bench --bin fig7_data_plan`
 
-use blueprint_bench::{bench_blueprint, figure, RUNNING_EXAMPLE};
+use blueprint_bench::{bench_blueprint, figure, write_artifact, RUNNING_EXAMPLE};
+use blueprint_core::planner::PlanIr;
+use serde_json::json;
 
 fn main() {
     figure("Fig 7", "A data plan using JOBS ⋈ LLM(GPT) as data sources");
@@ -49,5 +51,35 @@ fn main() {
     println!(
         "  → decomposition recovers {} jobs the direct query misses",
         decomposed_rows - direct_rows
+    );
+
+    // The standalone data plan lowered into the unified IR: the same node
+    // set the optimizer and coordinator consume once it is spliced into a
+    // task plan.
+    let ir = PlanIr::from_data_plan(&plan);
+    println!("\nlowered unified IR (standalone data plan):");
+    print!("{}", ir.render_text());
+
+    write_artifact(
+        "fig7_data_plan",
+        &json!({
+            "figure": "fig7",
+            "query": RUNNING_EXAMPLE,
+            "decomposed": {
+                "plan": plan.render_text(),
+                "estimated": {
+                    "cost_units": est.cost_units,
+                    "latency_micros": est.latency_micros,
+                    "accuracy": est.accuracy,
+                },
+                "rows": decomposed_rows,
+            },
+            "direct_nl2q": {
+                "plan": direct.render_text(),
+                "rows": direct_rows,
+            },
+            "recovered_rows": decomposed_rows - direct_rows,
+            "ir": ir.render_text(),
+        }),
     );
 }

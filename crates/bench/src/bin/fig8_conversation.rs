@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use blueprint_bench::{bench_blueprint, figure};
+use blueprint_bench::{bench_blueprint, figure, write_artifact};
 use blueprint_core::agents::UiForm;
 use blueprint_core::streams::{Selector, TagFilter};
 use serde_json::json;
@@ -33,6 +33,10 @@ fn main() {
         .recv_timeout(Duration::from_secs(10))
         .expect("summary");
     println!("system: {}", s1.payload.as_str().unwrap_or("?"));
+    let mut turns = vec![json!({
+        "employer": "[clicks job 1]",
+        "system": s1.payload.as_str().unwrap_or("?"),
+    })];
 
     // Turn 2: open-ended question.
     for turn in [
@@ -46,11 +50,26 @@ fn main() {
             .recv_timeout(Duration::from_secs(10))
             .expect("summary");
         println!("system: {}", s.payload.as_str().unwrap_or("?"));
+        turns.push(json!({
+            "employer": turn,
+            "system": s.payload.as_str().unwrap_or("?"),
+        }));
     }
 
     let stats = bp.store().stats();
     println!(
         "\nconversation stats: {} streams, {} messages, {} deliveries",
         stats.streams_created, stats.messages_published, stats.deliveries
+    );
+
+    write_artifact(
+        "fig8_conversation",
+        &json!({
+            "figure": "fig8",
+            "turns": turns,
+            "streams": stats.streams_created,
+            "messages": stats.messages_published,
+            "deliveries": stats.deliveries,
+        }),
     );
 }

@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use blueprint_bench::{bench_blueprint, figure};
+use blueprint_bench::{bench_blueprint, figure, write_artifact};
 use blueprint_core::agents::UiForm;
 use blueprint_core::streams::{Selector, TagFilter};
 use serde_json::json;
@@ -62,4 +62,15 @@ fn main() {
     );
     assert!(u < ae && ae < tc && tc < s, "U→AE→TC→S ordering holds");
     println!("\n✓ participant order U → AE → TC → S reproduced");
+
+    write_artifact(
+        "fig9_ui_flow",
+        &json!({
+            "figure": "fig9",
+            "summary": summary.payload.as_str().unwrap_or("?"),
+            "participants": participants,
+            "ordering": "user → agentic-employer → task-coordinator → summarizer",
+            "sequence": bp.store().monitor().render_sequence(),
+        }),
+    );
 }

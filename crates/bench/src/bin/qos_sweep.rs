@@ -4,11 +4,12 @@
 //!
 //! Run with: `cargo run -p blueprint-bench --bin qos_sweep`
 
-use blueprint_bench::{bench_hr, figure, RUNNING_EXAMPLE};
+use blueprint_bench::{bench_hr, figure, write_artifact, RUNNING_EXAMPLE};
 use blueprint_core::coordinator::Outcome;
 use blueprint_core::llmsim::ModelProfile;
 use blueprint_core::optimizer::{Objective, QosConstraints};
 use blueprint_core::Blueprint;
+use serde_json::json;
 
 fn blueprint_with(objective: Objective, constraints: QosConstraints) -> Blueprint {
     Blueprint::builder()
@@ -43,6 +44,7 @@ fn main() {
     );
     println!("\n{:<34} {:<12}", "objective / constraint", "chosen tier");
     println!("{}", "-".repeat(48));
+    let mut selections = Vec::new();
     for (label, objective, constraints) in [
         (
             "min-cost, unconstrained",
@@ -77,7 +79,9 @@ fn main() {
         ("balanced", Objective::balanced(), QosConstraints::none()),
     ] {
         let bp = blueprint_with(objective, constraints);
-        println!("{:<34} {:<12}", label, chosen_tier(&bp));
+        let tier = chosen_tier(&bp);
+        println!("{:<34} {:<12}", label, tier);
+        selections.push(json!({ "setting": label, "chosen_tier": tier }));
     }
 
     figure("B8", "End-to-end running example under three QoS presets");
@@ -86,6 +90,7 @@ fn main() {
         "preset", "cost", "latency(ms)", "jobs"
     );
     println!("{}", "-".repeat(64));
+    let mut presets = Vec::new();
     for (label, objective) in [
         ("cost-min", Objective::MinCost),
         ("latency-min", Objective::MinLatency),
@@ -115,8 +120,24 @@ fn main() {
                 "failed"
             },
         );
+        presets.push(json!({
+            "preset": label,
+            "cost_units": report.budget.spent_cost,
+            "latency_micros": report.budget.spent_latency_micros,
+            "jobs": jobs,
+            "succeeded": report.outcome.succeeded(),
+        }));
     }
     println!("\nReading: cost-min routes knowledge to the cheap tier (lower cost,");
     println!("fewer recovered cities → possibly fewer matches); accuracy-max pays");
     println!("the premium tier for full recall.");
+
+    write_artifact(
+        "qos_sweep",
+        &json!({
+            "figure": "qos_sweep",
+            "tier_selection": selections,
+            "end_to_end": presets,
+        }),
+    );
 }

@@ -34,3 +34,24 @@ pub fn figure(id: &str, caption: &str) {
     println!("│ {id}: {caption}");
     println!("└{}┘", "─".repeat(70));
 }
+
+/// Writes a machine-readable figure artifact to `target/figures/<name>.json`
+/// at the repo root — stable filenames so DESIGN.md's figure index (and any
+/// external tooling) can point at them. Override the directory with
+/// `FIGURES_DIR`. Returns the path written.
+pub fn write_artifact(name: &str, doc: &serde_json::Value) -> std::path::PathBuf {
+    let dir: std::path::PathBuf = std::env::var_os("FIGURES_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/figures")
+        });
+    std::fs::create_dir_all(&dir).expect("create figures dir");
+    let path = dir.join(format!("{name}.json"));
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(doc).expect("serialize artifact")
+    );
+    std::fs::write(&path, rendered).expect("write figure artifact");
+    println!("\nartifact → {}", path.display());
+    path
+}

@@ -1,6 +1,6 @@
 //! The task coordinator's execution engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -9,7 +9,7 @@ use serde_json::{json, Value};
 use blueprint_agents::{AgentReport, DataType, ExecuteAgent, Inputs};
 use blueprint_observability::{Counter, Gauge, MetricsSnapshot, Observability, SpanId};
 use blueprint_optimizer::{Budget, BudgetStatus, QosConstraints, SharedBudget};
-use blueprint_planner::{DataPlanner, InputBinding, TaskPlan, TaskPlanner};
+use blueprint_planner::{DataPlanner, IrBinding, IrNode, PlanIr, TaskPlan, TaskPlanner};
 use blueprint_registry::AgentRegistry;
 use blueprint_resilience::{BreakerRegistry, DegradationLadder, DegradationNote, RetryPolicy};
 use blueprint_streams::{DeadLetterQueue, Message, Selector, StreamStore, Tag, TagFilter};
@@ -63,6 +63,49 @@ impl Default for SchedulerMode {
     fn default() -> Self {
         SchedulerMode::Parallel { max_in_flight: 0 }
     }
+}
+
+/// Configuration for adaptive re-optimization: when the observed cost or
+/// latency of completed nodes drifts past `drift_threshold` × the estimate,
+/// the coordinator pauses admission, re-selects the implementation of data
+/// operators owned by not-yet-dispatched nodes against the *remaining*
+/// budget, and resumes. Observed per-agent actuals are also folded into the
+/// registry as EWMA statistics (deterministically, in topological order) so
+/// later plans start from calibrated estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Re-optimize when observed/estimated exceeds this factor (> 1.0).
+    pub drift_threshold: f64,
+    /// EWMA smoothing factor for registry observation folding (0..=1).
+    pub ewma_alpha: f64,
+    /// Upper bound on mid-flight re-optimization passes per execution.
+    pub max_reoptimizations: u32,
+}
+
+impl AdaptiveConfig {
+    /// Adaptive replanning at the given drift threshold with the default
+    /// smoothing (α = 0.3) and a single bounded re-optimization pass.
+    pub fn with_threshold(drift_threshold: f64) -> Self {
+        AdaptiveConfig {
+            drift_threshold,
+            ewma_alpha: 0.3,
+            max_reoptimizations: 1,
+        }
+    }
+}
+
+/// Record of one mid-flight tier switch applied by adaptive
+/// re-optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReoptimizationNote {
+    /// The IR node whose implementation changed.
+    pub node: String,
+    /// Tier before the switch.
+    pub from_tier: String,
+    /// Tier after the switch.
+    pub to_tier: String,
+    /// Why the coordinator re-optimized.
+    pub reason: String,
 }
 
 /// Per-execution memoization savings (Σ over cache hits of the cost and
@@ -157,6 +200,8 @@ pub struct ExecutionReport {
     pub degradations: Vec<DegradationNote>,
     /// Memoization savings realized during this execution.
     pub cache: CacheSavings,
+    /// Mid-flight tier switches applied by adaptive re-optimization.
+    pub reoptimizations: Vec<ReoptimizationNote>,
     /// Readout of every `blueprint.*` instrument, attached to the top-level
     /// report when metrics are armed (None otherwise, and on the nested
     /// reports of replanned executions).
@@ -178,6 +223,7 @@ pub struct TaskCoordinator {
     ladder: DegradationLadder,
     scheduler: SchedulerMode,
     memo: Option<Arc<MemoCache>>,
+    adaptive: Option<AdaptiveConfig>,
     epoch: std::time::Instant,
     obs: Observability,
     instruments: CoordInstruments,
@@ -227,6 +273,7 @@ impl TaskCoordinator {
             ladder: DegradationLadder::new(),
             scheduler: SchedulerMode::default(),
             memo: None,
+            adaptive: None,
             epoch: std::time::Instant::now(),
             obs: Observability::disarmed(),
             instruments: CoordInstruments::default(),
@@ -327,29 +374,60 @@ impl TaskCoordinator {
         self
     }
 
+    /// Enables adaptive cost feedback: observed per-agent actuals fold into
+    /// the registry as EWMA statistics, and when observed cost/latency
+    /// drifts past the configured factor of the estimate the coordinator
+    /// re-optimizes the not-yet-dispatched suffix of the plan IR against
+    /// the remaining budget (bounded by `max_reoptimizations`).
+    pub fn with_adaptive(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive = Some(config);
+        self
+    }
+
     /// Micros since this coordinator was built (drives breaker cooldowns).
     fn now_micros(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
 
-    /// Executes a plan under the given constraints.
+    /// Executes a task plan under the given constraints. This is a lowering
+    /// shim over [`TaskCoordinator::execute_ir`]: the plan is lowered into
+    /// the unified IR (port types filled from the registry) and executed
+    /// there — one DAG representation reaches the optimizer and the
+    /// coordinator.
     pub fn execute(
         &self,
         plan: &TaskPlan,
         constraints: QosConstraints,
     ) -> Result<ExecutionReport, ExecutionError> {
+        plan.validate().map_err(|e| ExecutionError(e.to_string()))?;
+        let ir = PlanIr::lower_typed(plan, &self.registry);
+        self.execute_ir(&ir, constraints)
+    }
+
+    /// Executes a unified plan IR under the given constraints. Spliced data
+    /// operators are executed through the data planner when their owning
+    /// node resolves inputs; `FromData` bindings still un-spliced are routed
+    /// at resolution time exactly as before.
+    pub fn execute_ir(
+        &self,
+        ir: &PlanIr,
+        constraints: QosConstraints,
+    ) -> Result<ExecutionReport, ExecutionError> {
         let mut budget = Budget::new(constraints);
-        budget.set_projection(&plan.projected_profile());
+        budget.set_projection(&ir.projected_profile());
         // One root span per task; node spans hang off it along plan-DAG
         // edges. Replanned inner executions nest under the same root.
         let mut task_span = self
             .obs
             .tracer
-            .span("coordinator", format!("task:{}", plan.task_id));
-        task_span.attr("utterance", plan.utterance.clone());
-        let result = self.execute_inner(plan, budget, 0, task_span.id());
+            .span("coordinator", format!("task:{}", ir.task_id));
+        task_span.attr("utterance", ir.goal.clone());
+        let result = self.execute_inner(ir.clone(), budget, 0, task_span.id());
         task_span.end();
         result.map(|mut report| {
+            if let Some(cfg) = &self.adaptive {
+                self.fold_observations(&report, cfg.ewma_alpha);
+            }
             if self.obs.metrics.is_armed() {
                 report.metrics = Some(self.obs.metrics.snapshot());
             }
@@ -357,21 +435,45 @@ impl TaskCoordinator {
         })
     }
 
+    /// Folds observed per-agent actuals into the registry's EWMA statistics.
+    /// Node results are already merged into topological order (and nested
+    /// replans fold after their parent), so the fold sequence — and the
+    /// resulting statistics — are deterministic under any completion order.
+    fn fold_observations(&self, report: &ExecutionReport, alpha: f64) {
+        for nr in &report.node_results {
+            if nr.ok && nr.attempts > 0 && !nr.cached {
+                let accuracy = self
+                    .registry
+                    .get_spec(&nr.agent)
+                    .map(|s| s.profile.accuracy)
+                    .unwrap_or(1.0);
+                let _ = self.registry.fold_observation(
+                    &nr.agent,
+                    nr.cost,
+                    nr.latency_micros,
+                    accuracy,
+                    alpha,
+                );
+            }
+        }
+        if let Outcome::Replanned { inner, .. } = &report.outcome {
+            self.fold_observations(inner, alpha);
+        }
+    }
+
     fn execute_inner(
         &self,
-        plan: &TaskPlan,
+        mut ir: PlanIr,
         budget: Budget,
         depth: u8,
         task_span: Option<SpanId>,
     ) -> Result<ExecutionReport, ExecutionError> {
-        plan.validate().map_err(|e| ExecutionError(e.to_string()))?;
-        let order = plan
-            .topo_order()
-            .map_err(|e| ExecutionError(e.to_string()))?;
+        ir.validate().map_err(|e| ExecutionError(e.to_string()))?;
+        let order = ir.topo_order().map_err(|e| ExecutionError(e.to_string()))?;
         let n = order.len();
 
         // Dependency counts and adjacency, indexed by topological position.
-        // `plan.edges()` emits one edge per `FromNode` binding, so duplicate
+        // `ir.edges()` emits one edge per `FromNode` binding, so duplicate
         // edges appear symmetrically in `children` and `indegree`.
         let position: HashMap<&str, usize> = order
             .iter()
@@ -381,7 +483,7 @@ impl TaskCoordinator {
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indegree: Vec<usize> = vec![0; n];
-        for edge in plan.edges() {
+        for edge in ir.edges() {
             let from = position[edge.from.as_str()];
             let to = position[edge.to.as_str()];
             children[from].push(to);
@@ -416,8 +518,15 @@ impl TaskCoordinator {
         // single scheduler thread in sorted-ready order, so span ids are
         // allocated deterministically even under parallel completion.
         let mut span_ids: Vec<Option<SpanId>> = vec![None; n];
+        // Adaptive drift tracking: estimated vs observed totals of completed
+        // (actually invoked) nodes, and the re-optimizations applied.
+        let mut est_drift = (0.0f64, 0u64);
+        let mut obs_drift = (0.0f64, 0u64);
+        let mut reopt_passes: u32 = 0;
+        let mut reoptimizations: Vec<ReoptimizationNote> = Vec::new();
 
         loop {
+            let ir_ref = &ir;
             std::thread::scope(|scope| -> Result<(), ExecutionError> {
                 let (done_tx, done_rx) =
                     crossbeam::channel::unbounded::<(usize, Result<Driven, ExecutionError>)>();
@@ -428,28 +537,29 @@ impl TaskCoordinator {
                     while halt.is_none() && in_flight < cap && !ready.is_empty() {
                         let i = ready.remove(0);
                         let node_id = order[i].as_str();
-                        let node = plan
+                        let node = ir_ref
                             .node(node_id)
-                            .expect("topo order references plan nodes");
+                            .expect("topo order references ir nodes");
+                        let agent_name = node.agent().expect("scheduled nodes are agents").0;
 
                         // Graceful degradation: a skippable node (e.g. an
                         // optional guardrail check) is dropped outright once
                         // the budget is under pressure, trading its
                         // contribution for headroom.
-                        if self.ladder.is_skippable(&node.agent)
+                        if self.ladder.is_skippable(agent_name)
                             && shared.status() != BudgetStatus::Healthy
                         {
-                            shared.consume_projection(&node.profile);
+                            shared.consume_projection(&node.qos.profile);
                             note_slots[i] = Some(DegradationNote {
-                                from: node.agent.clone(),
+                                from: agent_name.to_string(),
                                 to: None,
                                 accuracy_penalty: 0.0,
                                 reason: format!("skipped node {node_id} under budget pressure"),
                             });
                             self.publish_status(
-                                plan,
+                                &ir_ref.task_id,
                                 "node-skipped",
-                                json!({"node": node_id, "agent": node.agent}),
+                                json!({"node": node_id, "agent": agent_name}),
                             );
                             self.obs.tracer.instant(
                                 "coordinator",
@@ -458,7 +568,7 @@ impl TaskCoordinator {
                             );
                             result_slots[i] = Some(NodeResult {
                                 node: node_id.to_string(),
-                                agent: node.agent.clone(),
+                                agent: agent_name.to_string(),
                                 ok: true,
                                 cost: 0.0,
                                 latency_micros: 0,
@@ -496,14 +606,15 @@ impl TaskCoordinator {
                                 .tracer
                                 .span("coordinator", format!("node:{node_id}")),
                         };
-                        node_span.attr("agent", node.agent.clone());
+                        node_span.attr("agent", agent_name.to_string());
                         span_ids[i] = node_span.id();
                         self.instruments.dispatches.inc();
 
                         let tx = done_tx.clone();
                         let node_budget = shared.clone();
                         scope.spawn(move || {
-                            let outcome = self.drive_node(plan, node, &node_budget, node_span.id());
+                            let outcome =
+                                self.drive_node(ir_ref, node, &node_budget, node_span.id());
                             if let Ok(Driven::Done { node_result, .. }) = &outcome {
                                 node_span.attr("ok", if node_result.ok { "true" } else { "false" });
                                 if node_result.cached {
@@ -556,6 +667,20 @@ impl TaskCoordinator {
                             if degradation.is_some() {
                                 note_slots[i] = degradation;
                             }
+                            // Drift accounting for adaptive re-optimization:
+                            // only actually-invoked successes count (skips
+                            // and cache hits carry no observation).
+                            if node_result.ok && !node_result.cached && node_result.attempts > 0 {
+                                let est = &ir_ref
+                                    .node(order[i].as_str())
+                                    .expect("completed node is in the ir")
+                                    .qos
+                                    .profile;
+                                est_drift.0 += est.cost_per_call;
+                                est_drift.1 += est.latency_micros;
+                                obs_drift.0 += node_result.cost;
+                                obs_drift.1 += node_result.latency_micros;
+                            }
                             result_slots[i] = Some(node_result);
                             if failed {
                                 raise_failure(
@@ -597,10 +722,70 @@ impl TaskCoordinator {
                                     },
                                 };
                             }
+                            // Adaptive checkpoint: when observed spend has
+                            // drifted past the configured factor of the
+                            // estimate, pause admission and re-optimize the
+                            // not-yet-dispatched suffix (bounded passes).
+                            if halt.is_none() {
+                                if let Some(cfg) = &self.adaptive {
+                                    if reopt_passes < cfg.max_reoptimizations {
+                                        let cost_drifted = est_drift.0 > 0.0
+                                            && obs_drift.0 > cfg.drift_threshold * est_drift.0;
+                                        let latency_drifted = est_drift.1 > 0
+                                            && obs_drift.1 as f64
+                                                > cfg.drift_threshold * est_drift.1 as f64;
+                                        if cost_drifted || latency_drifted {
+                                            halt = Some(Halt::Reoptimize);
+                                        }
+                                    }
+                                }
+                            }
                         }
                     }
                 }
             })?;
+
+            // A drift-triggered re-optimization is resolved here, with no
+            // drivers live: re-select the implementation of data operators
+            // owned by still-pending nodes against the *remaining* budget,
+            // then resume scheduling. Nodes already executed are never
+            // touched, and passes are bounded by the configuration.
+            if matches!(halt, Some(Halt::Reoptimize)) {
+                halt = None;
+                reopt_passes += 1;
+                let cfg = self.adaptive.as_ref().expect("reoptimize requires config");
+                let pending: HashSet<String> = order
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| result_slots[*i].is_none())
+                    .map(|(_, id)| id.clone())
+                    .collect();
+                let objective = ir.objective;
+                let remaining = shared.snapshot().remaining_constraints();
+                let switches = ir.reoptimize_pending(&pending, objective, &remaining);
+                for s in &switches {
+                    self.publish_status(
+                        &ir.task_id,
+                        "node-reoptimized",
+                        json!({"node": s.node, "from": s.from, "to": s.to}),
+                    );
+                    self.obs.tracer.instant(
+                        "coordinator",
+                        format!("reopt:{}:{}->{}", s.node, s.from, s.to),
+                        task_span,
+                    );
+                    reoptimizations.push(ReoptimizationNote {
+                        node: s.node.clone(),
+                        from_tier: s.from.clone(),
+                        to_tier: s.to.clone(),
+                        reason: format!(
+                            "observed spend drifted past {}x the estimate",
+                            cfg.drift_threshold
+                        ),
+                    });
+                }
+                continue;
+            }
 
             // The scope is drained. A projected overrun under the Replan
             // policy is resolved here, with no drivers live: ask the task
@@ -608,16 +793,20 @@ impl TaskCoordinator {
             // agent (§V-H). When no cheaper plan exists, clear the halt and
             // resume under protest, exactly like the sequential reference.
             if matches!(halt, Some(Halt::ReplanOverrun)) {
-                let subtasks: Vec<String> = plan.nodes.iter().map(|n| n.task.clone()).collect();
+                let subtasks: Vec<String> = ir
+                    .agent_nodes()
+                    .map(|n| n.agent().expect("agent node").1.to_string())
+                    .collect();
                 let replacement = self.task_planner.as_ref().and_then(|tp| {
-                    tp.plan_subtasks(&plan.utterance, &subtasks, &[most_expensive(plan)])
+                    tp.plan_subtasks(&ir.goal, &subtasks, &[most_expensive(&ir)])
                         .ok()
                 });
                 if let Some(new_plan) = replacement {
+                    let new_ir = PlanIr::lower_typed(&new_plan, &self.registry);
                     let inner =
-                        self.execute_inner(&new_plan, shared.snapshot(), depth + 1, task_span)?;
+                        self.execute_inner(new_ir, shared.snapshot(), depth + 1, task_span)?;
                     return Ok(ExecutionReport {
-                        task_id: plan.task_id.clone(),
+                        task_id: ir.task_id.clone(),
                         outcome: Outcome::Replanned {
                             reason: "projected overrun".into(),
                             inner: Box::new(inner),
@@ -626,6 +815,7 @@ impl TaskCoordinator {
                         node_results: result_slots.into_iter().flatten().collect(),
                         degradations: note_slots.into_iter().flatten().collect(),
                         cache,
+                        reoptimizations,
                         metrics: None,
                     });
                 }
@@ -648,9 +838,9 @@ impl TaskCoordinator {
                     .flatten()
                     .next_back()
                     .unwrap_or(Value::Null);
-                self.publish_status(plan, "task-completed", json!({"task": plan.task_id}));
+                self.publish_status(&ir.task_id, "task-completed", json!({"task": ir.task_id}));
                 Ok(ExecutionReport {
-                    task_id: plan.task_id.clone(),
+                    task_id: ir.task_id.clone(),
                     outcome: Outcome::Completed {
                         output: final_output,
                     },
@@ -658,6 +848,7 @@ impl TaskCoordinator {
                     node_results,
                     degradations,
                     cache,
+                    reoptimizations,
                     metrics: None,
                 })
             }
@@ -673,10 +864,16 @@ impl TaskCoordinator {
                 // issued, so reassigning agents cannot help.
                 if !resolution && depth == 0 {
                     if let Some(tp) = &self.task_planner {
-                        let node = plan.node(node_id).expect("failure references a plan node");
-                        let subtasks: Vec<String> =
-                            plan.nodes.iter().map(|n| n.task.clone()).collect();
-                        let mut excluded = vec![node.agent.clone()];
+                        let failed_agent = ir
+                            .node(node_id)
+                            .and_then(|n| n.agent())
+                            .map(|(a, _)| a.to_string())
+                            .expect("failure references an agent node");
+                        let subtasks: Vec<String> = ir
+                            .agent_nodes()
+                            .map(|n| n.agent().expect("agent node").1.to_string())
+                            .collect();
+                        let mut excluded = vec![failed_agent.clone()];
                         if let Some(b) = &self.breakers {
                             for open in b.open_circuits() {
                                 if !excluded.contains(&open) {
@@ -684,57 +881,58 @@ impl TaskCoordinator {
                                 }
                             }
                         }
-                        if let Ok(new_plan) =
-                            tp.plan_subtasks(&plan.utterance, &subtasks, &excluded)
-                        {
-                            let inner = self.execute_inner(
-                                &new_plan,
-                                budget.clone(),
-                                depth + 1,
-                                task_span,
-                            )?;
+                        if let Ok(new_plan) = tp.plan_subtasks(&ir.goal, &subtasks, &excluded) {
+                            let new_ir = PlanIr::lower_typed(&new_plan, &self.registry);
+                            let inner =
+                                self.execute_inner(new_ir, budget.clone(), depth + 1, task_span)?;
                             return Ok(ExecutionReport {
-                                task_id: plan.task_id.clone(),
+                                task_id: ir.task_id.clone(),
                                 outcome: Outcome::Replanned {
-                                    reason: format!("agent {} failed: {error}", node.agent),
+                                    reason: format!("agent {failed_agent} failed: {error}"),
                                     inner: Box::new(inner),
                                 },
                                 budget,
                                 node_results,
                                 degradations,
                                 cache,
+                                reoptimizations,
                                 metrics: None,
                             });
                         }
                     }
                 }
                 self.finish_failed(
-                    plan,
+                    &ir.task_id,
                     budget,
                     node_results,
                     degradations,
                     cache,
+                    reoptimizations,
                     node_id,
                     error,
                 )
             }
             Some(Halt::Exceeded) => self.finish_aborted(
-                plan,
+                &ir.task_id,
                 budget,
                 node_results,
                 degradations,
                 cache,
+                reoptimizations,
                 "budget exceeded by actual costs".into(),
             ),
             Some(Halt::ProjectedAbort) => self.finish_aborted(
-                plan,
+                &ir.task_id,
                 budget,
                 node_results,
                 degradations,
                 cache,
+                reoptimizations,
                 "projected costs exceed the budget".into(),
             ),
-            Some(Halt::ReplanOverrun) => unreachable!("resolved before leaving the scheduler"),
+            Some(Halt::ReplanOverrun) | Some(Halt::Reoptimize) => {
+                unreachable!("resolved before leaving the scheduler")
+            }
         }
     }
 
@@ -744,12 +942,13 @@ impl TaskCoordinator {
     /// charge goes through the shared ledger.
     fn drive_node(
         &self,
-        plan: &TaskPlan,
-        node: &blueprint_planner::PlanNode,
+        ir: &PlanIr,
+        node: &IrNode,
         budget: &SharedBudget,
         span: Option<SpanId>,
     ) -> Result<Driven, ExecutionError> {
         let node_id = node.id.as_str();
+        let agent = node.agent().expect("driven nodes are agents").0.to_string();
         // Subscribe to this task's agent reports before issuing any
         // instruction so none can be missed. Agents always report to
         // `<their scope>:reports`, so watching that one stream (instead of
@@ -761,14 +960,14 @@ impl TaskCoordinator {
             .store
             .subscribe(
                 Selector::Stream(format!("{}:reports", self.instruction_scope()).into()),
-                TagFilter::any_of([format!("task:{}", plan.task_id)]),
+                TagFilter::any_of([format!("task:{}", ir.task_id)]),
             )
             .map_err(|e| ExecutionError(e.to_string()))?;
 
         // Resolve inputs, applying transformations.
         let mut inputs = Inputs::new();
         for (param, binding) in &node.inputs {
-            match self.resolve_input(plan, node, param, binding, budget) {
+            match self.resolve_input(ir, node, param, binding, budget) {
                 Ok(v) => {
                     inputs.insert(param.clone(), v);
                 }
@@ -780,25 +979,22 @@ impl TaskCoordinator {
         // the recorded outputs replay onto the node's output stream (so
         // downstream bindings still resolve) at zero cost, and the savings
         // are credited to the execution report.
-        let memo_key = self
-            .memo
-            .as_ref()
-            .map(|_| MemoCache::key(&node.agent, &inputs));
+        let memo_key = self.memo.as_ref().map(|_| MemoCache::key(&agent, &inputs));
         if let (Some(memo), Some(key)) = (&self.memo, &memo_key) {
             if let Some(entry) = memo.lookup(key) {
                 self.instruments.memo_hits.inc();
-                self.replay_cached_outputs(plan, node, &entry);
-                budget.charge(0.0, 0, node.profile.accuracy);
-                budget.consume_projection(&node.profile);
+                self.replay_cached_outputs(&ir.task_id, node_id, &agent, &entry);
+                budget.charge(0.0, 0, node.qos.profile.accuracy);
+                budget.consume_projection(&node.qos.profile);
                 self.publish_status(
-                    plan,
+                    &ir.task_id,
                     "node-cached",
-                    json!({"node": node_id, "agent": node.agent}),
+                    json!({"node": node_id, "agent": agent}),
                 );
                 return Ok(Driven::Done {
                     node_result: NodeResult {
                         node: node.id.clone(),
-                        agent: node.agent.clone(),
+                        agent: agent.clone(),
                         ok: true,
                         cost: 0.0,
                         latency_micros: 0,
@@ -816,30 +1012,30 @@ impl TaskCoordinator {
         // Drive the node: breaker gate, instruction publish, report await,
         // retries with budget-debited backoff.
         let mut attempt = self.run_node(
-            plan,
+            &ir.task_id,
             node_id,
-            &node.agent,
+            &agent,
             &inputs,
             &report_sub,
             budget,
             span,
         )?;
-        let mut executing_agent = node.agent.clone();
+        let mut executing_agent = agent.clone();
         let mut degradation = None;
 
         // Graceful degradation: a failed agent falls back once to its
         // configured substitute at a recorded accuracy penalty.
         if attempt.error.is_some() {
-            if let Some((fallback, penalty)) = self.ladder.fallback_for(&node.agent) {
+            if let Some((fallback, penalty)) = self.ladder.fallback_for(&agent) {
                 let fallback = fallback.to_string();
                 if self.registry.get_spec(&fallback).is_ok() {
                     self.obs.tracer.instant(
                         "coordinator",
-                        format!("fallback:{}->{fallback}", node.agent),
+                        format!("fallback:{agent}->{fallback}"),
                         span,
                     );
                     let second = self.run_node(
-                        plan,
+                        &ir.task_id,
                         node_id,
                         &fallback,
                         &inputs,
@@ -849,7 +1045,7 @@ impl TaskCoordinator {
                     )?;
                     if second.error.is_none() {
                         degradation = Some(DegradationNote {
-                            from: node.agent.clone(),
+                            from: agent.clone(),
                             to: Some(fallback.clone()),
                             accuracy_penalty: penalty,
                             reason: attempt
@@ -858,9 +1054,9 @@ impl TaskCoordinator {
                                 .unwrap_or_else(|| "primary agent failed".into()),
                         });
                         self.publish_status(
-                            plan,
+                            &ir.task_id,
                             "node-degraded",
-                            json!({"node": node_id, "from": node.agent, "to": fallback}),
+                            json!({"node": node_id, "from": agent, "to": fallback}),
                         );
                         // The fallback answers with degraded quality.
                         budget.charge(0.0, 0, 1.0 - penalty);
@@ -882,17 +1078,17 @@ impl TaskCoordinator {
                 .as_ref()
                 .map(|r| (r.cost, r.latency_micros))
                 .unwrap_or((0.0, 0));
-            budget.charge(cost, latency, node.profile.accuracy);
-            budget.consume_projection(&node.profile);
+            budget.charge(cost, latency, node.qos.profile.accuracy);
+            budget.consume_projection(&node.qos.profile);
 
             // Quarantine the instruction that exhausted its attempts so
             // operators can inspect and replay it once the fault clears.
-            self.quarantine_instruction(plan, node_id, node, &inputs, &error, attempts);
+            self.quarantine_instruction(&ir.task_id, node_id, &agent, &inputs, &error, attempts);
 
             return Ok(Driven::Done {
                 node_result: NodeResult {
                     node: node.id.clone(),
-                    agent: node.agent.clone(),
+                    agent: agent.clone(),
                     ok: false,
                     cost,
                     latency_micros: latency,
@@ -907,14 +1103,18 @@ impl TaskCoordinator {
         }
 
         let report = attempt.report.expect("successful attempt carries a report");
-        budget.charge(report.cost, report.latency_micros, node.profile.accuracy);
-        budget.consume_projection(&node.profile);
+        budget.charge(
+            report.cost,
+            report.latency_micros,
+            node.qos.profile.accuracy,
+        );
+        budget.consume_projection(&node.qos.profile);
 
         // Only primary successes populate the cache: fallback answers carry
         // degraded quality, and caching them would hide the degradation on
         // replay.
         if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
-            if executing_agent == node.agent && report.outputs.is_object() {
+            if executing_agent == agent && report.outputs.is_object() {
                 memo.insert(
                     key,
                     MemoEntry {
@@ -945,26 +1145,21 @@ impl TaskCoordinator {
 
     /// Republishes a cached node's outputs onto its output stream so
     /// downstream `FromNode` bindings resolve exactly as if the agent ran.
-    fn replay_cached_outputs(
-        &self,
-        plan: &TaskPlan,
-        node: &blueprint_planner::PlanNode,
-        entry: &MemoEntry,
-    ) {
+    fn replay_cached_outputs(&self, task_id: &str, node_id: &str, agent: &str, entry: &MemoEntry) {
         let Some(outputs) = entry.outputs.as_object() else {
             return;
         };
-        let stream = format!("{}:task:{}:{}", self.scope, plan.task_id, node.id);
+        let stream = format!("{}:task:{}:{}", self.scope, task_id, node_id);
         let tags: Vec<Tag> = self
             .registry
-            .get_spec(&node.agent)
+            .get_spec(agent)
             .map(|spec| spec.output_tags.iter().map(Tag::new).collect())
             .unwrap_or_default();
         for (param, value) in outputs {
             let msg = Message::data_json(value.clone())
                 .with_tag(param.as_str())
                 .with_tags(tags.iter().cloned())
-                .from_producer(format!("memo:{}", node.agent));
+                .from_producer(format!("memo:{agent}"));
             let _ = self
                 .store
                 .publish_to(stream.clone(), Vec::<Tag>::new(), msg);
@@ -977,7 +1172,7 @@ impl TaskCoordinator {
     #[allow(clippy::too_many_arguments)]
     fn run_node(
         &self,
-        plan: &TaskPlan,
+        task_id: &str,
         node_id: &str,
         agent: &str,
         inputs: &Inputs,
@@ -1004,8 +1199,8 @@ impl TaskCoordinator {
             let instruction = ExecuteAgent {
                 agent: agent.to_string(),
                 inputs: inputs.clone(),
-                output_stream: format!("{}:task:{}:{}", self.scope, plan.task_id, node_id),
-                task_id: plan.task_id.clone(),
+                output_stream: format!("{}:task:{}:{}", self.scope, task_id, node_id),
+                task_id: task_id.to_string(),
                 node_id: node_id.to_string(),
                 span: span.map(|s| s.0),
             };
@@ -1017,7 +1212,7 @@ impl TaskCoordinator {
                 )
                 .map_err(|e| ExecutionError(e.to_string()))?;
 
-            let report = self.await_report(report_sub, &plan.task_id, node_id);
+            let report = self.await_report(report_sub, task_id, node_id);
             let ok = report.as_ref().is_some_and(|r| r.ok);
             if let Some(b) = &self.breakers {
                 b.record(agent, ok, self.now_micros());
@@ -1074,9 +1269,9 @@ impl TaskCoordinator {
     /// error.
     fn quarantine_instruction(
         &self,
-        plan: &TaskPlan,
+        task_id: &str,
         node_id: &str,
-        node: &blueprint_planner::PlanNode,
+        agent: &str,
         inputs: &Inputs,
         error: &str,
         attempts: u32,
@@ -1085,10 +1280,10 @@ impl TaskCoordinator {
             return;
         };
         let instruction = ExecuteAgent {
-            agent: node.agent.clone(),
+            agent: agent.to_string(),
             inputs: inputs.clone(),
-            output_stream: format!("{}:task:{}:{}", self.scope, plan.task_id, node_id),
-            task_id: plan.task_id.clone(),
+            output_stream: format!("{}:task:{}:{}", self.scope, task_id, node_id),
+            task_id: task_id.to_string(),
             node_id: node_id.to_string(),
             span: None,
         };
@@ -1104,26 +1299,27 @@ impl TaskCoordinator {
     /// budget. Errors are task-level (node failure), not machinery-level.
     fn resolve_input(
         &self,
-        plan: &TaskPlan,
-        node: &blueprint_planner::PlanNode,
+        ir: &PlanIr,
+        node: &IrNode,
         param: &str,
-        binding: &InputBinding,
+        binding: &IrBinding,
         budget: &SharedBudget,
     ) -> Result<Value, String> {
         match binding {
-            InputBinding::Literal(v) => Ok(v.clone()),
-            InputBinding::FromUser => {
+            IrBinding::Literal(v) => Ok(v.clone()),
+            IrBinding::FromUser => {
                 // Transformation (§V-H): a JSON-typed input fed from raw user
                 // text goes through the data planner's extract operator
                 // (PROFILER.CRITERIA ← USER.TEXT).
+                let agent = node.agent().map(|(a, _)| a).unwrap_or_default();
                 let wants_json = self
                     .registry
-                    .get_spec(&node.agent)
+                    .get_spec(agent)
                     .ok()
                     .and_then(|s| s.input(param).map(|p| p.data_type == DataType::Json));
                 if wants_json == Some(true) {
                     if let Some(dp) = &self.data_planner {
-                        let extract_plan = dp.plan_extract(&plan.utterance);
+                        let extract_plan = dp.plan_extract(&ir.goal);
                         let executed = dp.execute(&extract_plan).map_err(|e| e.to_string())?;
                         budget.charge(
                             executed.actual.cost_per_call,
@@ -1133,9 +1329,9 @@ impl TaskCoordinator {
                         return Ok(executed.value);
                     }
                 }
-                Ok(Value::String(plan.utterance.clone()))
+                Ok(Value::String(ir.goal.clone()))
             }
-            InputBinding::FromNode { node: from, output } => {
+            IrBinding::FromNode { node: from, output } => {
                 // The producing node has already run (topological order);
                 // read its recorded output from the reports stream? We keep
                 // them in-memory via the outputs map owned by the caller —
@@ -1143,7 +1339,7 @@ impl TaskCoordinator {
                 // producing node's report output stream.
                 let stream = blueprint_streams::StreamId::new(format!(
                     "{}:task:{}:{}",
-                    self.scope, plan.task_id, from
+                    self.scope, ir.task_id, from
                 ));
                 let history = self
                     .store
@@ -1156,14 +1352,31 @@ impl TaskCoordinator {
                 }
                 Err(format!("upstream {from}.{output} produced no value"))
             }
-            InputBinding::FromData { query } => {
+            IrBinding::FromData { query } => {
                 let dp = self
                     .data_planner
                     .as_ref()
                     .ok_or_else(|| format!("no data planner to satisfy: {query}"))?;
-                let executed = dp
-                    .satisfy(query, &plan.utterance)
-                    .map_err(|e| e.to_string())?;
+                let executed = dp.satisfy(query, &ir.goal).map_err(|e| e.to_string())?;
+                budget.charge(
+                    executed.actual.cost_per_call,
+                    executed.actual.latency_micros,
+                    executed.actual.accuracy,
+                );
+                Ok(executed.value)
+            }
+            IrBinding::Spliced { .. } => {
+                // The data plan was inlined into the IR at lowering time
+                // (and possibly re-optimized mid-flight); reconstruct the
+                // owned sub-plan and execute it through the data planner.
+                let dp = self
+                    .data_planner
+                    .as_ref()
+                    .ok_or_else(|| "no data planner for spliced binding".to_string())?;
+                let sub = ir
+                    .data_subplan(&node.id, param)
+                    .ok_or_else(|| format!("spliced binding {}.{param} has no subplan", node.id))?;
+                let executed = dp.execute(&sub).map_err(|e| e.to_string())?;
                 budget.charge(
                     executed.actual.cost_per_call,
                     executed.actual.latency_micros,
@@ -1203,9 +1416,9 @@ impl TaskCoordinator {
         AgentReport::from_message(msg).filter(|r| r.task_id == task_id && r.node_id == node_id)
     }
 
-    fn publish_status(&self, plan: &TaskPlan, op: &str, args: Value) {
+    fn publish_status(&self, task_id: &str, op: &str, args: Value) {
         let _ = self.store.publish_to(
-            format!("{}:task:{}:status", self.scope, plan.task_id),
+            format!("{}:task:{}:status", self.scope, task_id),
             ["task-status"],
             Message::control(op, args)
                 .with_tag("task-status")
@@ -1213,23 +1426,26 @@ impl TaskCoordinator {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_aborted(
         &self,
-        plan: &TaskPlan,
+        task_id: &str,
         budget: Budget,
         node_results: Vec<NodeResult>,
         degradations: Vec<DegradationNote>,
         cache: CacheSavings,
+        reoptimizations: Vec<ReoptimizationNote>,
         reason: String,
     ) -> Result<ExecutionReport, ExecutionError> {
-        self.publish_status(plan, "task-aborted", json!({"reason": reason}));
+        self.publish_status(task_id, "task-aborted", json!({"reason": reason}));
         Ok(ExecutionReport {
-            task_id: plan.task_id.clone(),
+            task_id: task_id.to_string(),
             outcome: Outcome::Aborted { reason },
             budget,
             node_results,
             degradations,
             cache,
+            reoptimizations,
             metrics: None,
         })
     }
@@ -1237,21 +1453,22 @@ impl TaskCoordinator {
     #[allow(clippy::too_many_arguments)]
     fn finish_failed(
         &self,
-        plan: &TaskPlan,
+        task_id: &str,
         budget: Budget,
         node_results: Vec<NodeResult>,
         degradations: Vec<DegradationNote>,
         cache: CacheSavings,
+        reoptimizations: Vec<ReoptimizationNote>,
         node_id: &str,
         error: String,
     ) -> Result<ExecutionReport, ExecutionError> {
         self.publish_status(
-            plan,
+            task_id,
             "task-failed",
             json!({"node": node_id, "error": error}),
         );
         Ok(ExecutionReport {
-            task_id: plan.task_id.clone(),
+            task_id: task_id.to_string(),
             outcome: Outcome::Failed {
                 node: node_id.to_string(),
                 error,
@@ -1260,6 +1477,7 @@ impl TaskCoordinator {
             node_results,
             degradations,
             cache,
+            reoptimizations,
             metrics: None,
         })
     }
@@ -1298,6 +1516,9 @@ enum Halt {
     ProjectedAbort,
     /// Projection exceeded the constraints under [`OverrunPolicy::Replan`].
     ReplanOverrun,
+    /// Observed spend drifted past the adaptive threshold; the pending IR
+    /// suffix is re-optimized once the in-flight drivers drain.
+    Reoptimize,
 }
 
 /// Records a node failure. The earliest topological position wins so the
@@ -1324,16 +1545,16 @@ fn insert_sorted(ready: &mut Vec<usize>, value: usize) {
 }
 
 /// Name of the plan's most expensive agent (replan exclusion heuristic).
-fn most_expensive(plan: &TaskPlan) -> String {
-    plan.nodes
-        .iter()
+fn most_expensive(ir: &PlanIr) -> String {
+    ir.agent_nodes()
         .max_by(|a, b| {
-            a.profile
+            a.qos
+                .profile
                 .cost_per_call
-                .partial_cmp(&b.profile.cost_per_call)
+                .partial_cmp(&b.qos.profile.cost_per_call)
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
-        .map(|n| n.agent.clone())
+        .and_then(|n| n.agent().map(|(a, _)| a.to_string()))
         .unwrap_or_default()
 }
 
@@ -1344,7 +1565,7 @@ mod tests {
         AgentContext, AgentFactory, AgentSpec, CostProfile, FnProcessor, Outputs, ParamSpec,
         Processor,
     };
-    use blueprint_planner::PlanNode;
+    use blueprint_planner::{InputBinding, PlanNode};
     use std::collections::BTreeMap;
 
     fn upper_agent(factory: &AgentFactory, name: &str, cost: f64) {

@@ -6,14 +6,20 @@
 //! (invoking the data planner for `FromData` bindings and text→criteria
 //! extraction), updates the [`Budget`](blueprint_optimizer::Budget) with actual costs from agent
 //! reports, and aborts or replans when thresholds are exceeded.
+//!
+//! Execution happens over the unified [`PlanIr`](blueprint_planner::PlanIr):
+//! `execute(TaskPlan)` is a lowering shim over `execute_ir`, and with
+//! [`AdaptiveConfig`] the coordinator folds observed actuals into registry
+//! EWMA statistics and re-optimizes the pending IR suffix when observed
+//! spend drifts past the configured factor of the estimate.
 
 pub mod coordinator;
 pub mod daemon;
 pub mod memo;
 
 pub use coordinator::{
-    CacheSavings, ExecutionError, ExecutionReport, NodeResult, Outcome, OverrunPolicy,
-    SchedulerMode, TaskCoordinator,
+    AdaptiveConfig, CacheSavings, ExecutionError, ExecutionReport, NodeResult, Outcome,
+    OverrunPolicy, ReoptimizationNote, SchedulerMode, TaskCoordinator,
 };
 pub use daemon::CoordinatorDaemon;
 pub use memo::{MemoCache, MemoEntry, MemoStats};

@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use blueprint_agents::AgentFactory;
 use blueprint_coordinator::{
-    CoordinatorDaemon, ExecutionError, ExecutionReport, MemoCache, OverrunPolicy, SchedulerMode,
-    TaskCoordinator,
+    AdaptiveConfig, CoordinatorDaemon, ExecutionError, ExecutionReport, MemoCache, OverrunPolicy,
+    SchedulerMode, TaskCoordinator,
 };
 use blueprint_datastore::{
     DataSource, DocumentSource, FaultInjectedSource, GraphSource, InstrumentedSource, KvSource,
@@ -94,6 +94,7 @@ pub struct BlueprintBuilder {
     ladder: DegradationLadder,
     scheduler: SchedulerMode,
     memo_capacity: Option<usize>,
+    adaptive: Option<AdaptiveConfig>,
     tracing: bool,
     metrics: bool,
     serving: Option<(usize, usize)>,
@@ -116,6 +117,7 @@ impl Default for BlueprintBuilder {
             ladder: DegradationLadder::new(),
             scheduler: SchedulerMode::default(),
             memo_capacity: None,
+            adaptive: None,
             tracing: false,
             metrics: false,
             serving: None,
@@ -214,6 +216,18 @@ impl BlueprintBuilder {
     /// — true for the simulated runtime unless fault injection is armed.
     pub fn with_memoization(mut self, capacity: usize) -> Self {
         self.memo_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables adaptive cost feedback on every session's coordinator:
+    /// observed per-agent actuals fold into the registry as seeded,
+    /// deterministic EWMA statistics, and when observed spend drifts past
+    /// `drift_threshold` × the estimate mid-flight, the coordinator
+    /// re-optimizes the not-yet-dispatched suffix of the plan IR (e.g.
+    /// downgrading a knowledge operator's model tier) against the remaining
+    /// budget. One bounded re-optimization pass per execution.
+    pub fn with_adaptive_replanning(mut self, drift_threshold: f64) -> Self {
+        self.adaptive = Some(AdaptiveConfig::with_threshold(drift_threshold));
         self
     }
 
@@ -381,6 +395,7 @@ impl BlueprintBuilder {
             ladder: self.ladder,
             scheduler: self.scheduler,
             memo: self.memo_capacity.map(|cap| Arc::new(MemoCache::new(cap))),
+            adaptive: self.adaptive,
             observability,
             serving: self.serving,
         })
@@ -407,6 +422,7 @@ pub struct Blueprint {
     ladder: DegradationLadder,
     scheduler: SchedulerMode,
     memo: Option<Arc<MemoCache>>,
+    adaptive: Option<AdaptiveConfig>,
     pub(crate) observability: Observability,
     pub(crate) serving: Option<(usize, usize)>,
 }
@@ -506,6 +522,9 @@ impl Blueprint {
         }
         if let Some(m) = &self.memo {
             coordinator = coordinator.with_memoization(Arc::clone(m));
+        }
+        if let Some(cfg) = self.adaptive {
+            coordinator = coordinator.with_adaptive(cfg);
         }
         if self.observability.is_armed() {
             coordinator = coordinator.with_observability(self.observability.clone());

@@ -1,7 +1,7 @@
 //! Sim-clock tracing spans.
 //!
 //! A [`Tracer`] records [`SpanRecord`]s stamped from the shared
-//! [`SimClock`](crate::SimClock): because every component charges simulated
+//! [`SimClock`]: because every component charges simulated
 //! time instead of reading the wall clock, a deterministic execution yields a
 //! byte-stable trace — identical span names, parentage, and timestamps on
 //! every run — which tests can assert exactly. Wall-clock capture exists for

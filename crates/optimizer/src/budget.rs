@@ -176,6 +176,24 @@ impl Budget {
             .map(|m| (m - self.spent_cost).max(0.0))
             .unwrap_or(f64::INFINITY)
     }
+
+    /// The constraints that remain for the not-yet-executed plan suffix:
+    /// cost/latency caps shrunk by what was already spent, accuracy floor
+    /// unchanged. Used by mid-flight re-optimization to re-select data
+    /// sources and model tiers under the headroom that is actually left.
+    pub fn remaining_constraints(&self) -> QosConstraints {
+        QosConstraints {
+            max_cost: self
+                .constraints
+                .max_cost
+                .map(|m| (m - self.spent_cost).max(0.0)),
+            max_latency_micros: self
+                .constraints
+                .max_latency_micros
+                .map(|m| m.saturating_sub(self.spent_latency_micros)),
+            min_accuracy: self.constraints.min_accuracy,
+        }
+    }
 }
 
 /// A [`Budget`] shared by concurrently executing plan nodes.
@@ -310,6 +328,29 @@ mod tests {
         b.charge(-5.0, 0, 1.5);
         assert_eq!(b.spent_cost, 0.0);
         assert_eq!(b.accuracy_so_far, 1.0);
+    }
+
+    #[test]
+    fn remaining_constraints_shrink_with_spend() {
+        let mut b = Budget::new(
+            QosConstraints::none()
+                .with_max_cost(10.0)
+                .with_max_latency_micros(1_000)
+                .with_min_accuracy(0.8),
+        );
+        b.charge(4.0, 300, 0.95);
+        let rem = b.remaining_constraints();
+        assert!((rem.max_cost.unwrap() - 6.0).abs() < 1e-9);
+        assert_eq!(rem.max_latency_micros, Some(700));
+        assert_eq!(rem.min_accuracy, Some(0.8));
+        // Overspend saturates at zero instead of going negative.
+        b.charge(100.0, 10_000, 1.0);
+        let rem = b.remaining_constraints();
+        assert_eq!(rem.max_cost, Some(0.0));
+        assert_eq!(rem.max_latency_micros, Some(0));
+        // Unconstrained axes stay unconstrained.
+        let rem = Budget::new(QosConstraints::none()).remaining_constraints();
+        assert_eq!(rem, QosConstraints::none());
     }
 
     #[test]

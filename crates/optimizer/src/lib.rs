@@ -14,15 +14,20 @@
 //! * [`optimize_choices`] — assign one option per plan node (e.g. a model
 //!   tier per operator), exhaustively for small search spaces and greedily
 //!   for large ones;
+//! * [`optimize_unified`] — joint Pareto-pruned assignment over the unified
+//!   plan IR's choice points (model tiers on agent nodes *and* parametric
+//!   sources on data operators in one search space);
 //! * [`Budget`] — runtime tracking of projected vs. actual QoS with
 //!   violation detection, consumed by the task coordinator.
 
 pub mod budget;
 pub mod objective;
 pub mod pareto;
+pub mod unified;
 
 pub use budget::{Budget, BudgetStatus, QosConstraints, SharedBudget};
 pub use objective::Objective;
 pub use pareto::{optimize_choices, pareto_frontier, select, Candidate};
+pub use unified::{optimize_unified, ChoicePoint, UnifiedSelection};
 
 pub use blueprint_agents::CostProfile;

@@ -1,0 +1,180 @@
+//! Joint optimization over the unified plan IR's choice points.
+//!
+//! The planner lowers task plans and spliced data plans into one DAG whose
+//! nodes each expose a list of interchangeable implementations (model tiers
+//! for LLM-backed agent nodes, parametric sources for data operators). This
+//! module ranks that *joint* space: every choice point is first pruned to its
+//! Pareto frontier, then [`optimize_choices`] assigns one option per point so
+//! the sequential composition optimizes the objective under the constraints.
+//!
+//! Per-point Pareto pruning is sound because composition is monotone on every
+//! axis: replacing a dominated option with its dominator never increases cost
+//! or latency and never decreases accuracy of the composed profile, so no
+//! optimal feasible assignment is lost.
+
+use blueprint_agents::CostProfile;
+
+use crate::budget::QosConstraints;
+use crate::objective::Objective;
+use crate::pareto::{optimize_choices, pareto_frontier, Candidate};
+
+/// One node of the unified IR that admits several implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChoicePoint<T> {
+    /// IR node id this choice applies to.
+    pub node: String,
+    /// The interchangeable implementations with their estimated QoS.
+    pub options: Vec<Candidate<T>>,
+}
+
+impl<T> ChoicePoint<T> {
+    /// Creates a choice point.
+    pub fn new(node: impl Into<String>, options: Vec<Candidate<T>>) -> Self {
+        ChoicePoint {
+            node: node.into(),
+            options,
+        }
+    }
+}
+
+/// Result of a joint optimization pass over the IR's choice points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnifiedSelection {
+    /// Chosen option index per choice point (indices into the *original*
+    /// `options` vectors, in the same order the points were given).
+    pub assignment: Vec<usize>,
+    /// Sequential composition of the chosen profiles.
+    pub composed: CostProfile,
+}
+
+/// Assigns one option per choice point so the composed profile optimizes
+/// `objective` subject to `constraints`, searching model tiers and data
+/// sources in a single space.
+///
+/// Dominated options are removed per point before the joint search, shrinking
+/// the cartesian space without affecting optimality (see module docs).
+/// Returns `None` when any point has no options or no feasible assignment
+/// exists.
+pub fn optimize_unified<T>(
+    points: &[ChoicePoint<T>],
+    objective: Objective,
+    constraints: &QosConstraints,
+) -> Option<UnifiedSelection> {
+    if points.iter().any(|p| p.options.is_empty()) {
+        return None;
+    }
+    // Per-point frontier indices (into the original options).
+    let frontiers: Vec<Vec<usize>> = points.iter().map(|p| pareto_frontier(&p.options)).collect();
+    let pruned: Vec<Vec<CostProfile>> = points
+        .iter()
+        .zip(&frontiers)
+        .map(|(p, keep)| keep.iter().map(|&i| p.options[i].profile).collect())
+        .collect();
+    let choice = optimize_choices(&pruned, objective, constraints)?;
+    // Map the frontier-relative choice back to original option indices.
+    let assignment: Vec<usize> = choice
+        .iter()
+        .zip(&frontiers)
+        .map(|(&c, keep)| keep[c])
+        .collect();
+    let mut composed = CostProfile::FREE;
+    for (point, &pick) in points.iter().zip(&assignment) {
+        composed = composed.then(&point.options[pick].profile);
+    }
+    Some(UnifiedSelection {
+        assignment,
+        composed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier_options() -> Vec<Candidate<&'static str>> {
+        vec![
+            Candidate::new("sim-large", CostProfile::new(10.0, 300_000, 0.98)),
+            Candidate::new("sim-small", CostProfile::new(1.0, 80_000, 0.90)),
+            Candidate::new("sim-tiny", CostProfile::new(0.1, 20_000, 0.75)),
+        ]
+    }
+
+    fn source_options() -> Vec<Candidate<&'static str>> {
+        vec![
+            Candidate::new("gpt-large", CostProfile::new(0.24, 680, 0.98)),
+            Candidate::new("gpt-small", CostProfile::new(0.024, 180, 0.90)),
+        ]
+    }
+
+    #[test]
+    fn joint_space_mixes_tiers_and_sources() {
+        let points = vec![
+            ChoicePoint::new("n1", tier_options()),
+            ChoicePoint::new("d3", source_options()),
+        ];
+        let sel = optimize_unified(
+            &points,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.85),
+        )
+        .unwrap();
+        // Cheapest composition with accuracy ≥ 0.85 is small tier × large
+        // source (0.90 × 0.98 = 0.882); small × small is 0.81, out.
+        assert_eq!(points[0].options[sel.assignment[0]].item, "sim-small");
+        assert_eq!(points[1].options[sel.assignment[1]].item, "gpt-large");
+        assert!(sel.composed.accuracy >= 0.85);
+    }
+
+    #[test]
+    fn dominated_options_are_pruned_without_changing_the_answer() {
+        let mut opts = tier_options();
+        // Strictly dominated by sim-small on every axis.
+        opts.push(Candidate::new("bad", CostProfile::new(2.0, 100_000, 0.85)));
+        let points = vec![ChoicePoint::new("n1", opts)];
+        let sel = optimize_unified(
+            &points,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.85),
+        )
+        .unwrap();
+        assert_eq!(points[0].options[sel.assignment[0]].item, "sim-small");
+    }
+
+    #[test]
+    fn assignment_indices_refer_to_original_options() {
+        // Put a dominated option *first* so frontier indices shift.
+        let opts = vec![
+            Candidate::new("bad", CostProfile::new(20.0, 900_000, 0.50)),
+            Candidate::new("good", CostProfile::new(1.0, 10_000, 0.95)),
+        ];
+        let points = vec![ChoicePoint::new("n1", opts)];
+        let sel = optimize_unified(&points, Objective::MinCost, &QosConstraints::none()).unwrap();
+        assert_eq!(sel.assignment, vec![1]);
+        assert_eq!(points[0].options[1].item, "good");
+    }
+
+    #[test]
+    fn empty_point_list_is_free() {
+        let sel =
+            optimize_unified::<&str>(&[], Objective::MinCost, &QosConstraints::none()).unwrap();
+        assert!(sel.assignment.is_empty());
+        assert_eq!(sel.composed, CostProfile::FREE);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let points = vec![ChoicePoint::new("n1", tier_options())];
+        assert!(optimize_unified(
+            &points,
+            Objective::MinCost,
+            &QosConstraints::none().with_min_accuracy(0.999),
+        )
+        .is_none());
+        assert!(optimize_unified::<&str>(
+            &[ChoicePoint::new("n1", vec![])],
+            Objective::MinCost,
+            &QosConstraints::none(),
+        )
+        .is_none());
+    }
+}

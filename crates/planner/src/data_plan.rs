@@ -68,6 +68,29 @@ pub enum DataOp {
 }
 
 impl DataOp {
+    /// One-line rendering of the operator (shared by the Fig 7 renderer and
+    /// the unified plan IR renderer).
+    pub fn detail(&self) -> String {
+        match self {
+            DataOp::Literal { value } => format!("literal({value})"),
+            DataOp::Q2NL { fragment } => format!("q2nl(\"{fragment}\")"),
+            DataOp::Knowledge { source } => format!("knowledge[{source}]"),
+            DataOp::GraphExpand {
+                source,
+                node,
+                depth,
+            } => format!("graph-expand[{source}]({node}, depth {depth})"),
+            DataOp::SqlTemplate { source, template } => format!("sql[{source}]: {template}"),
+            DataOp::DocSearch {
+                source,
+                query,
+                limit,
+            } => format!("doc-search[{source}](\"{query}\", limit {limit})"),
+            DataOp::Extract => "extract".to_string(),
+            DataOp::Summarize => "summarize".to_string(),
+        }
+    }
+
     /// Operator name for rendering and traces.
     pub fn name(&self) -> &'static str {
         match self {
@@ -199,30 +222,7 @@ impl DataPlan {
     pub fn render_text(&self) -> String {
         let mut out = format!("data plan for: \"{}\"\n", self.request);
         for n in &self.nodes {
-            let detail = match &n.op {
-                DataOp::Literal { value } => format!("literal({value})"),
-                DataOp::Q2NL { fragment } => format!("q2nl(\"{fragment}\")"),
-                DataOp::Knowledge { source } => format!("knowledge[{source}]"),
-                DataOp::GraphExpand {
-                    source,
-                    node,
-                    depth,
-                } => {
-                    format!("graph-expand[{source}]({node}, depth {depth})")
-                }
-                DataOp::SqlTemplate { source, template } => {
-                    format!("sql[{source}]: {template}")
-                }
-                DataOp::DocSearch {
-                    source,
-                    query,
-                    limit,
-                } => {
-                    format!("doc-search[{source}](\"{query}\", limit {limit})")
-                }
-                DataOp::Extract => "extract".to_string(),
-                DataOp::Summarize => "summarize".to_string(),
-            };
+            let detail = n.op.detail();
             let wiring = if n.inputs.is_empty() {
                 String::new()
             } else {

@@ -70,6 +70,16 @@ impl DataPlanner {
         &self.registry
     }
 
+    /// The planner's optimization objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The planner's QoS constraints.
+    pub fn constraints(&self) -> QosConstraints {
+        self.constraints
+    }
+
     /// Names of attached sources, sorted.
     pub fn source_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.sources.keys().cloned().collect();
@@ -101,13 +111,13 @@ impl DataPlanner {
         out
     }
 
-    /// Picks the best parametric source for a knowledge question under the
-    /// planner's objective and constraints — the optimizer choosing among
-    /// model tiers (§V-G).
-    fn choose_parametric(&self, question: &str) -> Result<(String, CostEstimate)> {
+    /// All parametric sources able to answer `question`, with their QoS
+    /// estimates, sorted by source name. These are the interchangeable model
+    /// tiers the unified plan IR exposes as alternatives on `Knowledge`
+    /// operators.
+    pub fn parametric_candidates(&self, question: &str) -> Vec<Candidate<String>> {
         let query = SourceQuery::Knowledge(question.to_string());
-        let candidates: Vec<Candidate<String>> = self
-            .sources_by_modality("parametric")
+        self.sources_by_modality("parametric")
             .into_iter()
             .map(|s| {
                 let est = s.estimate(&query);
@@ -116,7 +126,34 @@ impl DataPlanner {
                     CostProfile::new(est.cost_units, est.latency_micros, est.accuracy),
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Per-`Knowledge`-node alternatives in `plan`: for every knowledge
+    /// operator, the parametric sources that could answer its question
+    /// (recovered from the upstream `Q2NL` or `Literal` node) with their
+    /// estimates. Returns `(node id, candidates)` in plan order.
+    pub fn knowledge_alternatives(&self, plan: &DataPlan) -> Vec<(String, Vec<Candidate<String>>)> {
+        plan.nodes
+            .iter()
+            .filter(|n| matches!(n.op, DataOp::Knowledge { .. }))
+            .filter_map(|n| {
+                let (_, dep) = n.inputs.iter().find(|(slot, _)| slot == "question")?;
+                let question = match &plan.node(dep)?.op {
+                    DataOp::Q2NL { fragment } => q2nl(fragment),
+                    DataOp::Literal { value } => value.as_str()?.to_string(),
+                    _ => return None,
+                };
+                Some((n.id.clone(), self.parametric_candidates(&question)))
+            })
+            .collect()
+    }
+
+    /// Picks the best parametric source for a knowledge question under the
+    /// planner's objective and constraints — the optimizer choosing among
+    /// model tiers (§V-G).
+    fn choose_parametric(&self, question: &str) -> Result<(String, CostEstimate)> {
+        let candidates = self.parametric_candidates(question);
         if candidates.is_empty() {
             return Err(PlanError::NoSourceFor(format!("knowledge: {question}")));
         }
@@ -376,10 +413,18 @@ impl DataPlanner {
     /// * otherwise, a ranked document search when a document source exists;
     /// * otherwise the request is unsatisfiable.
     pub fn satisfy(&self, query: &str, utterance: &str) -> Result<ExecutedPlan> {
+        let plan = self.plan_for_binding(query, utterance)?;
+        self.execute(&plan)
+    }
+
+    /// Plans — without executing — the data plan for a `FromData` binding:
+    /// the routing half of [`DataPlanner::satisfy`]. The unified plan IR
+    /// lowering uses this to splice the operator DAG into its owning task
+    /// node at plan time, so the optimizer sees the whole composite DAG.
+    pub fn plan_for_binding(&self, query: &str, utterance: &str) -> Result<DataPlan> {
         let q = query.to_lowercase();
         if q.contains("job") || q.contains("listing") || q.contains("posting") {
-            let plan = self.plan_job_query(utterance)?;
-            return self.execute(&plan);
+            return self.plan_job_query(utterance);
         }
         if let Some(doc) = self.sources_by_modality("document").into_iter().next() {
             let mut plan = DataPlan::new(query);
@@ -396,7 +441,7 @@ impl DataPlanner {
                     limit: 10,
                 }),
             });
-            return self.execute(&plan);
+            return Ok(plan);
         }
         Err(PlanError::NoSourceFor(query.to_string()))
     }

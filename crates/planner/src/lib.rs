@@ -13,16 +13,22 @@
 //!   e.g. routing "cities in the SF bay area" to an LLM-as-data-source and
 //!   splicing the answer into a relational query (Fig 7) — and optimizing
 //!   source choices under QoS constraints.
+//!
+//! Both plan forms lower into the unified [`PlanIr`] (see [`ir`]), the
+//! single typed DAG that the optimizer searches and the coordinator
+//! executes.
 
 pub mod data_plan;
 pub mod data_planner;
 pub mod error;
+pub mod ir;
 pub mod plan;
 pub mod task_planner;
 
 pub use data_plan::{DataNode, DataOp, DataPlan};
 pub use data_planner::{DataPlanner, ExecutedPlan};
 pub use error::PlanError;
+pub use ir::{IrAlternative, IrBinding, IrKind, IrNode, IrPort, IrQos, PlanIr, TierSwitch};
 pub use plan::{InputBinding, PlanEdge, PlanNode, TaskPlan};
 pub use task_planner::{PlanFeedback, TaskPlanner};
 

@@ -1,0 +1,500 @@
+//! Property-based equivalence of the unified IR path and the legacy path.
+//!
+//! For randomly generated task DAGs — some nodes of which pull a `FromData`
+//! binding that routes through the data planner's running-example pipeline
+//! (Q2NL → knowledge lookup → graph expansion → SQL) — executing the plan
+//! through the legacy shim (`TaskCoordinator::execute`, which lowers
+//! internally) and executing an explicitly spliced [`PlanIr`] through
+//! `execute_ir` must agree: byte-identical final outputs, identical per-node
+//! results, and bitwise-identical cost/accuracy accounting under the
+//! sequential scheduler.
+//!
+//! Agent charges are dyadic rationals with accuracy exactly 1.0, so those
+//! sums are exact; data-plan charges are *not* dyadic (e.g. 0.032 cost at
+//! 0.9 accuracy), but the sequential scheduler folds them in one fixed
+//! order, so equality is still bitwise. Under the parallel scheduler the
+//! fold order of those non-dyadic charges is timing-dependent, so budget
+//! totals are compared within an epsilon while outputs and per-node results
+//! stay exact. Latency totals are excluded under parallelism for the same
+//! shared-clock reason documented in the coordinator's own property suite.
+//!
+//! The file also pins the adaptive feedback loop: a deterministic seed in
+//! which observed latency drifts past the configured threshold must trigger
+//! exactly one mid-flight re-optimization that downgrades the spliced
+//! knowledge operator from `sim-large` to `sim-small`, and an accurate
+//! estimate (the no-drift control) must trigger none.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use serde_json::json;
+
+use blueprint_agents::{
+    AgentContext, AgentFactory, AgentSpec, CostProfile, DataType, FnProcessor, Inputs, Outputs,
+    ParamSpec, Processor,
+};
+use blueprint_coordinator::{
+    AdaptiveConfig, ExecutionReport, Outcome, SchedulerMode, TaskCoordinator,
+};
+use blueprint_datastore::{GraphSource, PropertyGraph, RelationalDb, RelationalSource};
+use blueprint_llmsim::{ModelProfile, ParametricSource, SimLlm};
+use blueprint_optimizer::QosConstraints;
+use blueprint_planner::{DataOp, DataPlanner, InputBinding, IrKind, PlanIr, PlanNode, TaskPlan};
+use blueprint_registry::{AgentRegistry, DataRegistry};
+use blueprint_streams::StreamStore;
+
+const RUNNING_EXAMPLE: &str = "I am looking for a data scientist position in SF bay area.";
+const JOBS_QUERY: &str = "available job listings";
+
+fn jobs_db() -> Arc<RelationalDb> {
+    let db = Arc::new(RelationalDb::new());
+    db.execute("CREATE TABLE jobs (id INT, title TEXT, city TEXT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO jobs VALUES \
+         (1, 'data scientist', 'san francisco'), \
+         (2, 'machine learning engineer', 'oakland'), \
+         (3, 'data scientist', 'new york')",
+    )
+    .unwrap();
+    db
+}
+
+fn taxonomy() -> Arc<PropertyGraph> {
+    let g = Arc::new(PropertyGraph::new());
+    for (id, name) in [
+        ("data-scientist", "data scientist"),
+        ("machine-learning-engineer", "machine learning engineer"),
+    ] {
+        g.add_node(id, "title", json!({"name": name})).unwrap();
+    }
+    g.add_edge("machine-learning-engineer", "data-scientist", "related_to")
+        .unwrap();
+    g
+}
+
+fn data_planner() -> DataPlanner {
+    let llm = Arc::new(SimLlm::new(ModelProfile::large()));
+    let mut dp = DataPlanner::new(Arc::new(DataRegistry::new()), Arc::clone(&llm));
+    dp.add_source(Arc::new(RelationalSource::new("hr-db", jobs_db())));
+    dp.add_source(Arc::new(GraphSource::new("title-taxonomy", taxonomy())));
+    dp.add_source(Arc::new(ParametricSource::new("gpt-large", llm)));
+    dp.add_source(Arc::new(ParametricSource::new(
+        "gpt-small",
+        Arc::new(SimLlm::new(ModelProfile::small())),
+    )));
+    dp
+}
+
+/// Registers `join-{arity}` (and, with `with_data`, `data-join-{arity}`,
+/// which additionally consumes a `jobs` table fetched via a `FromData`
+/// binding). Charges are dyadic multiples of 0.125 so agent-side cost sums
+/// are exact under any completion order.
+fn register_join(factory: &AgentFactory, registry: &AgentRegistry, arity: usize, with_data: bool) {
+    let params = arity.max(1);
+    let name = if with_data {
+        format!("data-join-{arity}")
+    } else {
+        format!("join-{arity}")
+    };
+    let extra = usize::from(with_data);
+    let cost = 0.125 * (arity + 1 + extra) as f64;
+    let latency = 1_000 * (arity + 1 + extra) as u64;
+    let mut spec = AgentSpec::new(&name, format!("joins {params} upstream value(s)"))
+        .with_output(ParamSpec::required("out", "joined text", DataType::Text))
+        .with_profile(CostProfile::new(cost, latency, 1.0));
+    for k in 0..params {
+        spec = spec.with_input(ParamSpec::required(
+            format!("in_{k}"),
+            "upstream value",
+            DataType::Text,
+        ));
+    }
+    if with_data {
+        spec = spec.with_input(ParamSpec::required(
+            "jobs",
+            "job listings fetched by the data layer",
+            DataType::Any,
+        ));
+    }
+    let proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        move |inputs: &Inputs, ctx: &AgentContext| {
+            let mut parts = Vec::with_capacity(params);
+            for k in 0..params {
+                parts.push(inputs.require_str(&format!("in_{k}"))?.to_uppercase());
+            }
+            ctx.charge_cost(cost);
+            ctx.charge_latency_micros(latency);
+            let mut joined = parts.join("+");
+            if with_data {
+                let jobs = serde_json::to_string(inputs.require("jobs")?).unwrap();
+                joined = format!("{joined}&{jobs}");
+            }
+            Ok(Outputs::new().with("out", json!(format!("{}#{}", joined, joined.len()))))
+        },
+    ));
+    factory.register(spec.clone(), proc).unwrap();
+    registry.register(spec).unwrap();
+    factory.spawn(&name, "session:1").unwrap();
+}
+
+/// Maps raw generator output to a DAG: node `i` depends on up to two
+/// distinct earlier nodes (`raw % i`, acyclic by construction); nodes with
+/// the flag set also pull the jobs table through a `FromData` binding.
+fn build_plan(raw_deps: &[(Vec<usize>, bool)]) -> TaskPlan {
+    let mut plan = TaskPlan::new("t-ir-prop", RUNNING_EXAMPLE);
+    for (i, (raw, with_data)) in raw_deps.iter().enumerate() {
+        let mut deps: Vec<usize> = if i == 0 {
+            Vec::new()
+        } else {
+            raw.iter().map(|r| r % i).collect()
+        };
+        deps.sort_unstable();
+        deps.dedup();
+        let mut inputs = BTreeMap::new();
+        if deps.is_empty() {
+            inputs.insert("in_0".to_string(), InputBinding::FromUser);
+        } else {
+            for (k, &j) in deps.iter().enumerate() {
+                inputs.insert(
+                    format!("in_{k}"),
+                    InputBinding::FromNode {
+                        node: format!("n{j}"),
+                        output: "out".to_string(),
+                    },
+                );
+            }
+        }
+        let arity = deps.len();
+        let agent = if *with_data {
+            inputs.insert(
+                "jobs".to_string(),
+                InputBinding::FromData {
+                    query: JOBS_QUERY.to_string(),
+                },
+            );
+            format!("data-join-{arity}")
+        } else {
+            format!("join-{arity}")
+        };
+        let extra = usize::from(*with_data);
+        plan.push(PlanNode {
+            id: format!("n{i}"),
+            agent,
+            task: format!("step {i}"),
+            inputs,
+            profile: CostProfile::new(
+                0.125 * (arity + 1 + extra) as f64,
+                1_000 * (arity + 1 + extra) as u64,
+                1.0,
+            ),
+        });
+    }
+    plan
+}
+
+/// Builds a fresh runtime (store, factory, registry, data planner,
+/// coordinator). Each execution arm gets its own so no usage counters,
+/// memo entries, or clock state leak between the paths under comparison.
+/// The factory is returned alongside the coordinator: dropping it stops the
+/// spawned agent hosts.
+fn fresh_runtime(mode: SchedulerMode) -> (TaskCoordinator, Arc<DataPlanner>, AgentFactory) {
+    let store = StreamStore::new();
+    let factory = AgentFactory::new(store.clone());
+    let registry = Arc::new(AgentRegistry::new());
+    for arity in 0..3 {
+        register_join(&factory, &registry, arity, false);
+        register_join(&factory, &registry, arity, true);
+    }
+    let dp = Arc::new(data_planner());
+    let coordinator = TaskCoordinator::new(store, "session:1", registry)
+        .with_report_timeout(Duration::from_secs(10))
+        .with_data_planner(Arc::clone(&dp))
+        .with_scheduler(mode);
+    (coordinator, dp, factory)
+}
+
+/// Legacy arm: the coordinator lowers the `TaskPlan` internally.
+fn run_legacy(raw_deps: &[(Vec<usize>, bool)], mode: SchedulerMode) -> ExecutionReport {
+    let (coordinator, _dp, _factory) = fresh_runtime(mode);
+    let plan = build_plan(raw_deps);
+    coordinator.execute(&plan, QosConstraints::none()).unwrap()
+}
+
+/// IR arm: lower + splice explicitly, then execute the IR directly.
+fn run_ir(raw_deps: &[(Vec<usize>, bool)], mode: SchedulerMode) -> ExecutionReport {
+    let (coordinator, dp, _factory) = fresh_runtime(mode);
+    let plan = build_plan(raw_deps);
+    let ir = PlanIr::lower_spliced(&plan, &dp).unwrap();
+    ir.validate().unwrap();
+    coordinator.execute_ir(&ir, QosConstraints::none()).unwrap()
+}
+
+fn final_output(report: &ExecutionReport) -> String {
+    match &report.outcome {
+        Outcome::Completed { output } => serde_json::to_string(output).unwrap(),
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+}
+
+/// Node results with the latency field normalized away (shared-clock
+/// over-counting under parallelism; see module docs).
+fn without_latency(report: &ExecutionReport) -> Vec<blueprint_coordinator::NodeResult> {
+    report
+        .node_results
+        .iter()
+        .cloned()
+        .map(|mut r| {
+            r.latency_micros = 0;
+            r
+        })
+        .collect()
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Raw material: 1..8 nodes, each with 0..=2 raw dep picks and a flag
+/// marking whether the node pulls the jobs table from the data layer.
+fn deps_strategy() -> impl Strategy<Value = Vec<(Vec<usize>, bool)>> {
+    (1usize..8).prop_flat_map(|n| {
+        prop::collection::vec(
+            (prop::collection::vec(0usize..1000, 0..3), any::<bool>()),
+            n,
+        )
+    })
+}
+
+proptest! {
+    /// Sequential reference: lowering through the shim and executing the
+    /// explicitly spliced IR are the *same computation* — byte-identical
+    /// outputs, identical node results, bitwise-identical accounting.
+    #[test]
+    fn ir_path_matches_legacy_path_sequential(raw_deps in deps_strategy()) {
+        let legacy = run_legacy(&raw_deps, SchedulerMode::Sequential);
+        let ir = run_ir(&raw_deps, SchedulerMode::Sequential);
+
+        prop_assert!(legacy.outcome.succeeded(), "legacy: {:?}", legacy.outcome);
+        prop_assert!(ir.outcome.succeeded(), "ir: {:?}", ir.outcome);
+        prop_assert_eq!(final_output(&legacy), final_output(&ir));
+        prop_assert_eq!(&legacy.node_results, &ir.node_results);
+        prop_assert_eq!(
+            legacy.budget.spent_cost.to_bits(),
+            ir.budget.spent_cost.to_bits()
+        );
+        prop_assert_eq!(
+            legacy.budget.spent_latency_micros,
+            ir.budget.spent_latency_micros
+        );
+        prop_assert_eq!(
+            legacy.budget.accuracy_so_far.to_bits(),
+            ir.budget.accuracy_so_far.to_bits()
+        );
+        prop_assert!(legacy.reoptimizations.is_empty());
+        prop_assert!(ir.reoptimizations.is_empty());
+    }
+
+    /// Parallel scheduler: outputs and per-node results stay exact; budget
+    /// totals fold non-dyadic data-plan charges in a timing-dependent order,
+    /// so they are compared within a relative epsilon.
+    #[test]
+    fn ir_path_matches_legacy_path_parallel(raw_deps in deps_strategy()) {
+        let legacy = run_legacy(&raw_deps, SchedulerMode::Parallel { max_in_flight: 0 });
+        let ir = run_ir(&raw_deps, SchedulerMode::Parallel { max_in_flight: 0 });
+
+        prop_assert!(legacy.outcome.succeeded(), "legacy: {:?}", legacy.outcome);
+        prop_assert!(ir.outcome.succeeded(), "ir: {:?}", ir.outcome);
+        prop_assert_eq!(final_output(&legacy), final_output(&ir));
+        prop_assert_eq!(without_latency(&legacy), without_latency(&ir));
+        prop_assert!(
+            close(legacy.budget.spent_cost, ir.budget.spent_cost),
+            "cost {} vs {}", legacy.budget.spent_cost, ir.budget.spent_cost
+        );
+        prop_assert!(
+            close(legacy.budget.accuracy_so_far, ir.budget.accuracy_so_far),
+            "accuracy {} vs {}", legacy.budget.accuracy_so_far, ir.budget.accuracy_so_far
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive re-optimization: pinned deterministic scenarios.
+// ---------------------------------------------------------------------------
+
+/// Builds the drift fixture: `n1` (whose *estimated* latency understates the
+/// actual charge by `actual / est`) feeding `n2`, which joins the upstream
+/// text with the jobs table spliced from the data layer.
+fn adaptive_runtime(
+    est_latency: u64,
+    actual_latency: u64,
+    threshold: f64,
+) -> (TaskCoordinator, Arc<AgentRegistry>, PlanIr, AgentFactory) {
+    let store = StreamStore::new();
+    let factory = AgentFactory::new(store.clone());
+    let registry = Arc::new(AgentRegistry::new());
+
+    let slow = AgentSpec::new("slow-start", "collects the profile")
+        .with_input(ParamSpec::required("text", "user text", DataType::Text))
+        .with_output(ParamSpec::required("out", "profile", DataType::Text))
+        .with_profile(CostProfile::new(0.125, est_latency, 1.0));
+    let slow_proc: Arc<dyn Processor> = Arc::new(FnProcessor::new(
+        move |inputs: &Inputs, ctx: &AgentContext| {
+            ctx.charge_cost(0.125);
+            ctx.charge_latency_micros(actual_latency);
+            Ok(Outputs::new().with("out", json!(inputs.require_str("text")?.to_uppercase())))
+        },
+    ));
+    factory.register(slow.clone(), slow_proc).unwrap();
+    registry.register(slow).unwrap();
+    factory.spawn("slow-start", "session:1").unwrap();
+
+    let consume = AgentSpec::new("consume-jobs", "matches jobs against the profile")
+        .with_input(ParamSpec::required("text", "profile", DataType::Text))
+        .with_input(ParamSpec::required("jobs", "job listings", DataType::Any))
+        .with_output(ParamSpec::required("out", "matches", DataType::Text))
+        .with_profile(CostProfile::new(0.125, 1_000, 1.0));
+    let consume_proc: Arc<dyn Processor> =
+        Arc::new(FnProcessor::new(|inputs: &Inputs, ctx: &AgentContext| {
+            ctx.charge_cost(0.125);
+            ctx.charge_latency_micros(1_000);
+            let jobs = serde_json::to_string(inputs.require("jobs")?).unwrap();
+            Ok(Outputs::new().with(
+                "out",
+                json!(format!("{}&{}", inputs.require_str("text")?, jobs)),
+            ))
+        }));
+    factory.register(consume.clone(), consume_proc).unwrap();
+    registry.register(consume).unwrap();
+    factory.spawn("consume-jobs", "session:1").unwrap();
+
+    let mut plan = TaskPlan::new("t-adaptive", RUNNING_EXAMPLE);
+    let mut n1 = PlanNode {
+        id: "n1".into(),
+        agent: "slow-start".into(),
+        task: "collect the profile".into(),
+        inputs: BTreeMap::new(),
+        profile: CostProfile::new(0.125, est_latency, 1.0),
+    };
+    n1.inputs.insert("text".into(), InputBinding::FromUser);
+    let mut n2 = PlanNode {
+        id: "n2".into(),
+        agent: "consume-jobs".into(),
+        task: "match jobs".into(),
+        inputs: BTreeMap::new(),
+        profile: CostProfile::new(0.125, 1_000, 1.0),
+    };
+    n2.inputs.insert(
+        "text".into(),
+        InputBinding::FromNode {
+            node: "n1".into(),
+            output: "out".into(),
+        },
+    );
+    n2.inputs.insert(
+        "jobs".into(),
+        InputBinding::FromData {
+            query: JOBS_QUERY.into(),
+        },
+    );
+    plan.push(n1);
+    plan.push(n2);
+
+    let dp = Arc::new(data_planner());
+    let mut ir = PlanIr::lower_spliced(&plan, &dp).unwrap();
+    // Pin the spliced knowledge operator to the large tier so the mid-flight
+    // pass has a downgrade available when the latency budget tightens.
+    let know_id = knowledge_node(&ir);
+    assert!(ir.apply_alternative(&know_id, "gpt-large"));
+
+    let coordinator = TaskCoordinator::new(store, "session:1", Arc::clone(&registry))
+        .with_report_timeout(Duration::from_secs(10))
+        .with_data_planner(dp)
+        .with_scheduler(SchedulerMode::Sequential)
+        .with_adaptive(AdaptiveConfig::with_threshold(threshold));
+    (coordinator, registry, ir, factory)
+}
+
+fn knowledge_node(ir: &PlanIr) -> String {
+    ir.nodes
+        .iter()
+        .find(|n| {
+            matches!(&n.kind, IrKind::DataOperator { node, .. }
+                if matches!(node.op, DataOp::Knowledge { .. }))
+        })
+        .expect("spliced plan contains a knowledge operator")
+        .id
+        .clone()
+}
+
+/// Observed latency drifting past the threshold (50 000 µs against a
+/// 1 000 µs estimate, threshold 2×) must trigger exactly one bounded
+/// re-optimization of the pending IR suffix, downgrading the knowledge
+/// operator to the small tier — the large tier's 680 000 µs estimate no
+/// longer fits the remaining 350 000 µs latency budget.
+#[test]
+fn adaptive_replanning_downgrades_tier_on_latency_drift() {
+    let (coordinator, _registry, ir, _factory) = adaptive_runtime(1_000, 50_000, 2.0);
+    let know_id = knowledge_node(&ir);
+    let report = coordinator
+        .execute_ir(&ir, QosConstraints::none().with_max_latency_micros(400_000))
+        .unwrap();
+    assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+    assert_eq!(
+        report.reoptimizations.len(),
+        1,
+        "{:?}",
+        report.reoptimizations
+    );
+    let note = &report.reoptimizations[0];
+    assert_eq!(note.node, know_id);
+    assert_eq!(note.from_tier, "sim-large");
+    assert_eq!(note.to_tier, "sim-small");
+    // The run fits the latency budget only because of the downgrade.
+    assert!(report.budget.spent_latency_micros < 400_000);
+}
+
+/// The no-drift control: with an accurate estimate nothing crosses the
+/// threshold and the pinned large tier is left alone.
+#[test]
+fn adaptive_replanning_never_fires_below_threshold() {
+    let (coordinator, _registry, ir, _factory) = adaptive_runtime(50_000, 50_000, 2.0);
+    let report = coordinator
+        .execute_ir(
+            &ir,
+            QosConstraints::none().with_max_latency_micros(2_000_000),
+        )
+        .unwrap();
+    assert!(report.outcome.succeeded(), "outcome: {:?}", report.outcome);
+    assert!(
+        report.reoptimizations.is_empty(),
+        "unexpected: {:?}",
+        report.reoptimizations
+    );
+}
+
+/// The EWMA fold is deterministic: two identical adaptive runs on fresh
+/// runtimes leave bit-identical observed stats in the registry.
+#[test]
+fn adaptive_feedback_folds_deterministically() {
+    let observe = || {
+        let (coordinator, registry, ir, _factory) = adaptive_runtime(1_000, 50_000, 2.0);
+        coordinator
+            .execute_ir(&ir, QosConstraints::none().with_max_latency_micros(400_000))
+            .unwrap();
+        (
+            registry.observed_profile("slow-start").unwrap(),
+            registry.observed_profile("consume-jobs").unwrap(),
+        )
+    };
+    let (a1, a2) = observe();
+    let (b1, b2) = observe();
+    for (a, b) in [(a1, b1), (a2, b2)] {
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.latency_micros.to_bits(), b.latency_micros.to_bits());
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        assert_eq!(a.samples, b.samples);
+    }
+}

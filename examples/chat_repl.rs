@@ -5,12 +5,16 @@
 //! Run with: `cargo run -p blueprint-examples --bin chat_repl`
 //!
 //! Commands:
-//!   /plan <text>   show the task plan without executing
-//!   /run <text>    centralized execution through the coordinator
-//!   /activity      session activity log
-//!   /trace         recent message-flow trace
-//!   /stats         streams-database counters
-//!   /quit          exit
+//!
+//! ```text
+//! /plan <text>   show the task plan without executing
+//! /run <text>    centralized execution through the coordinator
+//! /activity      session activity log
+//! /trace         recent message-flow trace
+//! /stats         streams-database counters
+//! /quit          exit
+//! ```
+//!
 //! Anything else is published as tagged user text (decentralized path).
 
 use std::io::{BufRead, Write};

@@ -385,7 +385,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Sizes acceptable to [`vec`]: a fixed `usize` or a `Range`.
+        /// Sizes acceptable to [`vec()`]: a fixed `usize` or a `Range`.
         pub trait IntoSizeRange {
             /// Converts into a half-open `[min, max)` pair.
             fn bounds(self) -> (usize, usize);
